@@ -1,0 +1,123 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"perfxplain"
+)
+
+// writeSmallLog materialises a small job log for CLI tests.
+func writeSmallLog(t *testing.T) string {
+	t.Helper()
+	jobs, _, err := perfxplain.Collect(perfxplain.SweepOptions{Small: true, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "jobs.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jobs.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const testQuery = `
+DESPITE numinstances_issame = T AND pigscript_issame = T
+OBSERVED duration_compare = GT
+EXPECTED duration_compare = SIM`
+
+func TestRunFindsAndExplains(t *testing.T) {
+	log := writeSmallLog(t)
+	for _, tech := range []string{"perfxplain", "ruleofthumb", "simbutdiff"} {
+		err := run(log, testQuery, "", "", true, 3, 3, 1, tech, false, "")
+		if err != nil {
+			t.Errorf("%s: %v", tech, err)
+		}
+	}
+}
+
+func TestRunWithGeneratedDespiteAndEval(t *testing.T) {
+	log := writeSmallLog(t)
+	if err := run(log, testQuery, "", "", true, 2, 3, 1, "perfxplain", true, log); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExplicitPair(t *testing.T) {
+	log := writeSmallLog(t)
+	// Find a valid pair first via the library, then pass it via -pair.
+	f, err := os.Open(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := perfxplain.ReadLogCSV(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := perfxplain.ParseQuery(testQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1, id2, ok := perfxplain.FindPairOfInterest(jobs, q, 1)
+	if !ok {
+		t.Fatal("no pair")
+	}
+	if err := run(log, testQuery, "", id1+","+id2, false, 3, 3, 1, "perfxplain", false, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunQueryFromFile(t *testing.T) {
+	log := writeSmallLog(t)
+	qf := filepath.Join(t.TempDir(), "query.pxql")
+	if err := os.WriteFile(qf, []byte(testQuery), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(log, "", qf, "", true, 3, 3, 1, "perfxplain", false, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	log := writeSmallLog(t)
+	cases := map[string]func() error{
+		"no log": func() error {
+			return run("", testQuery, "", "", true, 3, 3, 1, "perfxplain", false, "")
+		},
+		"missing log file": func() error {
+			return run("/nonexistent/jobs.csv", testQuery, "", "", true, 3, 3, 1, "perfxplain", false, "")
+		},
+		"both query and file": func() error {
+			return run(log, testQuery, "somefile", "", true, 3, 3, 1, "perfxplain", false, "")
+		},
+		"bad technique": func() error {
+			return run(log, testQuery, "", "", true, 3, 3, 1, "oracle", false, "")
+		},
+		"bad pair syntax": func() error {
+			return run(log, testQuery, "", "justoneid", false, 3, 3, 1, "perfxplain", false, "")
+		},
+		"no pair and no find": func() error {
+			return run(log, testQuery, "", "", false, 3, 3, 1, "perfxplain", false, "")
+		},
+		"bad query": func() error {
+			return run(log, "NOT A QUERY", "", "", true, 3, 3, 1, "perfxplain", false, "")
+		},
+		"bad eval path": func() error {
+			return run(log, testQuery, "", "", true, 3, 3, 1, "perfxplain", false, "/nonexistent.csv")
+		},
+	}
+	for name, fn := range cases {
+		if err := fn(); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package baselines
+
+import (
+	"fmt"
+	"sort"
+
+	"perfxplain/internal/core"
+	"perfxplain/internal/features"
+	"perfxplain/internal/joblog"
+	"perfxplain/internal/pxql"
+)
+
+// SimButDiffConfig tunes the SimButDiff baseline.
+type SimButDiffConfig struct {
+	// SimilarityThreshold s ∈ (0,1]: a training pair is "similar" when it
+	// agrees with the pair of interest on at least s of the isSame
+	// features. The paper uses 0.9.
+	SimilarityThreshold float64
+	// MaxPairs caps related-pair enumeration (0 = unlimited).
+	MaxPairs int
+	// Seed drives the (capped) enumeration.
+	Seed int64
+	// Target raw feature excluded from the isSame feature set (it is the
+	// query subject). Default "duration".
+	Target string
+}
+
+func (c SimButDiffConfig) withDefaults() SimButDiffConfig {
+	if c.SimilarityThreshold == 0 {
+		c.SimilarityThreshold = 0.9
+	}
+	if c.Target == "" {
+		c.Target = "duration"
+	}
+	return c
+}
+
+// SimButDiff implements Algorithm 2: among training pairs similar to the
+// pair of interest on the isSame features, it scores each feature by the
+// fraction of pairs that disagree with the pair of interest on it AND
+// performed as expected — a per-feature what-if analysis — and explains
+// with the top-w features at the pair's own values (Section 5.2).
+type SimButDiff struct {
+	log *joblog.Log
+	d   *features.Deriver
+	cfg SimButDiffConfig
+}
+
+// NewSimButDiff builds the baseline over a log.
+func NewSimButDiff(log *joblog.Log, cfg SimButDiffConfig) (*SimButDiff, error) {
+	if log == nil || log.Len() < 2 {
+		return nil, fmt.Errorf("baselines: need at least 2 records")
+	}
+	return &SimButDiff{
+		log: log,
+		d:   features.NewDeriver(log.Schema, features.Level3),
+		cfg: cfg.withDefaults(),
+	}, nil
+}
+
+// Explain runs Algorithm 2 for the query.
+func (s *SimButDiff) Explain(q *pxql.Query, width int) (*core.Explanation, error) {
+	a := s.log.Find(q.ID1)
+	b := s.log.Find(q.ID2)
+	if a == nil || b == nil {
+		return nil, fmt.Errorf("baselines: pair of interest (%q, %q) not in log", q.ID1, q.ID2)
+	}
+
+	// isSame feature set, excluding the target's.
+	type sameFeat struct {
+		name   string
+		rawIdx int
+	}
+	var feats []sameFeat
+	raw := s.d.RawSchema()
+	for i := 0; i < raw.Len(); i++ {
+		if raw.Field(i).Name == s.cfg.Target {
+			continue
+		}
+		feats = append(feats, sameFeat{features.Name(raw.Field(i).Name, features.IsSame), i})
+	}
+
+	// Pair-of-interest isSame vector.
+	poi := make([]joblog.Value, len(feats))
+	for i, f := range feats {
+		v, _ := s.d.ValueByName(a, b, f.name)
+		poi[i] = v
+	}
+
+	// Lines 1-5: related pairs, reduced to isSame features, filtered to
+	// those agreeing with the pair of interest on >= k features.
+	related := core.RelatedPairs(s.log, features.Level3, q, s.cfg.MaxPairs, s.cfg.Seed)
+	if len(related) == 0 {
+		return nil, fmt.Errorf("baselines: no related pairs for this query")
+	}
+	k := int(s.cfg.SimilarityThreshold * float64(len(feats)))
+	type simPair struct {
+		same []joblog.Value
+		exp  bool
+	}
+	var similar []simPair
+	for _, lp := range related {
+		vec := make([]joblog.Value, len(feats))
+		agree := 0
+		for i, f := range feats {
+			v, _ := s.d.ValueByName(lp.A, lp.B, f.name)
+			vec[i] = v
+			if !v.IsMissing() && !poi[i].IsMissing() && v.Equal(poi[i]) {
+				agree++
+			}
+		}
+		if agree >= k {
+			similar = append(similar, simPair{same: vec, exp: !lp.Observed})
+		}
+	}
+	if len(similar) == 0 {
+		return nil, fmt.Errorf("baselines: no pairs similar to the pair of interest at threshold %v",
+			s.cfg.SimilarityThreshold)
+	}
+
+	// Lines 6-12: what-if score per feature — among similar pairs that
+	// disagree with the pair of interest on f, the fraction that performed
+	// as expected.
+	type scored struct {
+		idx   int
+		score float64
+		d     int
+	}
+	var scores []scored
+	for i := range feats {
+		if poi[i].IsMissing() {
+			continue // cannot assert the pair's value for this feature
+		}
+		disagree, expAmong := 0, 0
+		for _, sp := range similar {
+			v := sp.same[i]
+			if v.IsMissing() || v.Equal(poi[i]) {
+				continue
+			}
+			disagree++
+			if sp.exp {
+				expAmong++
+			}
+		}
+		sc := 0.0
+		if disagree > 0 {
+			sc = float64(expAmong) / float64(disagree)
+		}
+		scores = append(scores, scored{idx: i, score: sc, d: disagree})
+	}
+	if len(scores) == 0 {
+		return nil, fmt.Errorf("baselines: no scoreable isSame features")
+	}
+	sort.SliceStable(scores, func(x, y int) bool {
+		if scores[x].score != scores[y].score {
+			return scores[x].score > scores[y].score
+		}
+		// Tie-break toward features with more evidence, then by order.
+		if scores[x].d != scores[y].d {
+			return scores[x].d > scores[y].d
+		}
+		return scores[x].idx < scores[y].idx
+	})
+
+	// Lines 13-17: conjunction of the top-w features at the pair's values.
+	var clause pxql.Predicate
+	for _, sc := range scores {
+		if len(clause) >= width {
+			break
+		}
+		clause = append(clause, pxql.Atom{
+			Feature: feats[sc.idx].name,
+			Op:      pxql.OpEq,
+			Value:   poi[sc.idx],
+		})
+	}
+	return &core.Explanation{Because: clause}, nil
+}

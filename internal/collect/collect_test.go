@@ -1,0 +1,184 @@
+package collect
+
+import (
+	"bytes"
+	"testing"
+
+	"perfxplain/internal/features"
+	"perfxplain/internal/joblog"
+)
+
+func TestSchemasAreDerivable(t *testing.T) {
+	// Every raw schema must be free of derived-suffix collisions so the
+	// feature deriver accepts it.
+	for name, schema := range map[string]*joblog.Schema{
+		"job": JobSchema(), "task": TaskSchema(),
+	} {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("%s schema not derivable: %v", name, r)
+				}
+			}()
+			d := features.NewDeriver(schema, features.Level3)
+			if d.Schema().Len() != 4*schema.Len() {
+				t.Errorf("%s: derived %d features from %d raw", name, d.Schema().Len(), schema.Len())
+			}
+		}()
+	}
+}
+
+func TestSchemaHasPaperFeatures(t *testing.T) {
+	// The feature names the paper's queries and explanations mention must
+	// exist verbatim.
+	jobWant := []string{
+		"pigscript", "numinstances", "inputsize", "blocksize",
+		"avg_load_five", "avg_cpu_user", "avg_proc_total", "duration",
+	}
+	js := JobSchema()
+	for _, n := range jobWant {
+		if _, ok := js.Index(n); !ok {
+			t.Errorf("job schema lacks %q", n)
+		}
+	}
+	taskWant := []string{
+		"jobid", "hostname", "tracker_name", "inputsize",
+		"map_input_records", "map_output_records", "file_bytes_written",
+		"avg_pkts_in", "avg_bytes_in", "duration",
+	}
+	ts := TaskSchema()
+	for _, n := range taskWant {
+		if _, ok := ts.Index(n); !ok {
+			t.Errorf("task schema lacks %q", n)
+		}
+	}
+}
+
+func TestSweepCardinality(t *testing.T) {
+	if got := DefaultSweep(1).NumJobs(); got != 540 {
+		t.Errorf("default sweep = %d jobs, want 540 (Table 2)", got)
+	}
+	if got := SmallSweep(1).NumJobs(); got != 32 {
+		t.Errorf("small sweep = %d jobs, want 32", got)
+	}
+}
+
+func TestCollectSmallSweep(t *testing.T) {
+	res, err := SmallSweep(7).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs.Len() != 32 {
+		t.Fatalf("job log has %d records", res.Jobs.Len())
+	}
+	if res.Tasks.Len() == 0 {
+		t.Fatal("task log empty")
+	}
+	if len(res.Results) != 32 {
+		t.Fatalf("results = %d", len(res.Results))
+	}
+
+	// Job IDs unique; durations positive; start times strictly increasing.
+	seen := make(map[string]bool)
+	var prevStart float64 = -1
+	for _, r := range res.Jobs.Records {
+		if seen[r.ID] {
+			t.Errorf("duplicate job id %s", r.ID)
+		}
+		seen[r.ID] = true
+		d := res.Jobs.Value(r, "duration")
+		if d.Kind != joblog.Numeric || d.Num <= 0 {
+			t.Errorf("job %s duration = %v", r.ID, d)
+		}
+		st := res.Jobs.Value(r, "starttime")
+		if st.Num <= prevStart {
+			t.Errorf("job %s start %v not increasing", r.ID, st.Num)
+		}
+		prevStart = st.Num
+	}
+
+	// Every task's jobid refers to a logged job; map-only jobs produce
+	// tasks with missing reduce_shuffle_bytes.
+	jobIDs := seen
+	missingShuffle := 0
+	for _, r := range res.Tasks.Records {
+		jid := res.Tasks.Value(r, "jobid")
+		if jid.Kind != joblog.Nominal || !jobIDs[jid.Str] {
+			t.Fatalf("task %s has unknown jobid %v", r.ID, jid)
+		}
+		if res.Tasks.Value(r, "reduce_shuffle_bytes").IsMissing() {
+			missingShuffle++
+		}
+		if res.Tasks.Value(r, "duration").Num <= 0 {
+			t.Errorf("task %s non-positive duration", r.ID)
+		}
+		if res.Tasks.Value(r, "avg_cpu_user").IsMissing() {
+			t.Errorf("task %s lacks ganglia", r.ID)
+		}
+	}
+	if missingShuffle == 0 {
+		t.Error("expected map tasks with missing reduce_shuffle_bytes")
+	}
+
+	// Shuffle features zero exactly for map-only jobs, positive otherwise.
+	for _, r := range res.Jobs.Records {
+		script := res.Jobs.Value(r, "pigscript").Str
+		shuffle := res.Jobs.Value(r, "shuffle_bytes")
+		if script == "simple-filter.pig" && shuffle.Num != 0 {
+			t.Errorf("job %s: filter job has shuffle bytes %v", r.ID, shuffle)
+		}
+		if script == "simple-groupby.pig" && shuffle.Num <= 0 {
+			t.Errorf("job %s: groupby job lacks shuffle bytes", r.ID)
+		}
+	}
+}
+
+func TestCollectDeterministic(t *testing.T) {
+	a, err := SmallSweep(9).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SmallSweep(9).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bufA, bufB bytes.Buffer
+	if err := a.Jobs.WriteCSV(&bufA); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Jobs.WriteCSV(&bufB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Error("same-seed sweeps differ")
+	}
+	c, err := SmallSweep(10).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bufC bytes.Buffer
+	if err := c.Jobs.WriteCSV(&bufC); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(bufA.Bytes(), bufC.Bytes()) {
+		t.Error("different-seed sweeps identical")
+	}
+}
+
+func TestJobRecordRoundTripThroughCSV(t *testing.T) {
+	res, err := SmallSweep(11).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Jobs.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := joblog.ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != res.Jobs.Len() || !back.Schema.Equal(res.Jobs.Schema) {
+		t.Error("CSV round trip lost data")
+	}
+}

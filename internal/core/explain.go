@@ -1,0 +1,478 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"perfxplain/internal/dtree"
+	"perfxplain/internal/features"
+	"perfxplain/internal/joblog"
+	"perfxplain/internal/pxql"
+	"perfxplain/internal/stats"
+)
+
+// Config tunes the explainer. The zero value is not usable; use
+// DefaultConfig as a base.
+type Config struct {
+	// Width is the number of atomic predicates in a generated because
+	// clause. Default 3 (the paper's usual setting).
+	Width int
+	// DespiteWidth is the width of generated despite extensions. Default 3
+	// (Section 6.4 restricts generated clauses to width 3).
+	DespiteWidth int
+	// SampleSize is the target size of the balanced training sample.
+	// Default 2000 (Section 4.3).
+	SampleSize int
+	// PrecisionWeight blends precision vs generality scores; the paper
+	// uses 0.8.
+	PrecisionWeight float64
+	// Level selects the feature hierarchy level (Section 6.8). Default
+	// Level3 (the full Table 1 set).
+	Level features.Level
+	// Target is the raw feature whose derived features are the query
+	// subject and therefore excluded from generated clauses. Default
+	// "duration".
+	Target string
+	// MaxPairs caps enumerated related pairs; larger pair spaces are
+	// Bernoulli-subsampled. Default 200000.
+	MaxPairs int
+	// Seed drives sampling.
+	Seed int64
+	// RawScores disables the percentile-rank normalisation of precision
+	// and generality (ablation; Section 4.2 explains why normalisation is
+	// needed).
+	RawScores bool
+	// UnbalancedSample replaces the class-balanced sampler with a uniform
+	// one (ablation for Section 4.3).
+	UnbalancedSample bool
+	// DiverseSample additionally caps how often a single execution may
+	// appear in the training sample, implementing the paper's Section 4.3
+	// future-work idea of biasing toward a varied set of executions.
+	DiverseSample bool
+}
+
+// DefaultConfig returns the paper's settings.
+func DefaultConfig() Config {
+	return Config{
+		Width:           3,
+		DespiteWidth:    3,
+		SampleSize:      2000,
+		PrecisionWeight: 0.8,
+		Level:           features.Level3,
+		Target:          "duration",
+		MaxPairs:        200000,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Width <= 0 {
+		c.Width = d.Width
+	}
+	if c.DespiteWidth <= 0 {
+		c.DespiteWidth = d.DespiteWidth
+	}
+	if c.SampleSize <= 0 {
+		c.SampleSize = d.SampleSize
+	}
+	if c.PrecisionWeight == 0 {
+		c.PrecisionWeight = d.PrecisionWeight
+	}
+	if c.Level == 0 {
+		c.Level = d.Level
+	}
+	if c.Target == "" {
+		c.Target = d.Target
+	}
+	if c.MaxPairs == 0 {
+		c.MaxPairs = d.MaxPairs
+	}
+	return c
+}
+
+// Explainer answers PXQL queries against one execution log.
+type Explainer struct {
+	log *joblog.Log
+	d   *features.Deriver
+	cfg Config
+}
+
+// NewExplainer builds an explainer over the log.
+func NewExplainer(log *joblog.Log, cfg Config) (*Explainer, error) {
+	cfg = cfg.withDefaults()
+	if log == nil || log.Len() == 0 {
+		return nil, fmt.Errorf("core: empty log")
+	}
+	if _, ok := log.Schema.Index(cfg.Target); !ok {
+		return nil, fmt.Errorf("core: log has no target feature %q", cfg.Target)
+	}
+	// The deriver always exposes the full Table 1 feature set: queries may
+	// mention any derived feature regardless of the configured level. The
+	// level only restricts which features generated clauses may use
+	// (Section 6.8), enforced in candidates().
+	return &Explainer{log: log, d: features.NewDeriver(log.Schema, features.Level3), cfg: cfg}, nil
+}
+
+// Deriver exposes the derived pair schema (for query validation and
+// metric evaluation).
+func (e *Explainer) Deriver() *features.Deriver { return e.d }
+
+// Log returns the underlying execution log.
+func (e *Explainer) Log() *joblog.Log { return e.log }
+
+// Explanation is the answer to a PXQL query.
+type Explanation struct {
+	// Despite is the generated despite extension des' (empty when despite
+	// generation was not requested). The user's own despite clause is in
+	// the query, not here.
+	Despite pxql.Predicate
+	// Because is the generated because clause.
+	Because pxql.Predicate
+
+	// Training diagnostics, measured on the (sampled) training pairs.
+	TrainPrecision  float64 // P(obs | bec ∧ des' ∧ des) on the sample
+	TrainGenerality float64 // P(bec | des' ∧ des) on the sample
+	TrainRelevance  float64 // P(exp | des' ∧ des) on the related pairs
+	SampleSize      int
+	RelatedPairs    int
+
+	// Atoms records per-predicate marginal quality: entry i holds the
+	// cumulative precision and generality of the because clause's first
+	// i+1 atoms on the training sample. Greedy construction puts the most
+	// important predicate first (Section 3.3's ordering requirement); this
+	// makes the claim inspectable.
+	Atoms []AtomStats
+}
+
+// AtomStats is the cumulative quality of a because-clause prefix.
+type AtomStats struct {
+	Atom       pxql.Atom
+	Precision  float64 // P(obs | first i+1 atoms) on the sample
+	Generality float64 // P(first i+1 atoms) on the sample
+}
+
+// String renders the explanation in the paper's DESPITE/BECAUSE form.
+func (x *Explanation) String() string {
+	return fmt.Sprintf("DESPITE %s\nBECAUSE %s", x.Despite, x.Because)
+}
+
+// bind resolves the query's pair of interest and checks Definition 1:
+// des and obs must hold on the pair, exp must not.
+func (e *Explainer) bind(q *pxql.Query) (a, b *joblog.Record, err error) {
+	if q.ID1 == "" || q.ID2 == "" {
+		return nil, nil, fmt.Errorf("core: query does not name a pair of interest")
+	}
+	a = e.log.Find(q.ID1)
+	if a == nil {
+		return nil, nil, fmt.Errorf("core: no record %q in log", q.ID1)
+	}
+	b = e.log.Find(q.ID2)
+	if b == nil {
+		return nil, nil, fmt.Errorf("core: no record %q in log", q.ID2)
+	}
+	if err := q.Validate(e.d.Schema()); err != nil {
+		return nil, nil, err
+	}
+	if !q.Despite.EvalPair(e.d, a, b) {
+		return nil, nil, fmt.Errorf("core: despite clause does not hold for (%s, %s)", q.ID1, q.ID2)
+	}
+	if !q.Observed.EvalPair(e.d, a, b) {
+		return nil, nil, fmt.Errorf("core: observed clause does not hold for (%s, %s)", q.ID1, q.ID2)
+	}
+	if q.Expected.EvalPair(e.d, a, b) {
+		return nil, nil, fmt.Errorf("core: expected clause holds for (%s, %s); nothing to explain", q.ID1, q.ID2)
+	}
+	return a, b, nil
+}
+
+// Explain generates the because clause for the query, using the user's
+// despite clause as-is (the paper's default mode).
+func (e *Explainer) Explain(q *pxql.Query) (*Explanation, error) {
+	return e.explain(q, false)
+}
+
+// ExplainWithDespite first generates a despite extension des' (Section
+// 6.4), then generates the because clause in the context des ∧ des'.
+func (e *Explainer) ExplainWithDespite(q *pxql.Query) (*Explanation, error) {
+	return e.explain(q, true)
+}
+
+func (e *Explainer) explain(q *pxql.Query, genDespite bool) (*Explanation, error) {
+	a, b, err := e.bind(q)
+	if err != nil {
+		return nil, err
+	}
+	x := &Explanation{}
+	despite := q.Despite
+	if genDespite {
+		des, err := e.generateDespite(q, a, b)
+		if err != nil {
+			return nil, err
+		}
+		x.Despite = des
+		despite = q.Despite.And(des)
+	}
+
+	rng := stats.DeriveRand(e.cfg.Seed, "because")
+	related := enumerateRelated(e.log, e.d, q, despite, e.cfg.MaxPairs, rng)
+	x.RelatedPairs = len(related.refs)
+	if len(related.refs) == 0 {
+		return nil, fmt.Errorf("core: no related pairs in the log for this query")
+	}
+	nObs, _ := related.counts()
+	x.TrainRelevance = 1 - float64(nObs)/float64(len(related.refs))
+
+	sample := e.sample(related, rng)
+	x.SampleSize = len(sample.refs)
+	vecs := materialize(e.log, e.d, sample)
+	pairVec := e.d.Vector(a, b)
+
+	bec := e.grow(vecs, sample.labels, pairVec, e.cfg.Width)
+	x.Because = bec
+
+	// Training diagnostics over the sample, per clause prefix.
+	for w := 1; w <= len(bec); w++ {
+		prefix := bec[:w]
+		sat, satObs := 0, 0
+		for i, v := range vecs {
+			if prefix.EvalVector(e.d.Schema(), v) {
+				sat++
+				if sample.labels[i] {
+					satObs++
+				}
+			}
+		}
+		st := AtomStats{Atom: bec[w-1]}
+		if sat > 0 {
+			st.Precision = float64(satObs) / float64(sat)
+		}
+		if len(vecs) > 0 {
+			st.Generality = float64(sat) / float64(len(vecs))
+		}
+		x.Atoms = append(x.Atoms, st)
+	}
+	if n := len(x.Atoms); n > 0 {
+		x.TrainPrecision = x.Atoms[n-1].Precision
+		x.TrainGenerality = x.Atoms[n-1].Generality
+	} else if len(vecs) > 0 {
+		// Empty clause: precision is the sample's observed fraction.
+		obs := 0
+		for _, l := range sample.labels {
+			if l {
+				obs++
+			}
+		}
+		x.TrainPrecision = float64(obs) / float64(len(vecs))
+		x.TrainGenerality = 1
+	}
+	return x, nil
+}
+
+// GenerateDespite produces only the despite extension for a query
+// (PerfXplain's response to an under-specified query, Section 6.4).
+func (e *Explainer) GenerateDespite(q *pxql.Query) (pxql.Predicate, error) {
+	a, b, err := e.bind(q)
+	if err != nil {
+		return nil, err
+	}
+	return e.generateDespite(q, a, b)
+}
+
+func (e *Explainer) generateDespite(q *pxql.Query, a, b *joblog.Record) (pxql.Predicate, error) {
+	rng := stats.DeriveRand(e.cfg.Seed, "despite")
+	related := enumerateRelated(e.log, e.d, q, q.Despite, e.cfg.MaxPairs, rng)
+	if len(related.refs) == 0 {
+		return nil, fmt.Errorf("core: no related pairs in the log for this query")
+	}
+	sample := e.sample(related, rng)
+	vecs := materialize(e.log, e.d, sample)
+	pairVec := e.d.Vector(a, b)
+
+	// Positive class for despite generation is "performed as expected":
+	// the clause should maximise relevance P(exp | des' ∧ des).
+	flipped := make([]bool, len(sample.labels))
+	for i, l := range sample.labels {
+		flipped[i] = !l
+	}
+	return e.grow(vecs, flipped, pairVec, e.cfg.DespiteWidth), nil
+}
+
+func (e *Explainer) sample(ps *pairSet, rng *rand.Rand) *pairSet {
+	switch {
+	case e.cfg.UnbalancedSample:
+		return uniformSample(ps, e.cfg.SampleSize, rng)
+	case e.cfg.DiverseSample:
+		return diverseSample(ps, e.cfg.SampleSize, e.log, rng)
+	default:
+		return balancedSample(ps, e.cfg.SampleSize, rng)
+	}
+}
+
+// grow is Algorithm 1's greedy loop, shared by because generation
+// (positive labels = performed-as-observed) and despite generation
+// (labels flipped so positive = performed-as-expected, turning the
+// precision measure into relevance — the only change the paper makes to
+// the algorithm for des' generation).
+func (e *Explainer) grow(vecs [][]joblog.Value, labels []bool,
+	pairVec []joblog.Value, width int) pxql.Predicate {
+
+	var clause pxql.Predicate
+	cur := make([]int, len(vecs))
+	for i := range cur {
+		cur[i] = i
+	}
+
+	for round := 0; round < width; round++ {
+		if len(cur) == 0 {
+			break
+		}
+		// Stop when the remaining pairs are pure: no signal left.
+		pos := 0
+		for _, i := range cur {
+			if labels[i] {
+				pos++
+			}
+		}
+		if pos == 0 || pos == len(cur) {
+			break
+		}
+
+		cands := e.candidates(vecs, labels, cur, pairVec, clause)
+		if len(cands) == 0 {
+			break
+		}
+
+		// Cross-feature selection: percentile-normalised blend of
+		// precision (P(positive | p)) and generality (P(p)).
+		precs := make([]float64, len(cands))
+		gens := make([]float64, len(cands))
+		for ci, cand := range cands {
+			sat, satPos := 0, 0
+			fi := cand.featIdx
+			for _, i := range cur {
+				if cand.atom.Eval(vecs[i][fi]) {
+					sat++
+					if labels[i] {
+						satPos++
+					}
+				}
+			}
+			if sat > 0 {
+				precs[ci] = float64(satPos) / float64(sat)
+			}
+			gens[ci] = float64(sat) / float64(len(cur))
+		}
+		precScores, genScores := precs, gens
+		if !e.cfg.RawScores {
+			precScores = stats.PercentileRanks(precs)
+			genScores = stats.PercentileRanks(gens)
+		}
+		w := e.cfg.PrecisionWeight
+		best, bestScore := -1, -1.0
+		for ci := range cands {
+			score := w*precScores[ci] + (1-w)*genScores[ci]
+			if score > bestScore {
+				best, bestScore = ci, score
+			}
+		}
+		chosen := cands[best]
+		clause = append(clause, chosen.atom)
+
+		// Restrict the working set to pairs satisfying the clause so far.
+		var next []int
+		for _, i := range cur {
+			if chosen.atom.Eval(vecs[i][chosen.featIdx]) {
+				next = append(next, i)
+			}
+		}
+		cur = next
+	}
+	return clause
+}
+
+type candidate struct {
+	featIdx int
+	atom    pxql.Atom
+	gain    float64
+}
+
+// candidates builds the best applicable predicate per feature by
+// information gain (Algorithm 1 line 5). Features derived from the query
+// target are excluded, as are features whose pair-of-interest value is
+// missing (no applicable predicate exists) and atoms already in the
+// clause.
+func (e *Explainer) candidates(vecs [][]joblog.Value, labels []bool,
+	cur []int, pairVec []joblog.Value, clause pxql.Predicate) []candidate {
+
+	schema := e.d.Schema()
+	subLabels := make([]bool, len(cur))
+	for k, i := range cur {
+		subLabels[k] = labels[i]
+	}
+	col := make([]joblog.Value, len(cur))
+
+	var out []candidate
+	for f := 0; f < schema.Len(); f++ {
+		rawIdx, kind := e.d.RawOf(f)
+		if e.d.RawSchema().Field(rawIdx).Name == e.cfg.Target {
+			continue
+		}
+		// Honour the configured feature level (Section 6.8): level 1 may
+		// use only isSame features; level 2 adds compare and diff; level 3
+		// adds base features.
+		if e.cfg.Level == features.Level1 && kind != features.IsSame {
+			continue
+		}
+		if e.cfg.Level == features.Level2 && kind == features.Base {
+			continue
+		}
+		v0 := pairVec[f]
+		if v0.IsMissing() {
+			continue // no predicate over f can hold on the pair of interest
+		}
+		for k, i := range cur {
+			col[k] = vecs[i][f]
+		}
+		var atom pxql.Atom
+		var gain float64
+		if schema.Field(f).Kind == joblog.Numeric {
+			thr, g, ok := dtree.BestThreshold(col, subLabels)
+			if !ok {
+				continue
+			}
+			op := pxql.OpLe
+			if v0.Num > thr {
+				op = pxql.OpGt
+			}
+			atom = pxql.Atom{Feature: schema.Field(f).Name, Op: op, Value: joblog.Num(thr)}
+			gain = g
+		} else {
+			val, g, ok := dtree.BestNominalValue(col, subLabels)
+			if !ok {
+				continue
+			}
+			// The split on value v* has the same gain whichever side the
+			// predicate asserts; applicability picks the direction.
+			op := pxql.OpEq
+			if v0.Str != val {
+				op = pxql.OpNe
+			}
+			atom = pxql.Atom{Feature: schema.Field(f).Name, Op: op, Value: joblog.Str(val)}
+			gain = g
+		}
+		if containsAtom(clause, atom) {
+			continue
+		}
+		out = append(out, candidate{featIdx: f, atom: atom, gain: gain})
+	}
+	return out
+}
+
+func containsAtom(p pxql.Predicate, a pxql.Atom) bool {
+	for _, x := range p {
+		if x.Feature == a.Feature && x.Op == a.Op && x.Value.Equal(a.Value) {
+			return true
+		}
+	}
+	return false
+}

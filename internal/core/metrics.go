@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"perfxplain/internal/features"
+	"perfxplain/internal/joblog"
+	"perfxplain/internal/pxql"
+	"perfxplain/internal/stats"
+)
+
+// Metrics are the paper's three explanation-quality measures
+// (Definitions 4-6), evaluated over a log — typically a held-out test log
+// as in Section 6.1.
+type Metrics struct {
+	// Relevance is P(exp | des' ∧ des).
+	Relevance float64
+	// Precision is P(obs | bec ∧ des' ∧ des).
+	Precision float64
+	// Generality is P(bec | des' ∧ des).
+	Generality float64
+
+	// ContextPairs counts pairs satisfying des' ∧ des (the denominator of
+	// relevance and generality).
+	ContextPairs int
+	// BecausePairs counts pairs additionally satisfying bec (the
+	// denominator of precision).
+	BecausePairs int
+}
+
+// EvaluateExplanation measures an explanation against a log. The query
+// supplies des, obs and exp; the explanation supplies des' and bec. The
+// probability space is the set of ordered pairs satisfying des ∧ des'
+// (blocked and capped exactly like training enumeration).
+func EvaluateExplanation(log *joblog.Log, level features.Level,
+	q *pxql.Query, x *Explanation, maxPairs int, seed int64) (Metrics, error) {
+
+	if log == nil || log.Len() == 0 {
+		return Metrics{}, fmt.Errorf("core: empty evaluation log")
+	}
+	d := features.NewDeriver(log.Schema, level)
+	for _, p := range []pxql.Predicate{q.Despite, q.Observed, q.Expected, x.Despite, x.Because} {
+		if err := p.Validate(d.Schema()); err != nil {
+			return Metrics{}, err
+		}
+	}
+	despite := q.Despite.And(x.Despite)
+	rng := stats.DeriveRand(seed, "evaluate")
+	var m Metrics
+	var nExp, nObsGivenBec int
+	forEachContextPair(log, d, despite, maxPairs, rng, func(a, b *joblog.Record) {
+		m.ContextPairs++
+		if q.Expected.EvalPair(d, a, b) {
+			nExp++
+		}
+		if x.Because.EvalPair(d, a, b) {
+			m.BecausePairs++
+			if q.Observed.EvalPair(d, a, b) {
+				nObsGivenBec++
+			}
+		}
+	})
+	if m.ContextPairs == 0 {
+		return m, fmt.Errorf("core: no pairs satisfy the despite context in the evaluation log")
+	}
+	m.Relevance = float64(nExp) / float64(m.ContextPairs)
+	m.Generality = float64(m.BecausePairs) / float64(m.ContextPairs)
+	if m.BecausePairs > 0 {
+		m.Precision = float64(nObsGivenBec) / float64(m.BecausePairs)
+	}
+	return m, nil
+}
+
+// forEachContextPair visits ordered pairs satisfying the despite context,
+// using the same blocking and capping rules as training enumeration.
+func forEachContextPair(log *joblog.Log, d *features.Deriver,
+	despite pxql.Predicate, maxPairs int, rng *rand.Rand,
+	visit func(a, b *joblog.Record)) {
+
+	recs := candidateRecords(log, despite)
+	var blockIdx []int
+	for _, a := range despite {
+		raw, kind := features.ParseName(a.Feature)
+		if kind != features.IsSame || a.Op != pxql.OpEq || a.Value != features.ValT {
+			continue
+		}
+		if i, ok := log.Schema.Index(raw); ok {
+			blockIdx = append(blockIdx, i)
+		}
+	}
+	groups := make(map[string][]int)
+	order := []string{}
+	for _, ri := range recs {
+		key := blockKey(log.Records[ri], blockIdx)
+		if key == "" && len(blockIdx) > 0 {
+			continue
+		}
+		if _, seen := groups[key]; !seen {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], ri)
+	}
+	var total int
+	for _, g := range groups {
+		total += len(g) * (len(g) - 1)
+	}
+	keepP := 1.0
+	if maxPairs > 0 && total > maxPairs {
+		keepP = float64(maxPairs) / float64(total)
+	}
+	for _, key := range order {
+		g := groups[key]
+		for _, i := range g {
+			for _, j := range g {
+				if i == j {
+					continue
+				}
+				if keepP < 1 && rng.Float64() >= keepP {
+					continue
+				}
+				a, b := log.Records[i], log.Records[j]
+				if despite.EvalPair(d, a, b) {
+					visit(a, b)
+				}
+			}
+		}
+	}
+}

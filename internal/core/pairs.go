@@ -1,0 +1,282 @@
+// Package core implements PerfXplain's primary contribution: generating
+// (despite, because) explanations for PXQL queries from a log of past
+// executions (paper Section 4).
+//
+// Given a query Q = (des, obs, exp) over a pair of interest, the core:
+//
+//  1. enumerates the log's related pairs — ordered pairs satisfying des
+//     and at least one of obs/exp (Definition 7) — labelling each as
+//     performed-as-observed or performed-as-expected;
+//  2. draws a class-balanced sample of ~2000 pairs (Section 4.3);
+//  3. greedily grows a width-w conjunction: per round, the best predicate
+//     per feature by C4.5 information gain, then the best across features
+//     by a percentile-normalised blend of precision and generality
+//     (Algorithm 1);
+//  4. optionally generates a despite extension des' with the symmetric
+//     algorithm, scoring relevance instead of precision.
+//
+// Every generated clause is applicable by construction: candidate
+// predicates are restricted to those that hold on the pair of interest
+// (Definition 3 — the hard requirement that distinguishes this from a
+// plain decision tree).
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"perfxplain/internal/features"
+	"perfxplain/internal/joblog"
+	"perfxplain/internal/pxql"
+)
+
+// pairRef is an ordered pair of record indices into the log.
+type pairRef struct {
+	a, b int
+}
+
+// pairSet is a labelled collection of related pairs. label true means the
+// pair performed as observed.
+type pairSet struct {
+	refs   []pairRef
+	labels []bool
+}
+
+// enumerateRelated walks the ordered pairs of the log that satisfy the
+// despite predicate and either obs or exp, labelling them. To avoid the
+// quadratic blowup on task logs, despite conjuncts of the forms
+//
+//	<raw>_issame = T   (group records by their raw value)
+//	<raw> = c          (base feature: keep records with value c)
+//
+// become blocking/prefilter steps; the full predicates are still verified
+// pair-by-pair afterwards, so blocking is purely an optimisation. When the
+// blocked pair space still exceeds maxPairs, a deterministic Bernoulli
+// subsample is taken.
+func enumerateRelated(log *joblog.Log, d *features.Deriver, q *pxql.Query,
+	despite pxql.Predicate, maxPairs int, rng *rand.Rand) *pairSet {
+
+	recs := candidateRecords(log, despite)
+
+	// Blocking keys: raw features whose isSame must be T.
+	var blockIdx []int
+	for _, a := range despite {
+		raw, kind := features.ParseName(a.Feature)
+		if kind != features.IsSame || a.Op != pxql.OpEq || a.Value != features.ValT {
+			continue
+		}
+		if i, ok := log.Schema.Index(raw); ok {
+			blockIdx = append(blockIdx, i)
+		}
+	}
+
+	groups := make(map[string][]int)
+	for _, ri := range recs {
+		key := blockKey(log.Records[ri], blockIdx)
+		if key == "" && len(blockIdx) > 0 {
+			continue // missing blocking value can never satisfy isSame = T
+		}
+		groups[key] = append(groups[key], ri)
+	}
+
+	// Candidate ordered pair count, for the subsampling probability.
+	var total int
+	for _, g := range groups {
+		total += len(g) * (len(g) - 1)
+	}
+	keepP := 1.0
+	if maxPairs > 0 && total > maxPairs {
+		keepP = float64(maxPairs) / float64(total)
+	}
+
+	// Deterministic group order: iterate records, visiting each group when
+	// its first member appears.
+	visited := make(map[string]bool)
+	ps := &pairSet{}
+	for _, ri := range recs {
+		key := blockKey(log.Records[ri], blockIdx)
+		if visited[key] {
+			continue
+		}
+		if key == "" && len(blockIdx) > 0 {
+			continue
+		}
+		visited[key] = true
+		g := groups[key]
+		for _, i := range g {
+			for _, j := range g {
+				if i == j {
+					continue
+				}
+				if keepP < 1 && rng.Float64() >= keepP {
+					continue
+				}
+				a, b := log.Records[i], log.Records[j]
+				if !despite.EvalPair(d, a, b) {
+					continue
+				}
+				obs := q.Observed.EvalPair(d, a, b)
+				exp := q.Expected.EvalPair(d, a, b)
+				if !obs && !exp {
+					continue
+				}
+				// A pair satisfying both obs and exp would contradict
+				// obs ⊨ ¬exp (Definition 1); classify as observed, which
+				// can only happen with inconsistent user predicates.
+				ps.refs = append(ps.refs, pairRef{i, j})
+				ps.labels = append(ps.labels, obs)
+			}
+		}
+	}
+	return ps
+}
+
+// candidateRecords applies base-feature equality prefilters from the
+// despite clause and returns surviving record indices.
+func candidateRecords(log *joblog.Log, despite pxql.Predicate) []int {
+	type filter struct {
+		idx int
+		val joblog.Value
+	}
+	var filters []filter
+	for _, a := range despite {
+		raw, kind := features.ParseName(a.Feature)
+		if kind != features.Base || a.Op != pxql.OpEq {
+			continue
+		}
+		if i, ok := log.Schema.Index(raw); ok {
+			filters = append(filters, filter{i, a.Value})
+		}
+	}
+	out := make([]int, 0, log.Len())
+	for i, r := range log.Records {
+		ok := true
+		for _, f := range filters {
+			if !r.Values[f.idx].Equal(f.val) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func blockKey(r *joblog.Record, blockIdx []int) string {
+	if len(blockIdx) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, i := range blockIdx {
+		v := r.Values[i]
+		if v.IsMissing() {
+			return ""
+		}
+		b.WriteString(v.String())
+		b.WriteByte('\x1f')
+	}
+	return b.String()
+}
+
+// balancedSample keeps each example with probability m/(2·classSize), the
+// paper's Section 4.3 rule, yielding ≈m/2 of each class in expectation.
+// A wildly unbalanced related set therefore cannot trick the scorer into
+// accepting the empty explanation. The rule applies even when the related
+// set is smaller than m: balance, not just volume, is the point — the
+// minority class is always kept in full while an oversized majority is
+// thinned toward it.
+func balancedSample(ps *pairSet, m int, rng *rand.Rand) *pairSet {
+	if m <= 0 {
+		return ps
+	}
+	nObs, nExp := 0, 0
+	for _, l := range ps.labels {
+		if l {
+			nObs++
+		} else {
+			nExp++
+		}
+	}
+	pObs, pExp := 1.0, 1.0
+	if nObs > 0 {
+		pObs = minf(1, float64(m)/(2*float64(nObs)))
+	}
+	if nExp > 0 {
+		pExp = minf(1, float64(m)/(2*float64(nExp)))
+	}
+	// Below the size budget, thin only the majority class down toward the
+	// minority so small related sets still train balanced.
+	if len(ps.refs) <= m {
+		pObs, pExp = 1, 1
+		switch {
+		case nObs > 2*nExp && nExp > 0:
+			pObs = 2 * float64(nExp) / float64(nObs)
+		case nExp > 2*nObs && nObs > 0:
+			pExp = 2 * float64(nObs) / float64(nExp)
+		}
+	}
+	out := &pairSet{}
+	for i, ref := range ps.refs {
+		p := pExp
+		if ps.labels[i] {
+			p = pObs
+		}
+		if rng.Float64() < p {
+			out.refs = append(out.refs, ref)
+			out.labels = append(out.labels, ps.labels[i])
+		}
+	}
+	return out
+}
+
+// uniformSample ignores class balance — kept for the ablation benchmark
+// showing why Section 4.3's balancing matters.
+func uniformSample(ps *pairSet, m int, rng *rand.Rand) *pairSet {
+	if m <= 0 || len(ps.refs) <= m {
+		return ps
+	}
+	p := float64(m) / float64(len(ps.refs))
+	out := &pairSet{}
+	for i, ref := range ps.refs {
+		if rng.Float64() < p {
+			out.refs = append(out.refs, ref)
+			out.labels = append(out.labels, ps.labels[i])
+		}
+	}
+	return out
+}
+
+// materialize computes the derived feature vectors for the pair set.
+func materialize(log *joblog.Log, d *features.Deriver, ps *pairSet) [][]joblog.Value {
+	vecs := make([][]joblog.Value, len(ps.refs))
+	for i, ref := range ps.refs {
+		vecs[i] = d.Vector(log.Records[ref.a], log.Records[ref.b])
+	}
+	return vecs
+}
+
+func (ps *pairSet) counts() (obs, exp int) {
+	for _, l := range ps.labels {
+		if l {
+			obs++
+		} else {
+			exp++
+		}
+	}
+	return obs, exp
+}
+
+func (ps *pairSet) String() string {
+	o, e := ps.counts()
+	return fmt.Sprintf("%d pairs (%d observed, %d expected)", len(ps.refs), o, e)
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

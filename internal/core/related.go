@@ -1,0 +1,47 @@
+package core
+
+import (
+	"perfxplain/internal/features"
+	"perfxplain/internal/joblog"
+	"perfxplain/internal/pxql"
+	"perfxplain/internal/stats"
+)
+
+// LabeledPair is an ordered pair of log records related to a query
+// (Definition 7), labelled by which of the query's outcome clauses it
+// satisfied.
+type LabeledPair struct {
+	A, B *joblog.Record
+	// Observed is true when the pair performed as observed (Definition 9),
+	// false when it performed as expected (Definition 8).
+	Observed bool
+}
+
+// RelatedPairs enumerates the log's pairs related to the query under its
+// despite clause — the construction both PerfXplain and the SimButDiff
+// baseline train from. maxPairs caps the pair space (0 = unlimited);
+// enumeration is deterministic in seed.
+func RelatedPairs(log *joblog.Log, level features.Level, q *pxql.Query,
+	maxPairs int, seed int64) []LabeledPair {
+
+	d := features.NewDeriver(log.Schema, level)
+	rng := stats.DeriveRand(seed, "related-pairs")
+	ps := enumerateRelated(log, d, q, q.Despite, maxPairs, rng)
+	out := make([]LabeledPair, len(ps.refs))
+	for i, ref := range ps.refs {
+		out[i] = LabeledPair{
+			A:        log.Records[ref.a],
+			B:        log.Records[ref.b],
+			Observed: ps.labels[i],
+		}
+	}
+	return out
+}
+
+// EvalAtomOnPair evaluates a single derived-feature atom over a pair; it
+// exists so baseline implementations share PerfXplain's evaluation
+// semantics exactly.
+func EvalAtomOnPair(d *features.Deriver, a pxql.Atom, x, y *joblog.Record) bool {
+	v, ok := d.ValueByName(x, y, a.Feature)
+	return ok && a.Eval(v)
+}

@@ -1,0 +1,152 @@
+// Package dtree implements the decision-tree machinery PerfXplain borrows
+// from C4.5 (paper Section 4.2): information gain over binary-labeled
+// instances, best-threshold search for numeric attributes, best-value
+// search for nominal attributes, and — beyond what the paper strictly
+// needs — a complete C4.5-style tree builder with gain-ratio splits and
+// pessimistic pruning, so the package stands alone as a reusable library.
+//
+// Labels are booleans; by PerfXplain convention true = "performed as
+// observed" and false = "performed as expected". Missing attribute values
+// are handled as in C4.5: they are excluded from a split's partition
+// counts and the resulting gain is scaled by the fraction of instances
+// whose value is known.
+package dtree
+
+import (
+	"sort"
+
+	"perfxplain/internal/joblog"
+	"perfxplain/internal/stats"
+)
+
+// GainFromCounts returns the information gain of a binary partition given
+// the positive/negative counts inside and outside the satisfying side.
+func GainFromCounts(posIn, negIn, posOut, negOut int) float64 {
+	nIn := posIn + negIn
+	nOut := posOut + negOut
+	n := nIn + nOut
+	if n == 0 {
+		return 0
+	}
+	h := stats.Entropy2(posIn+posOut, negIn+negOut)
+	hIn := stats.Entropy2(posIn, negIn)
+	hOut := stats.Entropy2(posOut, negOut)
+	cond := (float64(nIn)*hIn + float64(nOut)*hOut) / float64(n)
+	return h - cond
+}
+
+// BestThreshold finds the numeric threshold t maximising the information
+// gain of the partition (value <= t) vs (value > t), considering C4.5-style
+// midpoints between adjacent distinct observed values. Missing values are
+// skipped and the returned gain is scaled by the known fraction. ok is
+// false when fewer than two distinct known values exist.
+func BestThreshold(values []joblog.Value, labels []bool) (t, gain float64, ok bool) {
+	type vl struct {
+		v   float64
+		pos bool
+	}
+	known := make([]vl, 0, len(values))
+	for i, v := range values {
+		if v.Kind == joblog.Numeric {
+			known = append(known, vl{v.Num, labels[i]})
+		}
+	}
+	if len(known) < 2 {
+		return 0, 0, false
+	}
+	sort.Slice(known, func(a, b int) bool { return known[a].v < known[b].v })
+
+	totalPos := 0
+	for _, k := range known {
+		if k.pos {
+			totalPos++
+		}
+	}
+	totalNeg := len(known) - totalPos
+	knownFrac := float64(len(known)) / float64(len(values))
+
+	bestGain := -1.0
+	var bestT float64
+	posLe, negLe := 0, 0
+	for i := 0; i < len(known)-1; i++ {
+		if known[i].pos {
+			posLe++
+		} else {
+			negLe++
+		}
+		if known[i].v == known[i+1].v {
+			continue // not a cut point
+		}
+		g := GainFromCounts(posLe, negLe, totalPos-posLe, totalNeg-negLe)
+		if g > bestGain {
+			bestGain = g
+			bestT = (known[i].v + known[i+1].v) / 2
+		}
+	}
+	if bestGain < 0 {
+		return 0, 0, false // all values identical
+	}
+	return bestT, bestGain * knownFrac, true
+}
+
+// BestNominalValue finds the nominal value v maximising the information
+// gain of the binary partition (value == v) vs (value != v). Note the
+// partitions of `f = v` and `f != v` are identical, so the caller chooses
+// the predicate direction; the gain is the same. Missing values scale the
+// gain as in BestThreshold. ok is false when fewer than two distinct known
+// values exist.
+func BestNominalValue(values []joblog.Value, labels []bool) (v string, gain float64, ok bool) {
+	type counts struct{ pos, neg int }
+	byVal := make(map[string]*counts)
+	totalPos, totalKnown := 0, 0
+	for i, val := range values {
+		if val.Kind != joblog.Nominal {
+			continue
+		}
+		c := byVal[val.Str]
+		if c == nil {
+			c = &counts{}
+			byVal[val.Str] = c
+		}
+		if labels[i] {
+			c.pos++
+			totalPos++
+		} else {
+			c.neg++
+		}
+		totalKnown++
+	}
+	if len(byVal) < 2 {
+		return "", 0, false
+	}
+	totalNeg := totalKnown - totalPos
+	knownFrac := float64(totalKnown) / float64(len(values))
+
+	// Deterministic iteration order.
+	vals := make([]string, 0, len(byVal))
+	for s := range byVal {
+		vals = append(vals, s)
+	}
+	sort.Strings(vals)
+
+	bestGain := -1.0
+	var bestVal string
+	for _, s := range vals {
+		c := byVal[s]
+		g := GainFromCounts(c.pos, c.neg, totalPos-c.pos, totalNeg-c.neg)
+		if g > bestGain {
+			bestGain = g
+			bestVal = s
+		}
+	}
+	return bestVal, bestGain * knownFrac, true
+}
+
+// Column extracts the i'th field of every record in the log, in order.
+func Column(log *joblog.Log, i int) []joblog.Value {
+	out := make([]joblog.Value, log.Len())
+	for j, r := range log.Records {
+		out[j] = r.Values[i]
+	}
+	return out
+}

@@ -1,0 +1,372 @@
+package dtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"perfxplain/internal/joblog"
+)
+
+// Config controls tree construction.
+type Config struct {
+	// MinLeaf is the minimum number of instances a split may leave in a
+	// child; splits producing smaller children are rejected. Default 2.
+	MinLeaf int
+	// MaxDepth bounds tree depth; 0 means unbounded.
+	MaxDepth int
+	// GainRatio selects C4.5's gain-ratio criterion instead of raw
+	// information gain, penalising high-arity nominal splits.
+	GainRatio bool
+	// Prune enables pessimistic error pruning (Quinlan 1987): a subtree is
+	// replaced by a leaf when the leaf's error count plus 1/2 is within one
+	// standard error of the subtree's continuity-corrected error.
+	Prune bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 2
+	}
+	return c
+}
+
+// Tree is a trained binary-class decision tree over a joblog schema.
+type Tree struct {
+	schema *joblog.Schema
+	root   *node
+}
+
+type node struct {
+	// Leaf fields.
+	leaf     bool
+	classPos bool // majority class at this node
+	pos, neg int  // training distribution reaching the node
+
+	// Split fields.
+	featIdx   int
+	nominal   bool
+	threshold float64 // numeric: left = (v <= threshold)
+	value     string  // nominal: left = (v == value)
+	left      *node   // satisfying branch
+	right     *node
+	// majorityLeft directs instances with missing values at classify time
+	// down the branch that saw more training instances.
+	majorityLeft bool
+}
+
+// Build trains a tree on the log with the given boolean labels (parallel
+// to log.Records).
+func Build(log *joblog.Log, labels []bool, cfg Config) *Tree {
+	if len(labels) != log.Len() {
+		panic("dtree: labels length mismatch")
+	}
+	cfg = cfg.withDefaults()
+	idx := make([]int, log.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	t := &Tree{schema: log.Schema}
+	t.root = build(log, labels, idx, cfg, 0)
+	if cfg.Prune {
+		prune(t.root)
+	}
+	return t
+}
+
+func countPos(labels []bool, idx []int) (pos, neg int) {
+	for _, i := range idx {
+		if labels[i] {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	return pos, neg
+}
+
+func makeLeaf(pos, neg int) *node {
+	return &node{leaf: true, classPos: pos >= neg, pos: pos, neg: neg}
+}
+
+func build(log *joblog.Log, labels []bool, idx []int, cfg Config, depth int) *node {
+	pos, neg := countPos(labels, idx)
+	if pos == 0 || neg == 0 || len(idx) < 2*cfg.MinLeaf ||
+		(cfg.MaxDepth > 0 && depth >= cfg.MaxDepth) {
+		return makeLeaf(pos, neg)
+	}
+
+	bestScore := -1.0
+	var best *node
+	subValues := make([]joblog.Value, len(idx))
+	subLabels := make([]bool, len(idx))
+	for f := 0; f < log.Schema.Len(); f++ {
+		for j, i := range idx {
+			subValues[j] = log.Records[i].Values[f]
+			subLabels[j] = labels[i]
+		}
+		var cand *node
+		var gain float64
+		if log.Schema.Field(f).Kind == joblog.Numeric {
+			thr, g, ok := BestThreshold(subValues, subLabels)
+			if !ok {
+				continue
+			}
+			cand = &node{featIdx: f, threshold: thr}
+			gain = g
+		} else {
+			val, g, ok := BestNominalValue(subValues, subLabels)
+			if !ok {
+				continue
+			}
+			cand = &node{featIdx: f, nominal: true, value: val}
+			gain = g
+		}
+		score := gain
+		if cfg.GainRatio {
+			si := splitInfo(subValues, cand)
+			if si <= 1e-9 {
+				continue
+			}
+			score = gain / si
+		}
+		if score > bestScore {
+			bestScore = score
+			best = cand
+		}
+	}
+	if best == nil || bestScore <= 1e-12 {
+		return makeLeaf(pos, neg)
+	}
+
+	leftIdx, rightIdx := partition(log, idx, best)
+	if len(leftIdx) < cfg.MinLeaf || len(rightIdx) < cfg.MinLeaf {
+		return makeLeaf(pos, neg)
+	}
+	best.pos, best.neg = pos, neg
+	best.classPos = pos >= neg
+	best.majorityLeft = len(leftIdx) >= len(rightIdx)
+	best.left = build(log, labels, leftIdx, cfg, depth+1)
+	best.right = build(log, labels, rightIdx, cfg, depth+1)
+	return best
+}
+
+// splitInfo is C4.5's split information: the entropy of the partition
+// sizes themselves (including the missing bucket when present).
+func splitInfo(values []joblog.Value, n *node) float64 {
+	var nl, nr, nm float64
+	for _, v := range values {
+		switch {
+		case v.IsMissing():
+			nm++
+		case goesLeft(v, n):
+			nl++
+		default:
+			nr++
+		}
+	}
+	total := nl + nr + nm
+	si := 0.0
+	for _, c := range []float64{nl, nr, nm} {
+		if c > 0 {
+			p := c / total
+			si -= p * math.Log2(p)
+		}
+	}
+	return si
+}
+
+func goesLeft(v joblog.Value, n *node) bool {
+	if n.nominal {
+		return v.Kind == joblog.Nominal && v.Str == n.value
+	}
+	return v.Kind == joblog.Numeric && v.Num <= n.threshold
+}
+
+func partition(log *joblog.Log, idx []int, n *node) (left, right []int) {
+	// Missing values follow the larger branch, decided after the known
+	// instances are routed.
+	var missing []int
+	for _, i := range idx {
+		v := log.Records[i].Values[n.featIdx]
+		switch {
+		case v.IsMissing():
+			missing = append(missing, i)
+		case goesLeft(v, n):
+			left = append(left, i)
+		default:
+			right = append(right, i)
+		}
+	}
+	if len(left) >= len(right) {
+		left = append(left, missing...)
+	} else {
+		right = append(right, missing...)
+	}
+	return left, right
+}
+
+// prune applies pessimistic error pruning bottom-up. Errors are estimated
+// with the continuity correction: a leaf covering N instances with E
+// training errors is charged E + 0.5; a subtree is charged the sum over
+// its leaves. The subtree is replaced when the would-be leaf's charge is
+// within one standard error of the subtree's charge.
+func prune(n *node) {
+	if n.leaf {
+		return
+	}
+	prune(n.left)
+	prune(n.right)
+	subErr := subtreeError(n)
+	nTotal := float64(n.pos + n.neg)
+	leafErrCount := math.Min(float64(n.pos), float64(n.neg))
+	leafErr := leafErrCount + 0.5
+	se := math.Sqrt(subErr * (nTotal - subErr) / math.Max(nTotal, 1))
+	if leafErr <= subErr+se {
+		n.leaf = true
+		n.left, n.right = nil, nil
+	}
+}
+
+func subtreeError(n *node) float64 {
+	if n.leaf {
+		return math.Min(float64(n.pos), float64(n.neg)) + 0.5
+	}
+	return subtreeError(n.left) + subtreeError(n.right)
+}
+
+// Classify predicts the label for a record. Missing values at a split
+// follow the branch that carried the majority of training instances.
+func (t *Tree) Classify(r *joblog.Record) bool {
+	n := t.root
+	for !n.leaf {
+		v := r.Values[n.featIdx]
+		switch {
+		case v.IsMissing():
+			if n.majorityLeft {
+				n = n.left
+			} else {
+				n = n.right
+			}
+		case goesLeft(v, n):
+			n = n.left
+		default:
+			n = n.right
+		}
+	}
+	return n.classPos
+}
+
+// Size returns the number of nodes in the tree.
+func (t *Tree) Size() int { return size(t.root) }
+
+func size(n *node) int {
+	if n == nil {
+		return 0
+	}
+	if n.leaf {
+		return 1
+	}
+	return 1 + size(n.left) + size(n.right)
+}
+
+// Depth returns the maximum depth (a lone leaf has depth 1).
+func (t *Tree) Depth() int { return depth(t.root) }
+
+func depth(n *node) int {
+	if n == nil {
+		return 0
+	}
+	if n.leaf {
+		return 1
+	}
+	l, r := depth(n.left), depth(n.right)
+	if l > r {
+		return 1 + l
+	}
+	return 1 + r
+}
+
+// String renders the tree in an indented, deterministic text form.
+func (t *Tree) String() string {
+	var b strings.Builder
+	t.render(&b, t.root, 0)
+	return b.String()
+}
+
+func (t *Tree) render(b *strings.Builder, n *node, indent int) {
+	pad := strings.Repeat("  ", indent)
+	if n.leaf {
+		cls := "expected"
+		if n.classPos {
+			cls = "observed"
+		}
+		fmt.Fprintf(b, "%sleaf %s (%d/%d)\n", pad, cls, n.pos, n.neg)
+		return
+	}
+	name := t.schema.Field(n.featIdx).Name
+	if n.nominal {
+		fmt.Fprintf(b, "%s%s = %s?\n", pad, name, n.value)
+	} else {
+		fmt.Fprintf(b, "%s%s <= %g?\n", pad, name, n.threshold)
+	}
+	t.render(b, n.left, indent+1)
+	t.render(b, n.right, indent+1)
+}
+
+// Accuracy returns the fraction of records whose predicted label matches.
+func (t *Tree) Accuracy(log *joblog.Log, labels []bool) float64 {
+	if log.Len() == 0 {
+		return 0
+	}
+	correct := 0
+	for i, r := range log.Records {
+		if t.Classify(r) == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(log.Len())
+}
+
+// sortedFeatureImportance is exported for diagnostics: how often each
+// feature is used as a split, weighted by the instances it routes.
+func (t *Tree) FeatureImportance() map[string]float64 {
+	imp := make(map[string]float64)
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil || n.leaf {
+			return
+		}
+		imp[t.schema.Field(n.featIdx).Name] += float64(n.pos + n.neg)
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(t.root)
+	total := 0.0
+	for _, v := range imp {
+		total += v
+	}
+	if total > 0 {
+		for k := range imp {
+			imp[k] /= total
+		}
+	}
+	return imp
+}
+
+// TopFeatures returns feature names by decreasing importance.
+func (t *Tree) TopFeatures() []string {
+	imp := t.FeatureImportance()
+	names := make([]string, 0, len(imp))
+	for k := range imp {
+		names = append(names, k)
+	}
+	sort.Slice(names, func(a, b int) bool {
+		if imp[names[a]] != imp[names[b]] {
+			return imp[names[a]] > imp[names[b]]
+		}
+		return names[a] < names[b]
+	})
+	return names
+}

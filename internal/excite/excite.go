@@ -1,0 +1,193 @@
+// Package excite generates synthetic Excite-format search-query logs.
+//
+// The paper's evaluation input is the Excite search log sample shipped
+// with the Pig tutorial, concatenated to itself 30 or 60 times to reach
+// roughly 1.3 GB and 2.6 GB. That file is tab-separated:
+//
+//	<anonymised user id>\t<timestamp>\t<query>
+//
+// We have no access to the original file, so this package produces a
+// seeded synthetic equivalent preserving the properties that matter to
+// the workloads: record length distribution, the fraction of queries that
+// are bare URLs (simple-filter.pig removes those), and a Zipf-skewed user
+// population (simple-groupby.pig groups by user, so group cardinality and
+// skew drive reduce behaviour).
+package excite
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// Record is one search-log line.
+type Record struct {
+	User  string
+	Time  int64
+	Query string
+}
+
+// Line renders the record in the tab-separated Excite format.
+func (r Record) Line() string {
+	return r.User + "\t" + strconv.FormatInt(r.Time, 10) + "\t" + r.Query
+}
+
+// ParseLine parses a tab-separated Excite line.
+func ParseLine(s string) (Record, error) {
+	parts := strings.SplitN(s, "\t", 3)
+	if len(parts) != 3 {
+		return Record{}, fmt.Errorf("excite: malformed line %q", s)
+	}
+	t, err := strconv.ParseInt(parts[1], 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("excite: bad timestamp in %q: %w", s, err)
+	}
+	return Record{User: parts[0], Time: t, Query: parts[2]}, nil
+}
+
+// IsURLQuery reports whether a query string is a bare URL, the condition
+// simple-filter.pig filters out.
+func IsURLQuery(q string) bool {
+	q = strings.TrimSpace(strings.ToLower(q))
+	return strings.HasPrefix(q, "http://") ||
+		strings.HasPrefix(q, "https://") ||
+		strings.HasPrefix(q, "www.")
+}
+
+// Spec describes a synthetic log to generate.
+type Spec struct {
+	// Records is the number of log lines.
+	Records int
+	// Users is the distinct user population; user activity is Zipf-skewed.
+	// Default max(Records/20, 1).
+	Users int
+	// URLFraction is the fraction of queries that are bare URLs.
+	// Default 0.12.
+	URLFraction float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Users <= 0 {
+		s.Users = s.Records / 20
+		if s.Users < 1 {
+			s.Users = 1
+		}
+	}
+	if s.URLFraction == 0 {
+		s.URLFraction = 0.12
+	}
+	return s
+}
+
+var queryTerms = []string{
+	"weather", "maps", "lyrics", "recipes", "news", "football", "movie",
+	"times", "hotel", "flights", "jobs", "university", "cheap", "best",
+	"review", "history", "pictures", "music", "games", "stocks", "health",
+	"insurance", "python", "excite", "yellow", "pages", "chat", "radio",
+}
+
+var urlHosts = []string{
+	"www.excite.com", "www.yahoo.com", "www.geocities.com", "www.cnn.com",
+	"www.altavista.com", "www.lycos.com", "www.ebay.com", "www.amazon.com",
+}
+
+// Generate materialises the synthetic log deterministically from the spec.
+func Generate(spec Spec) []Record {
+	spec = spec.withDefaults()
+	rng := rand.New(rand.NewSource(spec.Seed))
+	// Zipf over the user population; s=1.3 gives realistic head-heaviness.
+	zipf := rand.NewZipf(rng, 1.3, 1, uint64(spec.Users-1)+1)
+	out := make([]Record, spec.Records)
+	t := int64(970916093) // epoch base mirroring the original trace's era
+	for i := range out {
+		userIdx := zipf.Uint64()
+		var q string
+		if rng.Float64() < spec.URLFraction {
+			q = "http://" + urlHosts[rng.Intn(len(urlHosts))] + "/"
+		} else {
+			n := 1 + rng.Intn(4)
+			terms := make([]string, n)
+			for j := range terms {
+				terms[j] = queryTerms[rng.Intn(len(queryTerms))]
+			}
+			q = strings.Join(terms, " ")
+		}
+		t += int64(rng.Intn(5))
+		out[i] = Record{
+			User:  fmt.Sprintf("%08X", 0xA1000000+uint32(userIdx)),
+			Time:  t,
+			Query: q,
+		}
+	}
+	return out
+}
+
+// Lines renders records to text lines.
+func Lines(recs []Record) []string {
+	out := make([]string, len(recs))
+	for i, r := range recs {
+		out[i] = r.Line()
+	}
+	return out
+}
+
+// Dataset describes a log by aggregate statistics, for at-scale runs
+// where materialising gigabytes is pointless: the MapReduce cost model
+// consumes only these aggregates.
+type Dataset struct {
+	Name          string
+	Bytes         int64
+	Records       int64
+	AvgRecordLen  float64
+	URLFraction   float64
+	DistinctUsers int64
+}
+
+// avgSyntheticLineLen is the measured mean line length (including the
+// newline) of the generator above; used to derive record counts for sized
+// datasets.
+const avgSyntheticLineLen = 36.7
+
+// DatasetForBytes describes a sized dataset with the generator's aggregate
+// statistics, without materialising it.
+func DatasetForBytes(name string, bytes int64) Dataset {
+	records := int64(float64(bytes) / avgSyntheticLineLen)
+	users := records / 20
+	if users < 1 {
+		users = 1
+	}
+	return Dataset{
+		Name:          name,
+		Bytes:         bytes,
+		Records:       records,
+		AvgRecordLen:  avgSyntheticLineLen,
+		URLFraction:   0.12,
+		DistinctUsers: users,
+	}
+}
+
+// DatasetForLines describes a materialised line set exactly.
+func DatasetForLines(name string, lines []string) Dataset {
+	var bytes int64
+	users := make(map[string]bool)
+	urls := 0
+	for _, l := range lines {
+		bytes += int64(len(l)) + 1
+		if r, err := ParseLine(l); err == nil {
+			users[r.User] = true
+			if IsURLQuery(r.Query) {
+				urls++
+			}
+		}
+	}
+	n := int64(len(lines))
+	d := Dataset{Name: name, Bytes: bytes, Records: n, DistinctUsers: int64(len(users))}
+	if n > 0 {
+		d.AvgRecordLen = float64(bytes) / float64(n)
+		d.URLFraction = float64(urls) / float64(n)
+	}
+	return d
+}

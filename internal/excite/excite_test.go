@@ -1,0 +1,174 @@
+package excite
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Spec{Records: 100, Seed: 42})
+	b := Generate(Spec{Records: 100, Seed: 42})
+	if len(a) != 100 || len(b) != 100 {
+		t.Fatalf("lengths %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := Generate(Spec{Records: 100, Seed: 43})
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical logs")
+	}
+}
+
+func TestLineRoundTrip(t *testing.T) {
+	recs := Generate(Spec{Records: 50, Seed: 1})
+	for _, r := range recs {
+		back, err := ParseLine(r.Line())
+		if err != nil {
+			t.Fatalf("parse %q: %v", r.Line(), err)
+		}
+		if back != r {
+			t.Fatalf("round trip: %v vs %v", back, r)
+		}
+	}
+}
+
+func TestParseLineErrors(t *testing.T) {
+	for _, bad := range []string{"", "onlyuser", "user\tnotanum\tquery"} {
+		if _, err := ParseLine(bad); err == nil {
+			t.Errorf("expected error for %q", bad)
+		}
+	}
+}
+
+func TestIsURLQuery(t *testing.T) {
+	tests := []struct {
+		q    string
+		want bool
+	}{
+		{"http://www.excite.com/", true},
+		{"https://example.com", true},
+		{"www.cnn.com", true},
+		{"WWW.CNN.COM", true},
+		{"weather seattle", false},
+		{"httpd configuration", false},
+		{"", false},
+	}
+	for _, tt := range tests {
+		if got := IsURLQuery(tt.q); got != tt.want {
+			t.Errorf("IsURLQuery(%q) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestURLFractionApproximatelyHonored(t *testing.T) {
+	recs := Generate(Spec{Records: 5000, Seed: 7, URLFraction: 0.2})
+	urls := 0
+	for _, r := range recs {
+		if IsURLQuery(r.Query) {
+			urls++
+		}
+	}
+	frac := float64(urls) / float64(len(recs))
+	if math.Abs(frac-0.2) > 0.03 {
+		t.Errorf("URL fraction = %v, want ~0.2", frac)
+	}
+}
+
+func TestUserSkew(t *testing.T) {
+	recs := Generate(Spec{Records: 5000, Users: 200, Seed: 9})
+	counts := make(map[string]int)
+	for _, r := range recs {
+		counts[r.User]++
+	}
+	if len(counts) < 20 {
+		t.Fatalf("too few distinct users: %d", len(counts))
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	// Zipf head should be much heavier than the uniform expectation.
+	if float64(max) < 3*float64(len(recs))/float64(len(counts)) {
+		t.Errorf("head user count %d shows no skew over %d users", max, len(counts))
+	}
+}
+
+func TestTimestampsMonotonic(t *testing.T) {
+	recs := Generate(Spec{Records: 1000, Seed: 3})
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Time < recs[i-1].Time {
+			t.Fatalf("timestamps decrease at %d", i)
+		}
+	}
+}
+
+func TestDatasetForBytes(t *testing.T) {
+	d := DatasetForBytes("in", 1_300_000_000)
+	if d.Bytes != 1_300_000_000 {
+		t.Errorf("Bytes = %d", d.Bytes)
+	}
+	if d.Records <= 0 || d.DistinctUsers <= 0 {
+		t.Errorf("derived counts non-positive: %+v", d)
+	}
+	if d.AvgRecordLen <= 0 || d.URLFraction <= 0 {
+		t.Errorf("derived stats non-positive: %+v", d)
+	}
+}
+
+func TestDatasetForLines(t *testing.T) {
+	recs := Generate(Spec{Records: 500, Seed: 5})
+	lines := Lines(recs)
+	d := DatasetForLines("mat", lines)
+	if d.Records != 500 {
+		t.Errorf("Records = %d", d.Records)
+	}
+	var wantBytes int64
+	for _, l := range lines {
+		wantBytes += int64(len(l)) + 1
+	}
+	if d.Bytes != wantBytes {
+		t.Errorf("Bytes = %d, want %d", d.Bytes, wantBytes)
+	}
+	if d.URLFraction <= 0.05 || d.URLFraction >= 0.25 {
+		t.Errorf("URLFraction = %v", d.URLFraction)
+	}
+	// The sized-dataset estimate of record length should be close to the
+	// measured synthetic average, since the cost model relies on it.
+	if math.Abs(d.AvgRecordLen-avgSyntheticLineLen) > 3 {
+		t.Errorf("AvgRecordLen = %v, estimate %v too far off", d.AvgRecordLen, avgSyntheticLineLen)
+	}
+	empty := DatasetForLines("e", nil)
+	if empty.Records != 0 || empty.Bytes != 0 {
+		t.Errorf("empty dataset: %+v", empty)
+	}
+}
+
+// Property: every generated line has exactly three tab-separated fields
+// and a non-empty query.
+func TestGeneratedLineShape(t *testing.T) {
+	f := func(seed int64) bool {
+		recs := Generate(Spec{Records: 20, Seed: seed})
+		for _, r := range recs {
+			if strings.Count(r.Line(), "\t") < 2 || r.Query == "" || r.User == "" {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,172 @@
+package joblog
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// The CSV layout is: header row of "name:kind" cells (first column is the
+// record ID column, spelled "id:id"), then one row per record. Missing
+// values are empty cells. The kind suffix makes files self-describing so
+// a log round-trips without a side schema file.
+
+const idHeader = "id:id"
+
+// WriteCSV writes the log to w.
+func (l *Log) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, l.Schema.Len()+1)
+	header = append(header, idHeader)
+	for _, f := range l.Schema.Fields() {
+		header = append(header, f.Name+":"+f.Kind.String())
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("joblog: write header: %w", err)
+	}
+	row := make([]string, len(header))
+	for _, r := range l.Records {
+		row[0] = r.ID
+		for i, v := range r.Values {
+			row[i+1] = v.String()
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("joblog: write record %q: %w", r.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a log previously written by WriteCSV.
+func ReadCSV(r io.Reader) (*Log, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("joblog: read csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("joblog: empty csv")
+	}
+	header := rows[0]
+	if len(header) < 1 || header[0] != idHeader {
+		return nil, fmt.Errorf("joblog: first header cell must be %q, got %q", idHeader, header[0])
+	}
+	fields := make([]Field, 0, len(header)-1)
+	for _, h := range header[1:] {
+		name, kindName, ok := strings.Cut(h, ":")
+		if !ok {
+			return nil, fmt.Errorf("joblog: header cell %q lacks :kind suffix", h)
+		}
+		var kind Kind
+		switch kindName {
+		case "numeric":
+			kind = Numeric
+		case "nominal":
+			kind = Nominal
+		default:
+			return nil, fmt.Errorf("joblog: header cell %q has unknown kind %q", h, kindName)
+		}
+		fields = append(fields, Field{Name: name, Kind: kind})
+	}
+	log := NewLog(NewSchema(fields))
+	for rowNum, row := range rows[1:] {
+		if len(row) != len(header) {
+			return nil, fmt.Errorf("joblog: row %d has %d cells, want %d", rowNum+2, len(row), len(header))
+		}
+		rec := &Record{ID: row[0], Values: make([]Value, len(fields))}
+		for i, cell := range row[1:] {
+			v, err := ParseValue(fields[i].Kind, cell)
+			if err != nil {
+				return nil, fmt.Errorf("joblog: row %d field %q: %w", rowNum+2, fields[i].Name, err)
+			}
+			rec.Values[i] = v
+		}
+		if err := log.Append(rec); err != nil {
+			return nil, err
+		}
+	}
+	return log, nil
+}
+
+// jsonLog is the JSON wire form: schema plus records keyed by field name.
+type jsonLog struct {
+	Fields  []jsonField  `json:"fields"`
+	Records []jsonRecord `json:"records"`
+}
+
+type jsonField struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+}
+
+type jsonRecord struct {
+	ID     string            `json:"id"`
+	Values map[string]string `json:"values"`
+}
+
+// WriteJSON writes the log as a single JSON document. Values are encoded
+// as strings with the same conventions as CSV (missing fields omitted).
+func (l *Log) WriteJSON(w io.Writer) error {
+	doc := jsonLog{}
+	for _, f := range l.Schema.Fields() {
+		doc.Fields = append(doc.Fields, jsonField{Name: f.Name, Kind: f.Kind.String()})
+	}
+	for _, r := range l.Records {
+		jr := jsonRecord{ID: r.ID, Values: make(map[string]string)}
+		for i, v := range r.Values {
+			if v.IsMissing() {
+				continue
+			}
+			jr.Values[l.Schema.Field(i).Name] = v.String()
+		}
+		doc.Records = append(doc.Records, jr)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ReadJSON reads a log previously written by WriteJSON.
+func ReadJSON(r io.Reader) (*Log, error) {
+	var doc jsonLog
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("joblog: read json: %w", err)
+	}
+	fields := make([]Field, 0, len(doc.Fields))
+	for _, jf := range doc.Fields {
+		var kind Kind
+		switch jf.Kind {
+		case "numeric":
+			kind = Numeric
+		case "nominal":
+			kind = Nominal
+		default:
+			return nil, fmt.Errorf("joblog: field %q has unknown kind %q", jf.Name, jf.Kind)
+		}
+		fields = append(fields, Field{Name: jf.Name, Kind: kind})
+	}
+	log := NewLog(NewSchema(fields))
+	for _, jr := range doc.Records {
+		rec := &Record{ID: jr.ID, Values: make([]Value, len(fields))}
+		for i, f := range fields {
+			s, ok := jr.Values[f.Name]
+			if !ok {
+				rec.Values[i] = None()
+				continue
+			}
+			v, err := ParseValue(f.Kind, s)
+			if err != nil {
+				return nil, fmt.Errorf("joblog: record %q field %q: %w", jr.ID, f.Name, err)
+			}
+			rec.Values[i] = v
+		}
+		if err := log.Append(rec); err != nil {
+			return nil, err
+		}
+	}
+	return log, nil
+}

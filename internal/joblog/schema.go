@@ -1,0 +1,207 @@
+package joblog
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Field is one raw feature of a job or task: its name and value kind.
+type Field struct {
+	Name string
+	Kind Kind
+}
+
+// Schema is an ordered set of fields. Records are positional against their
+// schema; the index map gives O(1) name lookup. Schemas are immutable once
+// built.
+type Schema struct {
+	fields []Field
+	index  map[string]int
+}
+
+// NewSchema builds a schema from fields. Duplicate or empty names are
+// programming errors and panic.
+func NewSchema(fields []Field) *Schema {
+	s := &Schema{
+		fields: append([]Field(nil), fields...),
+		index:  make(map[string]int, len(fields)),
+	}
+	for i, f := range s.fields {
+		if f.Name == "" {
+			panic("joblog: empty field name")
+		}
+		if _, dup := s.index[f.Name]; dup {
+			panic(fmt.Sprintf("joblog: duplicate field %q", f.Name))
+		}
+		s.index[f.Name] = i
+	}
+	return s
+}
+
+// Len returns the number of fields.
+func (s *Schema) Len() int { return len(s.fields) }
+
+// Field returns the i'th field.
+func (s *Schema) Field(i int) Field { return s.fields[i] }
+
+// Fields returns a copy of the field list.
+func (s *Schema) Fields() []Field { return append([]Field(nil), s.fields...) }
+
+// Index returns the position of the named field and whether it exists.
+func (s *Schema) Index(name string) (int, bool) {
+	i, ok := s.index[name]
+	return i, ok
+}
+
+// MustIndex returns the position of the named field, panicking if absent.
+// Use only where the field's presence is an invariant.
+func (s *Schema) MustIndex(name string) int {
+	i, ok := s.index[name]
+	if !ok {
+		panic(fmt.Sprintf("joblog: no field %q", name))
+	}
+	return i
+}
+
+// Equal reports whether two schemas have identical field lists.
+func (s *Schema) Equal(o *Schema) bool {
+	if s.Len() != o.Len() {
+		return false
+	}
+	for i, f := range s.fields {
+		if o.fields[i] != f {
+			return false
+		}
+	}
+	return true
+}
+
+// Record is one logged execution: an identifier plus one value per schema
+// field. Records do not carry their schema; a Log binds them together.
+type Record struct {
+	ID     string
+	Values []Value
+}
+
+// Clone returns a deep copy of the record.
+func (r *Record) Clone() *Record {
+	return &Record{ID: r.ID, Values: append([]Value(nil), r.Values...)}
+}
+
+// Log is a schema plus the records conforming to it. This is the
+// Job(JobID, feature1..k, duration) / Task(TaskID, JobID, feature1..l,
+// duration) relation of the paper: the duration target and any foreign
+// keys (jobid for tasks) are ordinary fields so that derived pair features
+// can be computed over them uniformly.
+type Log struct {
+	Schema  *Schema
+	Records []*Record
+}
+
+// NewLog returns an empty log over the schema.
+func NewLog(schema *Schema) *Log {
+	return &Log{Schema: schema}
+}
+
+// Append adds a record after validating its width against the schema.
+func (l *Log) Append(r *Record) error {
+	if len(r.Values) != l.Schema.Len() {
+		return fmt.Errorf("joblog: record %q has %d values, schema has %d fields",
+			r.ID, len(r.Values), l.Schema.Len())
+	}
+	l.Records = append(l.Records, r)
+	return nil
+}
+
+// MustAppend is Append for construction code where a width mismatch is a
+// programming error.
+func (l *Log) MustAppend(r *Record) {
+	if err := l.Append(r); err != nil {
+		panic(err)
+	}
+}
+
+// Len returns the number of records.
+func (l *Log) Len() int { return len(l.Records) }
+
+// Value returns the named field of record r, or a missing value if the
+// field does not exist.
+func (l *Log) Value(r *Record, name string) Value {
+	i, ok := l.Schema.Index(name)
+	if !ok {
+		return None()
+	}
+	return r.Values[i]
+}
+
+// Find returns the record with the given ID, or nil.
+func (l *Log) Find(id string) *Record {
+	for _, r := range l.Records {
+		if r.ID == id {
+			return r
+		}
+	}
+	return nil
+}
+
+// Filter returns a new log (sharing the schema) with the records for which
+// keep returns true.
+func (l *Log) Filter(keep func(*Record) bool) *Log {
+	out := NewLog(l.Schema)
+	for _, r := range l.Records {
+		if keep(r) {
+			out.Records = append(out.Records, r)
+		}
+	}
+	return out
+}
+
+// Domain returns the sorted distinct non-missing nominal values observed
+// for the named field. For numeric fields it returns nil.
+func (l *Log) Domain(name string) []string {
+	i, ok := l.Schema.Index(name)
+	if !ok || l.Schema.Field(i).Kind != Nominal {
+		return nil
+	}
+	seen := make(map[string]bool)
+	for _, r := range l.Records {
+		v := r.Values[i]
+		if v.Kind == Nominal {
+			seen[v.Str] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumericRange returns the observed min and max of a numeric field,
+// ignoring missing values. ok is false if the field is absent, nominal,
+// or entirely missing.
+func (l *Log) NumericRange(name string) (min, max float64, ok bool) {
+	i, found := l.Schema.Index(name)
+	if !found || l.Schema.Field(i).Kind != Numeric {
+		return 0, 0, false
+	}
+	first := true
+	for _, r := range l.Records {
+		v := r.Values[i]
+		if v.Kind != Numeric {
+			continue
+		}
+		if first {
+			min, max, first = v.Num, v.Num, false
+			continue
+		}
+		if v.Num < min {
+			min = v.Num
+		}
+		if v.Num > max {
+			max = v.Num
+		}
+	}
+	return min, max, !first
+}

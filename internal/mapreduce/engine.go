@@ -1,0 +1,296 @@
+package mapreduce
+
+import (
+	"fmt"
+	"math"
+
+	"math/rand"
+
+	"perfxplain/internal/cluster"
+	"perfxplain/internal/excite"
+	"perfxplain/internal/ganglia"
+	"perfxplain/internal/stats"
+)
+
+// Cost-model constants. Absolute values are calibrated to the paper-era
+// m1.small ballpark (sub-MB/s per core for Pig jobs); the reproduction
+// depends on their relative effects, not their absolute accuracy.
+const (
+	mb = 1 << 20
+
+	taskStartupSec = 1.5  // JVM launch + task setup
+	mergeRateMBps  = 80.0 // sort-merge streaming rate at nominal speed
+	writeCostPerMB = 0.25 // CPU cost of writing reduce output
+
+	demandCPU  = 1.0  // CPU demand of a map/reduce compute stage
+	demandSort = 0.8  // sort-merge is mostly I/O with some CPU
+	demandNet  = 0.15 // shuffle fetch burns little CPU
+
+	maxSpeedShare = 1.5 // a lone task on an idle instance gets this boost
+	minSpeedShare = 0.2 // floor under extreme contention
+
+	submitLatencySec = 2.0 // job submit → first task launch
+	teardownSec      = 2.0 // last task → job completion
+	workNoiseSigma   = 0.02
+	eps              = 1e-9
+)
+
+type stageKind int
+
+const (
+	stageCPU stageKind = iota
+	stageNet
+	stageSort
+)
+
+type stage struct {
+	kind      stageKind
+	remaining float64 // CPU-seconds for cpu/sort stages, bytes for net
+}
+
+// taskPlan is a task's counters plus its work profile, built before
+// simulation.
+type taskPlan struct {
+	res    *TaskResult
+	stages []stage
+}
+
+// Run executes the job: really (when Lines are provided) and always in
+// virtual time on a simulated cluster, returning the full log record.
+func Run(spec JobSpec) (*JobResult, error) {
+	if err := spec.Config.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Script == nil {
+		return nil, fmt.Errorf("mapreduce: job %q has no script", spec.ID)
+	}
+	if spec.ID == "" {
+		return nil, fmt.Errorf("mapreduce: job needs an ID")
+	}
+	cfg := spec.Config
+	rng := stats.DeriveRand(cfg.Seed, "job-"+spec.ID)
+
+	input := spec.Input
+	if spec.Lines != nil {
+		input = excite.DatasetForLines(spec.Input.Name, spec.Lines)
+	}
+	if input.Bytes <= 0 {
+		return nil, fmt.Errorf("mapreduce: job %q has empty input", spec.ID)
+	}
+	numReduce := cfg.NumReduceTasks(spec.Script)
+
+	var ex *execution
+	var output []KV
+	if spec.Lines != nil {
+		ex = execute(spec.Script, spec.Lines, cfg.BlockSize, numReduce)
+		output = ex.output
+	}
+
+	maps, reduces := planTasks(spec, input, numReduce, ex, rng)
+
+	cl, err := cluster.New(cluster.Config{Instances: cfg.NumInstances, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	coll := ganglia.NewCollector(ganglia.DefaultInterval)
+	s := newSim(cl, coll, rng)
+	if err := s.run(maps, reduces); err != nil {
+		return nil, fmt.Errorf("mapreduce: job %q: %w", spec.ID, err)
+	}
+
+	res := &JobResult{
+		ID:             spec.ID,
+		Script:         spec.Script.Name,
+		Config:         cfg,
+		Input:          input,
+		NumMapTasks:    len(maps),
+		NumReduceTasks: numReduce,
+		Start:          0,
+		Output:         output,
+	}
+	var gm []map[string]float64
+	var last float64
+	for _, p := range append(append([]*taskPlan{}, maps...), reduces...) {
+		t := p.res
+		if g, ok := coll.AverageMap(t.Host, t.Start, t.Finish); ok {
+			t.Ganglia = g
+			gm = append(gm, g)
+		}
+		t.GCTime = t.Duration() * (0.01 + 0.04*rng.Float64())
+		if t.Finish > last {
+			last = t.Finish
+		}
+		res.Tasks = append(res.Tasks, t)
+	}
+	res.Finish = last + teardownSec
+	res.Ganglia = ganglia.MeanOfMaps(gm)
+	return res, nil
+}
+
+// planTasks builds counters and work profiles for every task, either from
+// the real execution or from the sized-input model.
+func planTasks(spec JobSpec, input excite.Dataset, numReduce int, ex *execution, rng *rand.Rand) (maps, reduces []*taskPlan) {
+	script := spec.Script
+	cfg := spec.Config
+
+	type mapSize struct {
+		inBytes, inRecs, outBytes, outRecs, combIn, combOut int64
+	}
+	var sizes []mapSize
+	if ex != nil {
+		for _, sr := range ex.splits {
+			sizes = append(sizes, mapSize{sr.inputBytes, sr.inputRecords,
+				sr.outputBytes, sr.outputRecords, sr.combineIn, sr.combineOut})
+		}
+	} else {
+		full := int(input.Bytes / cfg.BlockSize)
+		rem := input.Bytes % cfg.BlockSize
+		byteSel := script.MapByteSelectivity(input)
+		recSel := script.MapRecordSelectivity(input)
+		addSplit := func(b int64) {
+			recs := int64(float64(b) / input.AvgRecordLen)
+			ms := mapSize{
+				inBytes: b, inRecs: recs,
+				outBytes: int64(byteSel * float64(b)),
+				outRecs:  int64(recSel * float64(recs)),
+			}
+			if script.Combine != nil && !script.MapOnly {
+				ms.combIn = recs
+				ms.combOut = ms.outRecs
+			}
+			sizes = append(sizes, ms)
+		}
+		for i := 0; i < full; i++ {
+			addSplit(cfg.BlockSize)
+		}
+		if rem > 0 {
+			addSplit(rem)
+		}
+	}
+
+	var totalMapOutBytes, totalMapOutRecs int64
+	for _, ms := range sizes {
+		totalMapOutBytes += ms.outBytes
+		totalMapOutRecs += ms.outRecs
+	}
+
+	for i, ms := range sizes {
+		t := &TaskResult{
+			ID:                   fmt.Sprintf("%s_m_%04d", spec.ID, i),
+			JobID:                spec.ID,
+			Type:                 "MAP",
+			Index:                i,
+			InputBytes:           ms.inBytes,
+			InputRecords:         ms.inRecs,
+			OutputBytes:          ms.outBytes,
+			OutputRecords:        ms.outRecs,
+			HDFSBytesRead:        ms.inBytes,
+			CombineInputRecords:  ms.combIn,
+			CombineOutputRecords: ms.combOut,
+		}
+		if script.MapOnly {
+			t.HDFSBytesWritten = ms.outBytes
+			t.FileBytesWritten = int64(rng.Intn(64 << 10)) // task-log dribble
+		} else {
+			t.FileBytesWritten = ms.outBytes
+			t.SpilledRecords = ms.outRecs
+		}
+		work := taskStartupSec + script.MapCPUPerMB*float64(ms.inBytes)/mb
+		work *= noise(rng)
+		t.CPUSeconds = work
+		maps = append(maps, &taskPlan{res: t, stages: []stage{{stageCPU, work}}})
+	}
+
+	if numReduce == 0 {
+		return maps, nil
+	}
+
+	// Reduce partition shares: real counts when available, otherwise
+	// mildly skewed deterministic weights (hash partitioning over a
+	// Zipf-skewed key population is never perfectly even).
+	type redSize struct {
+		shufBytes, inRecs, outBytes, outRecs int64
+	}
+	var rsizes []redSize
+	if ex != nil {
+		for _, rr := range ex.reduces {
+			rsizes = append(rsizes, redSize{rr.shuffleBytes, rr.inputRecords,
+				rr.outputBytes, rr.outputRecords})
+		}
+	} else {
+		weights := make([]float64, numReduce)
+		var sum float64
+		for r := range weights {
+			w := 1 + 0.3*rng.NormFloat64()
+			if w < 0.15 {
+				w = 0.15
+			}
+			weights[r] = w
+			sum += w
+		}
+		totalOut := script.ReduceOutputBytes(input)
+		for r := range weights {
+			share := weights[r] / sum
+			rsizes = append(rsizes, redSize{
+				shufBytes: int64(share * float64(totalMapOutBytes)),
+				inRecs:    int64(share * float64(totalMapOutRecs)),
+				outBytes:  int64(share * float64(totalOut)),
+				outRecs:   int64(share * float64(input.DistinctUsers)),
+			})
+		}
+	}
+
+	segments := len(sizes) // one map-output segment per map task
+	passes := extraMergePasses(segments, cfg.IOSortFactor)
+	for r, rs := range rsizes {
+		t := &TaskResult{
+			ID:               fmt.Sprintf("%s_r_%04d", spec.ID, r),
+			JobID:            spec.ID,
+			Type:             "REDUCE",
+			Index:            r,
+			InputBytes:       rs.shufBytes,
+			InputRecords:     rs.inRecs,
+			OutputBytes:      rs.outBytes,
+			OutputRecords:    rs.outRecs,
+			ShuffleBytes:     rs.shufBytes,
+			HDFSBytesWritten: rs.outBytes,
+			FileBytesWritten: int64(float64(rs.shufBytes) * (1 + 0.5*float64(passes))),
+			MergePasses:      passes,
+		}
+		if passes > 0 {
+			t.SpilledRecords = rs.inRecs
+		}
+		shufMB := float64(rs.shufBytes) / mb
+		sortWork := (float64(passes) + 0.3) * shufMB / mergeRateMBps * demandSort
+		sortWork = math.Max(sortWork, 0.02) * noise(rng)
+		redWork := taskStartupSec + script.ReduceCPUPerMB*shufMB +
+			writeCostPerMB*float64(rs.outBytes)/mb
+		redWork *= noise(rng)
+		t.CPUSeconds = redWork + sortWork
+		reduces = append(reduces, &taskPlan{res: t, stages: []stage{
+			{stageNet, math.Max(float64(rs.shufBytes), 1)},
+			{stageSort, sortWork},
+			{stageCPU, redWork},
+		}})
+	}
+	return maps, reduces
+}
+
+// extraMergePasses is the number of on-disk merge passes a reduce pays
+// beyond the final streaming merge: zero when all segments fit in one
+// merge of width io.sort.factor, and roughly log_factor(segments)-1
+// otherwise.
+func extraMergePasses(segments, factor int) int {
+	if segments <= factor {
+		return 0
+	}
+	passes := int(math.Ceil(math.Log(float64(segments))/math.Log(float64(factor)))) - 1
+	if passes < 0 {
+		passes = 0
+	}
+	return passes
+}
+
+func noise(rng *rand.Rand) float64 {
+	return math.Exp(rng.NormFloat64() * workNoiseSigma)
+}

@@ -1,0 +1,174 @@
+package mapreduce
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"perfxplain/internal/pig"
+)
+
+// This file is the real execution path: when a JobSpec materialises its
+// input lines, the engine runs the script's functions over actual data so
+// outputs and counters are exact, not modelled. It implements the Hadoop
+// dataflow: input splitting by block size, per-split map, optional
+// combiner over the split's sorted output, hash partitioning, and
+// sort-merge reduce per partition.
+
+// splitResult captures one map task's real execution.
+type splitResult struct {
+	inputBytes    int64
+	inputRecords  int64
+	outputBytes   int64
+	outputRecords int64
+	combineIn     int64
+	combineOut    int64
+	perPartition  [][]KV // post-combine map output per reduce partition
+	directOutput  []KV   // map-only jobs: the final output of this split
+}
+
+// reduceResult captures one reduce task's real execution.
+type reduceResult struct {
+	shuffleBytes  int64
+	inputRecords  int64
+	outputBytes   int64
+	outputRecords int64
+	output        []KV
+}
+
+// execution is a full real run of the job's dataflow.
+type execution struct {
+	splits  []*splitResult
+	reduces []*reduceResult
+	output  []KV
+}
+
+// splitLines partitions lines into splits of at most blockSize bytes
+// (counting one newline per line), never splitting a record. A line
+// larger than the block becomes its own split, as HDFS would place it.
+func splitLines(lines []string, blockSize int64) [][]string {
+	var splits [][]string
+	var cur []string
+	var curBytes int64
+	for _, l := range lines {
+		b := int64(len(l)) + 1
+		if curBytes > 0 && curBytes+b > blockSize {
+			splits = append(splits, cur)
+			cur, curBytes = nil, 0
+		}
+		cur = append(cur, l)
+		curBytes += b
+	}
+	if len(cur) > 0 {
+		splits = append(splits, cur)
+	}
+	return splits
+}
+
+func partitionOf(key string, numReduce int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(numReduce))
+}
+
+func kvBytes(kvs []KV) int64 {
+	var n int64
+	for _, kv := range kvs {
+		n += int64(len(kv.Key) + len(kv.Value) + 2)
+	}
+	return n
+}
+
+// execute runs the whole job dataflow over materialised lines.
+func execute(script *pig.Script, lines []string, blockSize int64, numReduce int) *execution {
+	splits := splitLines(lines, blockSize)
+	ex := &execution{}
+
+	for _, split := range splits {
+		sr := &splitResult{}
+		var mapped []KV
+		for _, line := range split {
+			sr.inputBytes += int64(len(line)) + 1
+			sr.inputRecords++
+			script.Map(line, func(k, v string) {
+				mapped = append(mapped, KV{k, v})
+			})
+		}
+
+		if numReduce == 0 {
+			// Map-only: emitted values are the final output.
+			sr.directOutput = mapped
+			sr.outputRecords = int64(len(mapped))
+			sr.outputBytes = kvBytes(mapped)
+			ex.splits = append(ex.splits, sr)
+			continue
+		}
+
+		// Sort the split's output by key (Hadoop's in-memory sort before
+		// spill), then run the combiner per key group if present.
+		sort.SliceStable(mapped, func(a, b int) bool { return mapped[a].Key < mapped[b].Key })
+		final := mapped
+		if script.Combine != nil {
+			sr.combineIn = int64(len(mapped))
+			var combined []KV
+			forEachGroup(mapped, func(key string, values []string) {
+				script.Combine(key, values, func(k, v string) {
+					combined = append(combined, KV{k, v})
+				})
+			})
+			sr.combineOut = int64(len(combined))
+			final = combined
+		}
+		sr.outputRecords = int64(len(final))
+		sr.outputBytes = kvBytes(final)
+		sr.perPartition = make([][]KV, numReduce)
+		for _, kv := range final {
+			p := partitionOf(kv.Key, numReduce)
+			sr.perPartition[p] = append(sr.perPartition[p], kv)
+		}
+		ex.splits = append(ex.splits, sr)
+	}
+
+	if numReduce == 0 {
+		for _, sr := range ex.splits {
+			ex.output = append(ex.output, sr.directOutput...)
+		}
+		return ex
+	}
+
+	for r := 0; r < numReduce; r++ {
+		rr := &reduceResult{}
+		var gathered []KV
+		for _, sr := range ex.splits {
+			gathered = append(gathered, sr.perPartition[r]...)
+		}
+		rr.shuffleBytes = kvBytes(gathered)
+		rr.inputRecords = int64(len(gathered))
+		// Merge phase: sort gathered segments by key, then reduce per group.
+		sort.SliceStable(gathered, func(a, b int) bool { return gathered[a].Key < gathered[b].Key })
+		forEachGroup(gathered, func(key string, values []string) {
+			script.Reduce(key, values, func(k, v string) {
+				rr.output = append(rr.output, KV{k, v})
+			})
+		})
+		rr.outputRecords = int64(len(rr.output))
+		rr.outputBytes = kvBytes(rr.output)
+		ex.reduces = append(ex.reduces, rr)
+		ex.output = append(ex.output, rr.output...)
+	}
+	return ex
+}
+
+// forEachGroup walks key-sorted pairs and invokes fn once per key group.
+func forEachGroup(sorted []KV, fn func(key string, values []string)) {
+	i := 0
+	for i < len(sorted) {
+		j := i
+		var values []string
+		for j < len(sorted) && sorted[j].Key == sorted[i].Key {
+			values = append(values, sorted[j].Value)
+			j++
+		}
+		fn(sorted[i].Key, values)
+		i = j
+	}
+}

@@ -1,0 +1,154 @@
+package mapreduce
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"perfxplain/internal/excite"
+	"perfxplain/internal/pig"
+)
+
+func TestSplitLines(t *testing.T) {
+	lines := []string{"aaaa", "bbbb", "cccc", "dddd"} // 5 bytes each with newline
+	splits := splitLines(lines, 10)
+	if len(splits) != 2 || len(splits[0]) != 2 || len(splits[1]) != 2 {
+		t.Errorf("splits = %v", splits)
+	}
+	// A line larger than the block gets its own split.
+	splits = splitLines([]string{"tiny", strings.Repeat("x", 100), "tiny"}, 10)
+	if len(splits) != 3 {
+		t.Errorf("oversize line handling: %v split count", len(splits))
+	}
+	if got := splitLines(nil, 10); got != nil {
+		t.Errorf("empty input should produce no splits, got %v", got)
+	}
+	// No record is ever lost or duplicated.
+	var back []string
+	for _, s := range splitLines(lines, 7) {
+		back = append(back, s...)
+	}
+	if strings.Join(back, ",") != strings.Join(lines, ",") {
+		t.Errorf("splitting lost records: %v", back)
+	}
+}
+
+func TestPartitionOfStable(t *testing.T) {
+	if partitionOf("user1", 7) != partitionOf("user1", 7) {
+		t.Error("partition not stable")
+	}
+	for _, key := range []string{"a", "b", "c", "user42"} {
+		p := partitionOf(key, 5)
+		if p < 0 || p >= 5 {
+			t.Errorf("partition %d out of range", p)
+		}
+	}
+}
+
+func TestExecuteFilterMapOnly(t *testing.T) {
+	lines := []string{
+		"U1\t1\tweather",
+		"U2\t2\thttp://www.excite.com/",
+		"U3\t3\tnews today",
+	}
+	ex := execute(pig.SimpleFilter(), lines, 1024, 0)
+	if len(ex.splits) != 1 {
+		t.Fatalf("splits = %d", len(ex.splits))
+	}
+	if len(ex.output) != 2 {
+		t.Fatalf("output = %v", ex.output)
+	}
+	sr := ex.splits[0]
+	if sr.inputRecords != 3 || sr.outputRecords != 2 {
+		t.Errorf("records in/out = %d/%d", sr.inputRecords, sr.outputRecords)
+	}
+	if sr.inputBytes == 0 || sr.outputBytes == 0 {
+		t.Error("byte counters empty")
+	}
+	if len(ex.reduces) != 0 {
+		t.Error("map-only job should have no reduces")
+	}
+}
+
+func TestExecuteGroupByCounts(t *testing.T) {
+	recs := excite.Generate(excite.Spec{Records: 500, Seed: 33})
+	lines := excite.Lines(recs)
+	ex := execute(pig.SimpleGroupBy(), lines, 2048, 4)
+
+	if len(ex.reduces) != 4 {
+		t.Fatalf("reduce count = %d", len(ex.reduces))
+	}
+	// The distributed counts must match a direct tally.
+	direct := make(map[string]int64)
+	for _, r := range recs {
+		direct[r.User]++
+	}
+	got := make(map[string]int64)
+	for _, kv := range ex.output {
+		n, err := strconv.ParseInt(kv.Value, 10, 64)
+		if err != nil {
+			t.Fatalf("non-numeric count %q", kv.Value)
+		}
+		if _, dup := got[kv.Key]; dup {
+			t.Fatalf("user %s reduced twice", kv.Key)
+		}
+		got[kv.Key] = n
+	}
+	if len(got) != len(direct) {
+		t.Fatalf("got %d users, want %d", len(got), len(direct))
+	}
+	for u, want := range direct {
+		if got[u] != want {
+			t.Errorf("user %s: count %d, want %d", u, got[u], want)
+		}
+	}
+
+	// Combiner must shrink records: per-split output <= input pairs.
+	for i, sr := range ex.splits {
+		if sr.combineIn == 0 || sr.combineOut == 0 {
+			t.Errorf("split %d: combiner did not run", i)
+		}
+		if sr.combineOut > sr.combineIn {
+			t.Errorf("split %d: combiner grew records %d -> %d", i, sr.combineIn, sr.combineOut)
+		}
+	}
+
+	// Every key lands in exactly the partition its hash dictates.
+	for r, rr := range ex.reduces {
+		for _, kv := range rr.output {
+			if partitionOf(kv.Key, 4) != r {
+				t.Errorf("key %s in wrong partition %d", kv.Key, r)
+			}
+		}
+	}
+}
+
+func TestExecuteShuffleConservation(t *testing.T) {
+	recs := excite.Generate(excite.Spec{Records: 300, Seed: 44})
+	lines := excite.Lines(recs)
+	ex := execute(pig.SimpleGroupBy(), lines, 4096, 3)
+	var mapOut, shuffleIn int64
+	for _, sr := range ex.splits {
+		mapOut += sr.outputBytes
+	}
+	for _, rr := range ex.reduces {
+		shuffleIn += rr.shuffleBytes
+	}
+	if mapOut != shuffleIn {
+		t.Errorf("map output %d != shuffle input %d", mapOut, shuffleIn)
+	}
+}
+
+func TestForEachGroup(t *testing.T) {
+	kvs := []KV{{"a", "1"}, {"a", "2"}, {"b", "3"}}
+	var keys []string
+	var sizes []int
+	forEachGroup(kvs, func(k string, vs []string) {
+		keys = append(keys, k)
+		sizes = append(sizes, len(vs))
+	})
+	if len(keys) != 2 || keys[0] != "a" || sizes[0] != 2 || sizes[1] != 1 {
+		t.Errorf("groups = %v %v", keys, sizes)
+	}
+	forEachGroup(nil, func(k string, vs []string) { t.Error("empty input called fn") })
+}

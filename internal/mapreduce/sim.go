@@ -1,0 +1,324 @@
+package mapreduce
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"perfxplain/internal/cluster"
+	"perfxplain/internal/ganglia"
+	"perfxplain/internal/stats"
+)
+
+// sim is the discrete-event virtual-time executor. Between events all
+// rates are constant, so integration is exact: the loop repeatedly
+// advances to the earliest of (a) a task finishing its current stage,
+// (b) a Ganglia sampling tick, (c) a background-load change.
+type sim struct {
+	cl   *cluster.Cluster
+	coll *ganglia.Collector
+	rng  *rand.Rand
+
+	now      float64
+	insts    []*instState
+	pendMaps []*taskPlan
+	pendReds []*taskPlan
+	running  []*simTask
+	mapsLeft int // maps not yet finished (pending + running)
+}
+
+type instState struct {
+	inst     *cluster.Instance
+	mapSlots []bool // true = busy
+	redSlots []bool
+	running  []*simTask
+
+	loadOne, loadFive float64
+}
+
+type simTask struct {
+	plan       *taskPlan
+	inst       *instState
+	cur        int     // current stage index
+	rate       float64 // progress units/sec under current conditions
+	stageStart float64
+}
+
+func newSim(cl *cluster.Cluster, coll *ganglia.Collector, rng *rand.Rand) *sim {
+	s := &sim{cl: cl, coll: coll, rng: rng}
+	for _, inst := range cl.Instances {
+		s.insts = append(s.insts, &instState{
+			inst:     inst,
+			mapSlots: make([]bool, inst.MapSlots),
+			redSlots: make([]bool, inst.ReduceSlots),
+		})
+	}
+	return s
+}
+
+// run simulates the job to completion, filling Start/Finish/Host fields
+// of every task plan and recording Ganglia samples throughout.
+func (s *sim) run(maps, reduces []*taskPlan) error {
+	s.pendMaps = append(s.pendMaps, maps...)
+	s.pendReds = append(s.pendReds, reduces...)
+	s.mapsLeft = len(maps)
+	s.now = submitLatencySec
+	nextTick := 0.0
+	nextBg := cluster.BgChangeInterval
+
+	s.sampleAll(0)
+	nextTick = ganglia.DefaultInterval
+
+	for len(s.pendMaps)+len(s.pendReds)+len(s.running) > 0 {
+		s.schedule()
+		s.recomputeRates()
+
+		if len(s.running) == 0 {
+			return fmt.Errorf("scheduler stalled with %d maps and %d reduces pending",
+				len(s.pendMaps), len(s.pendReds))
+		}
+
+		// Earliest stage completion under current rates.
+		dt := math.Inf(1)
+		for _, t := range s.running {
+			if t.rate <= 0 {
+				return fmt.Errorf("task %s has non-positive rate", t.plan.res.ID)
+			}
+			if d := t.remaining() / t.rate; d < dt {
+				dt = d
+			}
+		}
+		if nextTick-s.now < dt {
+			dt = nextTick - s.now
+		}
+		if nextBg-s.now < dt {
+			dt = nextBg - s.now
+		}
+		if dt < 0 {
+			dt = 0
+		}
+
+		for _, t := range s.running {
+			t.plan.stages[t.cur].remaining -= dt * t.rate
+		}
+		s.now += dt
+
+		if s.now >= nextTick-eps {
+			s.sampleAll(nextTick)
+			nextTick += ganglia.DefaultInterval
+		}
+		if s.now >= nextBg-eps {
+			nextBg += cluster.BgChangeInterval
+		}
+		s.completeStages()
+	}
+	// One final sample so short jobs still close their windows.
+	s.sampleAll(nextTick)
+	return nil
+}
+
+func (t *simTask) remaining() float64 { return t.plan.stages[t.cur].remaining }
+
+// schedule assigns pending tasks to free slots. Maps go first; reduces
+// wait for the map barrier. Each assignment picks the instance with the
+// most free slots of the right type (ties to the lowest index), spreading
+// waves evenly as Hadoop's per-heartbeat allocation does.
+func (s *sim) schedule() {
+	assign := func(pending *[]*taskPlan, slotsOf func(*instState) []bool, typ string) {
+		for len(*pending) > 0 {
+			var best *instState
+			bestFree := 0
+			for _, is := range s.insts {
+				free := 0
+				for _, busy := range slotsOf(is) {
+					if !busy {
+						free++
+					}
+				}
+				if free > bestFree {
+					bestFree = free
+					best = is
+				}
+			}
+			if best == nil {
+				return
+			}
+			plan := (*pending)[0]
+			*pending = (*pending)[1:]
+			slots := slotsOf(best)
+			slot := 0
+			for i, busy := range slots {
+				if !busy {
+					slot = i
+					break
+				}
+			}
+			slots[slot] = true
+			t := &simTask{plan: plan, inst: best, stageStart: s.now}
+			plan.res.Host = best.inst.Hostname
+			plan.res.TrackerName = "tracker_" + best.inst.Hostname
+			plan.res.Slot = slot
+			plan.res.Start = s.now
+			plan.res.Type = typ
+			best.running = append(best.running, t)
+			s.running = append(s.running, t)
+		}
+	}
+	assign(&s.pendMaps, func(is *instState) []bool { return is.mapSlots }, "MAP")
+	if s.mapsLeft == 0 {
+		assign(&s.pendReds, func(is *instState) []bool { return is.redSlots }, "REDUCE")
+	}
+}
+
+// cpuDemandOf returns the CPU demand of a task's current stage.
+func (t *simTask) cpuDemandOf() float64 {
+	switch t.plan.stages[t.cur].kind {
+	case stageNet:
+		return demandNet
+	case stageSort:
+		return demandSort
+	default:
+		return demandCPU
+	}
+}
+
+// recomputeRates derives each running task's progress rate from its
+// instance's contention and the network sharing of active shuffles.
+func (s *sim) recomputeRates() {
+	for _, is := range s.insts {
+		demand := is.inst.BgLoad(s.now)
+		netStreams := 0
+		for _, t := range is.running {
+			demand += t.cpuDemandOf()
+			if t.plan.stages[t.cur].kind == stageNet {
+				netStreams++
+			}
+		}
+		share := maxSpeedShare
+		if demand > 0 {
+			share = stats.Clamp(float64(is.inst.Cores)/demand, minSpeedShare, maxSpeedShare)
+		}
+		for _, t := range is.running {
+			switch t.plan.stages[t.cur].kind {
+			case stageNet:
+				t.rate = is.inst.NetBytesPerS / float64(netStreams)
+			default:
+				t.rate = is.inst.SpeedFactor * share
+			}
+		}
+	}
+}
+
+// completeStages advances tasks whose current stage hit zero, records
+// per-stage times, frees slots on completion and tracks the map barrier.
+func (s *sim) completeStages() {
+	var still []*simTask
+	for _, t := range s.running {
+		if t.remaining() > eps {
+			still = append(still, t)
+			continue
+		}
+		res := t.plan.res
+		elapsed := s.now - t.stageStart
+		switch t.plan.stages[t.cur].kind {
+		case stageNet:
+			res.ShuffleTime += elapsed
+		case stageSort:
+			res.SortTime += elapsed
+		}
+		t.cur++
+		t.stageStart = s.now
+		if t.cur < len(t.plan.stages) {
+			still = append(still, t)
+			continue
+		}
+		// Task complete.
+		res.Finish = s.now
+		if res.Type == "MAP" {
+			t.inst.mapSlots[res.Slot] = false
+			s.mapsLeft--
+		} else {
+			t.inst.redSlots[res.Slot] = false
+		}
+		for i, rt := range t.inst.running {
+			if rt == t {
+				t.inst.running = append(t.inst.running[:i], t.inst.running[i+1:]...)
+				break
+			}
+		}
+	}
+	s.running = still
+}
+
+// sampleAll records one Ganglia reading per instance at time t.
+func (s *sim) sampleAll(t float64) {
+	// Cluster-wide inbound shuffle rate, attributed as outbound traffic
+	// spread across all instances (map outputs are served from everywhere).
+	var totalNetIn float64
+	for _, is := range s.insts {
+		for _, task := range is.running {
+			if task.plan.stages[task.cur].kind == stageNet {
+				totalNetIn += task.rate
+			}
+		}
+	}
+	outPerInst := totalNetIn / float64(len(s.insts))
+
+	for _, is := range s.insts {
+		bg := is.inst.BgLoad(t)
+		demand := bg
+		var bytesIn float64
+		for _, task := range is.running {
+			demand += task.cpuDemandOf()
+			if task.plan.stages[task.cur].kind == stageNet {
+				bytesIn += task.rate
+			}
+		}
+		cores := float64(is.inst.Cores)
+		// EC2 semantics: background load is hypervisor steal from the
+		// instance's point of view, so the VM's visible user time is the
+		// capacity its own tasks actually get — contention lowers
+		// cpu_user rather than pinning it at 100%.
+		taskDemand := demand - bg
+		used := math.Min(taskDemand, math.Max(cores-bg, 0.2))
+		cpuUser := stats.Clamp(100*used/cores+s.rng.NormFloat64()*1.5, 0, 100)
+		cpuIdle := stats.Clamp(100*(cores-math.Min(demand, cores))/cores+
+			math.Abs(s.rng.NormFloat64()), 0, 100)
+
+		// Load averages are EMAs of the runnable count over 1 and 5 minute
+		// horizons, updated at the sampling cadence.
+		a1 := 1 - math.Exp(-ganglia.DefaultInterval/60)
+		a5 := 1 - math.Exp(-ganglia.DefaultInterval/300)
+		is.loadOne += a1 * (demand - is.loadOne)
+		is.loadFive += a5 * (demand - is.loadFive)
+
+		const idleChatter = 8 << 10 // baseline network noise, bytes/s
+		bIn := bytesIn + math.Abs(s.rng.NormFloat64())*idleChatter
+		bOut := outPerInst + math.Abs(s.rng.NormFloat64())*idleChatter
+
+		memFree := is.inst.MemoryBytes - 300*mb - 200*mb*float64(len(is.running)) -
+			150*mb*bg + s.rng.NormFloat64()*16*mb
+		memFree = stats.Clamp(memFree, 48*mb, is.inst.MemoryBytes)
+
+		m := ganglia.Metrics{
+			CPUUser:  cpuUser,
+			CPUIdle:  cpuIdle,
+			LoadOne:  is.loadOne,
+			LoadFive: is.loadFive,
+			// Scaled so slot-occupancy and background-load differences
+			// exceed the 10% similarity band PerfXplain uses for numeric
+			// isSame features.
+			ProcTotal: 60 + 15*float64(len(is.running)) + 40*bg + math.Floor(math.Abs(s.rng.NormFloat64())*2),
+			BytesIn:   bIn,
+			BytesOut:  bOut,
+			PktsIn:    bIn/1400 + math.Abs(s.rng.NormFloat64())*3,
+			PktsOut:   bOut/1400 + math.Abs(s.rng.NormFloat64())*3,
+			MemFree:   memFree,
+			BootTime:  is.inst.BootTime,
+		}
+		if err := s.coll.Record(is.inst.Hostname, t, m); err != nil {
+			// Ticks are monotone by construction; an error here is a bug.
+			panic(err)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package pig
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"perfxplain/internal/excite"
+)
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"simple-filter.pig", "simple-groupby.pig"} {
+		s, err := ByName(name)
+		if err != nil || s.Name != name {
+			t.Errorf("ByName(%q) = %v, %v", name, s, err)
+		}
+	}
+	if _, err := ByName("mystery.pig"); err == nil {
+		t.Error("unknown script should error")
+	}
+	if len(Scripts()) != 2 {
+		t.Errorf("Scripts() returned %d scripts", len(Scripts()))
+	}
+}
+
+func TestSimpleFilterMap(t *testing.T) {
+	s := SimpleFilter()
+	if !s.MapOnly || s.Reduce != nil {
+		t.Error("simple-filter should be map-only")
+	}
+	var kept []string
+	emit := func(k, v string) { kept = append(kept, v) }
+
+	s.Map("USER1\t123\tweather seattle", emit)
+	s.Map("USER2\t124\thttp://www.excite.com/", emit)
+	s.Map("USER3\t125\twww.cnn.com", emit)
+	s.Map("malformed line", emit)
+	if len(kept) != 1 || !strings.Contains(kept[0], "weather seattle") {
+		t.Errorf("kept = %v, want only the non-URL query", kept)
+	}
+}
+
+func TestSimpleGroupByMapReduce(t *testing.T) {
+	s := SimpleGroupBy()
+	if s.MapOnly || s.Reduce == nil || s.Combine == nil {
+		t.Fatal("simple-groupby should have combine and reduce")
+	}
+	// Map three lines from two users.
+	type kv struct{ k, v string }
+	var mapped []kv
+	emit := func(k, v string) { mapped = append(mapped, kv{k, v}) }
+	s.Map("U1\t1\tweather", emit)
+	s.Map("U2\t2\tnews", emit)
+	s.Map("U1\t3\tmaps", emit)
+	s.Map("garbage", emit)
+	if len(mapped) != 3 {
+		t.Fatalf("mapped %d pairs, want 3", len(mapped))
+	}
+
+	// Combine U1's two partial counts.
+	var combined []kv
+	s.Combine("U1", []string{"1", "1"}, func(k, v string) { combined = append(combined, kv{k, v}) })
+	if len(combined) != 1 || combined[0].v != "2" {
+		t.Errorf("combine = %v", combined)
+	}
+
+	// Reduce merges combiner outputs.
+	var reduced []kv
+	s.Reduce("U1", []string{"2", "3"}, func(k, v string) { reduced = append(reduced, kv{k, v}) })
+	if len(reduced) != 1 || reduced[0].k != "U1" || reduced[0].v != "5" {
+		t.Errorf("reduce = %v", reduced)
+	}
+
+	// Non-numeric values are skipped, not fatal.
+	reduced = nil
+	s.Reduce("U2", []string{"x", "4"}, func(k, v string) { reduced = append(reduced, kv{k, v}) })
+	if reduced[0].v != "4" {
+		t.Errorf("reduce with garbage = %v", reduced)
+	}
+}
+
+// End-to-end over generated data: the filter keeps exactly the non-URL
+// lines, and groupby counts per user match a direct count.
+func TestScriptsAgainstGeneratedData(t *testing.T) {
+	recs := excite.Generate(excite.Spec{Records: 2000, Seed: 21})
+	lines := excite.Lines(recs)
+
+	filter := SimpleFilter()
+	var kept int
+	for _, l := range lines {
+		filter.Map(l, func(k, v string) { kept++ })
+	}
+	wantKept := 0
+	for _, r := range recs {
+		if !excite.IsURLQuery(r.Query) {
+			wantKept++
+		}
+	}
+	if kept != wantKept {
+		t.Errorf("filter kept %d, want %d", kept, wantKept)
+	}
+
+	groupby := SimpleGroupBy()
+	counts := make(map[string]int64)
+	for _, l := range lines {
+		groupby.Map(l, func(k, v string) { counts[k]++ })
+	}
+	direct := make(map[string]int64)
+	for _, r := range recs {
+		direct[r.User]++
+	}
+	if len(counts) != len(direct) {
+		t.Fatalf("groupby saw %d users, want %d", len(counts), len(direct))
+	}
+	for u, c := range direct {
+		if counts[u] != c {
+			t.Errorf("user %s count %d, want %d", u, counts[u], c)
+		}
+	}
+
+	// Simulated selectivities should roughly match the materialised data.
+	d := excite.DatasetForLines("t", lines)
+	sel := filter.MapByteSelectivity(d)
+	if sel < 0.7 || sel > 0.99 {
+		t.Errorf("filter byte selectivity = %v", sel)
+	}
+	gsel := groupby.MapByteSelectivity(d)
+	if gsel <= 0 || gsel > 1 {
+		t.Errorf("groupby byte selectivity = %v", gsel)
+	}
+}
+
+func TestCostProfilesPositive(t *testing.T) {
+	d := excite.DatasetForBytes("in", 1<<30)
+	for _, s := range Scripts() {
+		if s.MapCPUPerMB <= 0 {
+			t.Errorf("%s: MapCPUPerMB = %v", s.Name, s.MapCPUPerMB)
+		}
+		if sel := s.MapByteSelectivity(d); sel <= 0 || sel > 1 {
+			t.Errorf("%s: byte selectivity = %v", s.Name, sel)
+		}
+		if sel := s.MapRecordSelectivity(d); sel <= 0 || sel > 1 {
+			t.Errorf("%s: record selectivity = %v", s.Name, sel)
+		}
+		if out := s.ReduceOutputBytes(d); out < 0 {
+			t.Errorf("%s: reduce output = %v", s.Name, out)
+		}
+	}
+	// Degenerate empty dataset must not divide by zero or leave range.
+	empty := excite.Dataset{}
+	for _, s := range Scripts() {
+		if sel := s.MapByteSelectivity(empty); sel < 0 || sel > 1 {
+			t.Errorf("%s: empty dataset byte selectivity = %v", s.Name, sel)
+		}
+		if sel := s.MapRecordSelectivity(empty); sel < 0 || sel > 1 {
+			t.Errorf("%s: empty dataset record selectivity = %v", s.Name, sel)
+		}
+	}
+}
+
+func TestGroupByCombinerReducesVolume(t *testing.T) {
+	// The combiner should collapse per-split duplicates: feeding it n
+	// partials for the same user yields one pair.
+	s := SimpleGroupBy()
+	vals := make([]string, 50)
+	for i := range vals {
+		vals[i] = "1"
+	}
+	var out int
+	s.Combine("U", vals, func(k, v string) {
+		out++
+		if n, _ := strconv.Atoi(v); n != 50 {
+			t.Errorf("combined count = %s", v)
+		}
+	})
+	if out != 1 {
+		t.Errorf("combiner emitted %d pairs", out)
+	}
+}

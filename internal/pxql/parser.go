@@ -1,0 +1,260 @@
+package pxql
+
+import (
+	"fmt"
+	"strings"
+
+	"perfxplain/internal/joblog"
+)
+
+// Parse parses a full PXQL query:
+//
+//	FOR J1, J2 WHERE J1.ID = 'job-012' AND J2.ID = 'job-340'
+//	DESPITE numinstances_issame = T AND pigscript_issame = T
+//	OBSERVED duration_compare = GT
+//	EXPECTED duration_compare = SIM
+//
+// The FOR/WHERE clause is optional (programmatic queries can bind the pair
+// of interest separately); DESPITE is optional and defaults to true;
+// OBSERVED and EXPECTED are required. Keywords are case-insensitive and
+// '∧' may be used in place of AND.
+func Parse(src string) (*Query, error) {
+	p := &parser{lex: lexer{src: src}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+
+	if p.isKeyword("FOR") {
+		if err := p.parseFor(q); err != nil {
+			return nil, err
+		}
+	}
+	if p.isKeyword("DESPITE") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		pred, err := p.parsePredicate()
+		if err != nil {
+			return nil, fmt.Errorf("pxql: in DESPITE clause: %w", err)
+		}
+		q.Despite = pred
+	}
+	if !p.isKeyword("OBSERVED") {
+		return nil, fmt.Errorf("pxql: expected OBSERVED clause at offset %d", p.tok.pos)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	obs, err := p.parsePredicate()
+	if err != nil {
+		return nil, fmt.Errorf("pxql: in OBSERVED clause: %w", err)
+	}
+	q.Observed = obs
+
+	if !p.isKeyword("EXPECTED") {
+		return nil, fmt.Errorf("pxql: expected EXPECTED clause at offset %d", p.tok.pos)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	exp, err := p.parsePredicate()
+	if err != nil {
+		return nil, fmt.Errorf("pxql: in EXPECTED clause: %w", err)
+	}
+	q.Expected = exp
+
+	if p.tok.kind != tokEOF {
+		return nil, fmt.Errorf("pxql: trailing input at offset %d: %q", p.tok.pos, p.tok.text)
+	}
+	return q, nil
+}
+
+// ParsePredicate parses a bare conjunction `f1 op c1 AND f2 op c2 ...`.
+// The empty string parses to the true predicate.
+func ParsePredicate(src string) (Predicate, error) {
+	p := &parser{lex: lexer{src: src}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokEOF {
+		return nil, nil
+	}
+	pred, err := p.parsePredicate()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, fmt.Errorf("pxql: trailing input at offset %d: %q", p.tok.pos, p.tok.text)
+	}
+	return pred, nil
+}
+
+type parser struct {
+	lex lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) isKeyword(kw string) bool {
+	return p.tok.kind == tokIdent && strings.EqualFold(p.tok.text, kw)
+}
+
+// parseFor parses `FOR v1, v2 WHERE cond AND cond` and fills q.ID1/q.ID2.
+func (p *parser) parseFor(q *Query) error {
+	if err := p.advance(); err != nil { // consume FOR
+		return err
+	}
+	if p.tok.kind != tokIdent {
+		return fmt.Errorf("pxql: expected variable after FOR at offset %d", p.tok.pos)
+	}
+	v1 := p.tok.text
+	if err := p.advance(); err != nil {
+		return err
+	}
+	if p.tok.kind != tokComma {
+		return fmt.Errorf("pxql: expected ',' in FOR clause at offset %d", p.tok.pos)
+	}
+	if err := p.advance(); err != nil {
+		return err
+	}
+	if p.tok.kind != tokIdent {
+		return fmt.Errorf("pxql: expected second variable in FOR clause at offset %d", p.tok.pos)
+	}
+	v2 := p.tok.text
+	if err := p.advance(); err != nil {
+		return err
+	}
+	if !p.isKeyword("WHERE") {
+		return fmt.Errorf("pxql: expected WHERE after FOR variables at offset %d", p.tok.pos)
+	}
+	if err := p.advance(); err != nil {
+		return err
+	}
+	for {
+		varName, id, err := p.parseBinding()
+		if err != nil {
+			return err
+		}
+		switch {
+		case strings.EqualFold(varName, v1):
+			q.ID1 = id
+		case strings.EqualFold(varName, v2):
+			q.ID2 = id
+		default:
+			return fmt.Errorf("pxql: WHERE references unknown variable %q", varName)
+		}
+		if !p.isKeyword("AND") {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+	if q.ID1 == "" || q.ID2 == "" {
+		return fmt.Errorf("pxql: WHERE clause must bind both FOR variables")
+	}
+	return nil
+}
+
+// parseBinding parses `Var.Attr = 'id'` and returns (Var, id). The
+// attribute name is accepted but not interpreted: JobID, TaskID and ID all
+// denote the record identifier.
+func (p *parser) parseBinding() (string, string, error) {
+	if p.tok.kind != tokIdent {
+		return "", "", fmt.Errorf("pxql: expected variable in WHERE at offset %d", p.tok.pos)
+	}
+	varName := p.tok.text
+	if err := p.advance(); err != nil {
+		return "", "", err
+	}
+	if p.tok.kind != tokDot {
+		return "", "", fmt.Errorf("pxql: expected '.' after %q at offset %d", varName, p.tok.pos)
+	}
+	if err := p.advance(); err != nil {
+		return "", "", err
+	}
+	if p.tok.kind != tokIdent {
+		return "", "", fmt.Errorf("pxql: expected attribute after '.' at offset %d", p.tok.pos)
+	}
+	if err := p.advance(); err != nil {
+		return "", "", err
+	}
+	if p.tok.kind != tokOp || p.tok.text != "=" {
+		return "", "", fmt.Errorf("pxql: expected '=' in WHERE binding at offset %d", p.tok.pos)
+	}
+	if err := p.advance(); err != nil {
+		return "", "", err
+	}
+	if p.tok.kind != tokString && p.tok.kind != tokIdent {
+		return "", "", fmt.Errorf("pxql: expected identifier value in WHERE binding at offset %d", p.tok.pos)
+	}
+	id := p.tok.text
+	if err := p.advance(); err != nil {
+		return "", "", err
+	}
+	return varName, id, nil
+}
+
+// parsePredicate parses `atom (AND atom)*`.
+func (p *parser) parsePredicate() (Predicate, error) {
+	var pred Predicate
+	for {
+		a, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		pred = append(pred, a)
+		if !p.isKeyword("AND") {
+			return pred, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+var ops = map[string]Op{
+	"=": OpEq, "!=": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe,
+}
+
+// parseAtom parses `feature op value`. Bare identifier values (T, F, LT,
+// SIM, GT, script names) become nominal constants; quoted strings likewise;
+// numbers (with optional byte units) become numeric constants.
+func (p *parser) parseAtom() (Atom, error) {
+	if p.tok.kind != tokIdent {
+		return Atom{}, fmt.Errorf("pxql: expected feature name at offset %d", p.tok.pos)
+	}
+	feature := p.tok.text
+	if err := p.advance(); err != nil {
+		return Atom{}, err
+	}
+	if p.tok.kind != tokOp {
+		return Atom{}, fmt.Errorf("pxql: expected operator after %q at offset %d", feature, p.tok.pos)
+	}
+	op := ops[p.tok.text]
+	if err := p.advance(); err != nil {
+		return Atom{}, err
+	}
+	var v joblog.Value
+	switch p.tok.kind {
+	case tokNumber:
+		v = joblog.Num(p.tok.num)
+	case tokString, tokIdent:
+		v = joblog.Str(p.tok.text)
+	default:
+		return Atom{}, fmt.Errorf("pxql: expected constant after operator at offset %d", p.tok.pos)
+	}
+	if err := p.advance(); err != nil {
+		return Atom{}, err
+	}
+	return Atom{Feature: feature, Op: op, Value: v}, nil
+}

@@ -1,0 +1,87 @@
+package pxql
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"perfxplain/internal/joblog"
+)
+
+// randomAtom generates atoms with printable feature names and constants
+// covering both value kinds and all operators.
+func randomAtom(rng *rand.Rand) Atom {
+	feats := []string{"inputsize_compare", "blocksize", "pigscript_issame", "avg_cpu_user", "x_diff"}
+	a := Atom{Feature: feats[rng.Intn(len(feats))]}
+	if rng.Intn(2) == 0 {
+		a.Op = []Op{OpEq, OpNe}[rng.Intn(2)]
+		vals := []string{"T", "F", "LT", "SIM", "GT", "simple-filter.pig", "(a→b)"}
+		a.Value = joblog.Str(vals[rng.Intn(len(vals))])
+	} else {
+		a.Op = []Op{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}[rng.Intn(6)]
+		a.Value = joblog.Num(float64(rng.Intn(2000)) / 4)
+	}
+	return a
+}
+
+// Property: every randomly generated predicate round-trips through its
+// PXQL string form: parse(print(p)) prints identically and evaluates
+// identically on random values.
+func TestPredicateRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(4)
+		p := make(Predicate, n)
+		for i := range p {
+			p[i] = randomAtom(rng)
+		}
+		src := p.String()
+		back, err := ParsePredicate(src)
+		if err != nil {
+			t.Fatalf("trial %d: re-parse %q: %v", trial, src, err)
+		}
+		if back.String() != src {
+			t.Fatalf("trial %d: round trip %q -> %q", trial, src, back.String())
+		}
+		// Semantic equivalence on random values.
+		for probe := 0; probe < 10; probe++ {
+			var v joblog.Value
+			switch rng.Intn(3) {
+			case 0:
+				v = joblog.Num(float64(rng.Intn(2000)) / 4)
+			case 1:
+				v = joblog.Str([]string{"T", "F", "LT", "SIM", "GT"}[rng.Intn(5)])
+			default:
+				v = joblog.None()
+			}
+			for i := range p {
+				if p[i].Eval(v) != back[i].Eval(v) {
+					t.Fatalf("trial %d atom %d: semantics changed for %v", trial, i, v)
+				}
+			}
+		}
+	}
+}
+
+// Property: full queries round-trip through String.
+func TestQueryRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 150; trial++ {
+		q := &Query{
+			ID1:      fmt.Sprintf("job-%04d", rng.Intn(1000)),
+			ID2:      fmt.Sprintf("job-%04d", rng.Intn(1000)),
+			Observed: Predicate{randomAtom(rng)},
+			Expected: Predicate{randomAtom(rng)},
+		}
+		if rng.Intn(2) == 0 {
+			q.Despite = Predicate{randomAtom(rng), randomAtom(rng)}
+		}
+		back, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("trial %d: re-parse:\n%s\n%v", trial, q, err)
+		}
+		if back.String() != q.String() {
+			t.Fatalf("trial %d: round trip\n%s\nvs\n%s", trial, q, back)
+		}
+	}
+}

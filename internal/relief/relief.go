@@ -1,0 +1,337 @@
+// Package relief implements Relief-style attribute estimation: Relief-F
+// for boolean-labeled instances and RReliefF (Robnik-Šikonja & Kononenko,
+// "An Adaptation of Relief for Attribute Estimation in Regression", ICML
+// 1997 — the paper PerfXplain cites) for numeric targets such as job
+// duration. The RuleOfThumb baseline (paper Section 5.1) uses these
+// weights as its one-time ranking of important features.
+//
+// Both algorithms handle numeric and nominal attributes and missing
+// values. Attribute difference is normalised to [0,1]: numeric diffs are
+// scaled by the observed range, nominal diffs are 0/1. Missing values use
+// a probabilistic approximation: a nominal comparison against a missing
+// value scores 1 minus the relative frequency of the known value (two
+// missing nominals score 1 minus the sum of squared frequencies); numeric
+// comparisons involving missing values score 0.5.
+package relief
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"perfxplain/internal/joblog"
+)
+
+// Config tunes the estimators.
+type Config struct {
+	// K is the number of nearest neighbours consulted per sampled
+	// instance. Default 10.
+	K int
+	// M is the number of instances sampled; 0 means all instances, in a
+	// random order.
+	M int
+	// Sigma controls the exponential rank weighting of neighbours in
+	// RReliefF; neighbour j (0-based rank) receives weight
+	// exp(-((j+1)/Sigma)^2). Default 20.
+	Sigma float64
+	// Rand supplies determinism. Required when M > 0 or sampling order
+	// matters; defaults to a fixed-seed generator.
+	Rand *rand.Rand
+}
+
+func (c Config) withDefaults() Config {
+	if c.K <= 0 {
+		c.K = 10
+	}
+	if c.Sigma <= 0 {
+		c.Sigma = 20
+	}
+	if c.Rand == nil {
+		c.Rand = rand.New(rand.NewSource(1))
+	}
+	return c
+}
+
+// stats precomputed per attribute for diff().
+type attrStats struct {
+	kind     joblog.Kind
+	min, max float64
+	freq     map[string]float64 // nominal value frequencies
+	sqSum    float64            // sum of squared frequencies
+}
+
+func computeStats(log *joblog.Log) []attrStats {
+	out := make([]attrStats, log.Schema.Len())
+	for i := 0; i < log.Schema.Len(); i++ {
+		f := log.Schema.Field(i)
+		st := attrStats{kind: f.Kind}
+		if f.Kind == joblog.Numeric {
+			min, max, ok := log.NumericRange(f.Name)
+			if ok {
+				st.min, st.max = min, max
+			}
+		} else {
+			st.freq = make(map[string]float64)
+			n := 0.0
+			for _, r := range log.Records {
+				if v := r.Values[i]; v.Kind == joblog.Nominal {
+					st.freq[v.Str]++
+					n++
+				}
+			}
+			for k := range st.freq {
+				st.freq[k] /= math.Max(n, 1)
+				st.sqSum += st.freq[k] * st.freq[k]
+			}
+		}
+		out[i] = st
+	}
+	return out
+}
+
+// diff returns the normalised difference of attribute a between records
+// r1 and r2, in [0,1].
+func (st *attrStats) diff(v1, v2 joblog.Value) float64 {
+	switch {
+	case v1.IsMissing() && v2.IsMissing():
+		if st.kind == joblog.Nominal {
+			return 1 - st.sqSum
+		}
+		return 0.5
+	case v1.IsMissing() || v2.IsMissing():
+		if st.kind == joblog.Nominal {
+			known := v1
+			if known.IsMissing() {
+				known = v2
+			}
+			return 1 - st.freq[known.Str]
+		}
+		return 0.5
+	}
+	if st.kind == joblog.Numeric {
+		r := st.max - st.min
+		if r == 0 {
+			return 0
+		}
+		return math.Abs(v1.Num-v2.Num) / r
+	}
+	if v1.Str == v2.Str {
+		return 0
+	}
+	return 1
+}
+
+// distance is the sum of per-attribute diffs, optionally skipping one
+// attribute index (the regression target).
+func distance(stats []attrStats, a, b *joblog.Record, skip int) float64 {
+	var d float64
+	for i := range stats {
+		if i == skip {
+			continue
+		}
+		d += stats[i].diff(a.Values[i], b.Values[i])
+	}
+	return d
+}
+
+// Weights runs Relief-F over boolean-labeled records and returns one
+// weight per schema field (higher = more relevant to the label).
+func Weights(log *joblog.Log, labels []bool, cfg Config) ([]float64, error) {
+	if len(labels) != log.Len() {
+		return nil, fmt.Errorf("relief: %d labels for %d records", len(labels), log.Len())
+	}
+	if log.Len() < 2 {
+		return nil, fmt.Errorf("relief: need at least 2 records, have %d", log.Len())
+	}
+	cfg = cfg.withDefaults()
+	stats := computeStats(log)
+	n := log.Schema.Len()
+	w := make([]float64, n)
+
+	order := sampleOrder(log.Len(), cfg)
+	m := float64(len(order))
+	for _, i := range order {
+		ri := log.Records[i]
+		hits, misses := nearestByClass(log, labels, stats, i, cfg.K)
+		for a := 0; a < n; a++ {
+			for _, h := range hits {
+				w[a] -= stats[a].diff(ri.Values[a], log.Records[h].Values[a]) / (m * float64(len(hits)))
+			}
+			for _, ms := range misses {
+				w[a] += stats[a].diff(ri.Values[a], log.Records[ms].Values[a]) / (m * float64(len(misses)))
+			}
+		}
+	}
+	return w, nil
+}
+
+// RegressionWeights runs RReliefF against the named numeric target field
+// and returns one weight per schema field. The target's own weight is 0.
+func RegressionWeights(log *joblog.Log, target string, cfg Config) ([]float64, error) {
+	ti, ok := log.Schema.Index(target)
+	if !ok {
+		return nil, fmt.Errorf("relief: no target field %q", target)
+	}
+	if log.Schema.Field(ti).Kind != joblog.Numeric {
+		return nil, fmt.Errorf("relief: target %q is not numeric", target)
+	}
+	if log.Len() < 2 {
+		return nil, fmt.Errorf("relief: need at least 2 records, have %d", log.Len())
+	}
+	cfg = cfg.withDefaults()
+	stats := computeStats(log)
+	n := log.Schema.Len()
+
+	// Rank weights for the k neighbours, normalised to sum 1.
+	rankW := make([]float64, cfg.K)
+	var rankSum float64
+	for j := range rankW {
+		rankW[j] = math.Exp(-math.Pow(float64(j+1)/cfg.Sigma, 2))
+		rankSum += rankW[j]
+	}
+	for j := range rankW {
+		rankW[j] /= rankSum
+	}
+
+	var nDC float64
+	nDA := make([]float64, n)
+	nDCDA := make([]float64, n)
+	order := sampleOrder(log.Len(), cfg)
+	mUsed := 0.0
+	for _, i := range order {
+		ri := log.Records[i]
+		if ri.Values[ti].IsMissing() {
+			continue
+		}
+		neigh := nearest(log, stats, i, ti, cfg.K)
+		if len(neigh) == 0 {
+			continue
+		}
+		mUsed++
+		for j, nb := range neigh {
+			rj := log.Records[nb]
+			if rj.Values[ti].IsMissing() {
+				continue
+			}
+			dW := rankW[j]
+			dT := stats[ti].diff(ri.Values[ti], rj.Values[ti])
+			nDC += dT * dW
+			for a := 0; a < n; a++ {
+				if a == ti {
+					continue
+				}
+				dA := stats[a].diff(ri.Values[a], rj.Values[a])
+				nDA[a] += dA * dW
+				nDCDA[a] += dT * dA * dW
+			}
+		}
+	}
+	w := make([]float64, n)
+	if nDC == 0 || mUsed == 0 || mUsed == nDC {
+		return w, nil // degenerate target: all weights zero
+	}
+	for a := 0; a < n; a++ {
+		if a == ti {
+			continue
+		}
+		w[a] = nDCDA[a]/nDC - (nDA[a]-nDCDA[a])/(mUsed-nDC)
+	}
+	return w, nil
+}
+
+func sampleOrder(n int, cfg Config) []int {
+	order := cfg.Rand.Perm(n)
+	if cfg.M > 0 && cfg.M < n {
+		order = order[:cfg.M]
+	}
+	return order
+}
+
+// nearestByClass returns up to k nearest same-class (hits) and
+// different-class (misses) neighbour indices of instance i.
+func nearestByClass(log *joblog.Log, labels []bool, stats []attrStats, i, k int) (hits, misses []int) {
+	type cand struct {
+		idx int
+		d   float64
+	}
+	var hc, mc []cand
+	ri := log.Records[i]
+	for j, rj := range log.Records {
+		if j == i {
+			continue
+		}
+		c := cand{j, distance(stats, ri, rj, -1)}
+		if labels[j] == labels[i] {
+			hc = append(hc, c)
+		} else {
+			mc = append(mc, c)
+		}
+	}
+	take := func(cs []cand) []int {
+		sort.Slice(cs, func(a, b int) bool {
+			if cs[a].d != cs[b].d {
+				return cs[a].d < cs[b].d
+			}
+			return cs[a].idx < cs[b].idx
+		})
+		if len(cs) > k {
+			cs = cs[:k]
+		}
+		out := make([]int, len(cs))
+		for x, c := range cs {
+			out[x] = c.idx
+		}
+		return out
+	}
+	return take(hc), take(mc)
+}
+
+// nearest returns up to k nearest neighbours of instance i by attribute
+// distance, excluding the target attribute from the metric.
+func nearest(log *joblog.Log, stats []attrStats, i, targetIdx, k int) []int {
+	type cand struct {
+		idx int
+		d   float64
+	}
+	cs := make([]cand, 0, log.Len()-1)
+	ri := log.Records[i]
+	for j, rj := range log.Records {
+		if j == i {
+			continue
+		}
+		cs = append(cs, cand{j, distance(stats, ri, rj, targetIdx)})
+	}
+	sort.Slice(cs, func(a, b int) bool {
+		if cs[a].d != cs[b].d {
+			return cs[a].d < cs[b].d
+		}
+		return cs[a].idx < cs[b].idx
+	})
+	if len(cs) > k {
+		cs = cs[:k]
+	}
+	out := make([]int, len(cs))
+	for x, c := range cs {
+		out[x] = c.idx
+	}
+	return out
+}
+
+// Ranking returns the schema's field names sorted by decreasing weight,
+// ties broken alphabetically for determinism.
+func Ranking(schema *joblog.Schema, weights []float64) []string {
+	names := make([]string, schema.Len())
+	for i := range names {
+		names[i] = schema.Field(i).Name
+	}
+	sort.SliceStable(names, func(a, b int) bool {
+		wa := weights[schema.MustIndex(names[a])]
+		wb := weights[schema.MustIndex(names[b])]
+		if wa != wb {
+			return wa > wb
+		}
+		return names[a] < names[b]
+	})
+	return names
+}

@@ -1,0 +1,211 @@
+package relief
+
+import (
+	"math/rand"
+	"testing"
+
+	"perfxplain/internal/joblog"
+)
+
+// classificationLog builds records where `signal` determines the label,
+// `correlated` mostly follows the label, and `noise` is independent.
+func classificationLog(n int, rng *rand.Rand) (*joblog.Log, []bool) {
+	schema := joblog.NewSchema([]joblog.Field{
+		{Name: "signal", Kind: joblog.Numeric},
+		{Name: "correlated", Kind: joblog.Nominal},
+		{Name: "noise", Kind: joblog.Numeric},
+	})
+	log := joblog.NewLog(schema)
+	labels := make([]bool, 0, n)
+	for i := 0; i < n; i++ {
+		x := rng.Float64()
+		label := x > 0.5
+		corr := "lo"
+		if label != (rng.Float64() < 0.15) { // 85% agreement
+			corr = "hi"
+		}
+		log.MustAppend(&joblog.Record{ID: "r", Values: []joblog.Value{
+			joblog.Num(x), joblog.Str(corr), joblog.Num(rng.Float64()),
+		}})
+		labels = append(labels, label)
+	}
+	return log, labels
+}
+
+func TestWeightsRankSignalAboveNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	log, labels := classificationLog(200, rng)
+	w, err := Weights(log, labels, Config{K: 10, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := w[log.Schema.MustIndex("signal")]
+	noise := w[log.Schema.MustIndex("noise")]
+	if sig <= noise {
+		t.Errorf("signal weight %v <= noise weight %v", sig, noise)
+	}
+	ranking := Ranking(log.Schema, w)
+	if ranking[len(ranking)-1] == "signal" {
+		t.Errorf("signal ranked last: %v", ranking)
+	}
+}
+
+func TestWeightsErrors(t *testing.T) {
+	schema := joblog.NewSchema([]joblog.Field{{Name: "x", Kind: joblog.Numeric}})
+	log := joblog.NewLog(schema)
+	log.MustAppend(&joblog.Record{ID: "a", Values: []joblog.Value{joblog.Num(1)}})
+	if _, err := Weights(log, []bool{true, false}, Config{}); err == nil {
+		t.Error("label count mismatch should error")
+	}
+	if _, err := Weights(log, []bool{true}, Config{}); err == nil {
+		t.Error("single record should error")
+	}
+}
+
+// regressionLog: duration = 10*important + noise; `irrelevant` is random.
+func regressionLog(n int, rng *rand.Rand) *joblog.Log {
+	schema := joblog.NewSchema([]joblog.Field{
+		{Name: "important", Kind: joblog.Numeric},
+		{Name: "irrelevant", Kind: joblog.Numeric},
+		{Name: "category", Kind: joblog.Nominal},
+		{Name: "duration", Kind: joblog.Numeric},
+	})
+	log := joblog.NewLog(schema)
+	for i := 0; i < n; i++ {
+		x := rng.Float64()
+		cat := "a"
+		if rng.Float64() < 0.5 {
+			cat = "b"
+		}
+		dur := 10*x + rng.Float64()*0.5
+		log.MustAppend(&joblog.Record{ID: "r", Values: []joblog.Value{
+			joblog.Num(x), joblog.Num(rng.Float64()), joblog.Str(cat), joblog.Num(dur),
+		}})
+	}
+	return log
+}
+
+func TestRegressionWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	log := regressionLog(200, rng)
+	w, err := RegressionWeights(log, "duration", Config{K: 10, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := w[log.Schema.MustIndex("important")]
+	irr := w[log.Schema.MustIndex("irrelevant")]
+	if imp <= irr {
+		t.Errorf("important weight %v <= irrelevant weight %v", imp, irr)
+	}
+	if w[log.Schema.MustIndex("duration")] != 0 {
+		t.Error("target weight should be zero")
+	}
+	ranking := Ranking(log.Schema, w)
+	if ranking[0] != "important" && ranking[0] != "duration" {
+		// duration has weight 0; important should dominate the rest.
+		t.Errorf("ranking = %v", ranking)
+	}
+}
+
+func TestRegressionWeightsErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	log := regressionLog(10, rng)
+	if _, err := RegressionWeights(log, "nope", Config{}); err == nil {
+		t.Error("unknown target should error")
+	}
+	if _, err := RegressionWeights(log, "category", Config{}); err == nil {
+		t.Error("nominal target should error")
+	}
+	empty := joblog.NewLog(log.Schema)
+	if _, err := RegressionWeights(empty, "duration", Config{}); err == nil {
+		t.Error("empty log should error")
+	}
+}
+
+func TestRegressionDegenerateTarget(t *testing.T) {
+	schema := joblog.NewSchema([]joblog.Field{
+		{Name: "x", Kind: joblog.Numeric},
+		{Name: "duration", Kind: joblog.Numeric},
+	})
+	log := joblog.NewLog(schema)
+	for i := 0; i < 10; i++ {
+		log.MustAppend(&joblog.Record{ID: "r", Values: []joblog.Value{
+			joblog.Num(float64(i)), joblog.Num(42), // constant target
+		}})
+	}
+	w, err := RegressionWeights(log, "duration", Config{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range w {
+		if x != 0 {
+			t.Errorf("constant target should yield zero weights, w[%d] = %v", i, x)
+		}
+	}
+}
+
+func TestMissingValuesDoNotPanic(t *testing.T) {
+	schema := joblog.NewSchema([]joblog.Field{
+		{Name: "x", Kind: joblog.Numeric},
+		{Name: "c", Kind: joblog.Nominal},
+		{Name: "duration", Kind: joblog.Numeric},
+	})
+	log := joblog.NewLog(schema)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 50; i++ {
+		var xv, cv joblog.Value
+		if rng.Float64() < 0.3 {
+			xv = joblog.None()
+		} else {
+			xv = joblog.Num(rng.Float64())
+		}
+		if rng.Float64() < 0.3 {
+			cv = joblog.None()
+		} else {
+			cv = joblog.Str("v")
+		}
+		log.MustAppend(&joblog.Record{ID: "r", Values: []joblog.Value{
+			xv, cv, joblog.Num(rng.Float64()),
+		}})
+	}
+	if _, err := RegressionWeights(log, "duration", Config{K: 5, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+	labels := make([]bool, log.Len())
+	for i := range labels {
+		labels[i] = i%2 == 0
+	}
+	if _, err := Weights(log, labels, Config{K: 5, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func() []float64 {
+		rng := rand.New(rand.NewSource(7))
+		log := regressionLog(100, rng)
+		w, err := RegressionWeights(log, "duration", Config{K: 5, Rand: rand.New(rand.NewSource(9))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("weights differ at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSampleSizeM(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	log := regressionLog(100, rng)
+	w, err := RegressionWeights(log, "duration", Config{K: 5, M: 20, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w[log.Schema.MustIndex("important")] <= w[log.Schema.MustIndex("irrelevant")] {
+		t.Error("subsampled run should still rank the signal first")
+	}
+}

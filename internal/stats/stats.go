@@ -1,0 +1,171 @@
+// Package stats provides the small numeric helpers shared across the
+// PerfXplain reproduction: means and deviations, percentile ranks used by
+// the explanation scorer, binary entropy for the information-gain search,
+// and deterministic RNG derivation so every experiment is reproducible
+// from a single seed.
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs (n-1 denominator),
+// or 0 when fewer than two values are present.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// Min returns the smallest value in xs. It panics on an empty slice since
+// a minimum of nothing is a programming error at every call site we have.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest value in xs. It panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// BinaryEntropy returns H(p) = -p log2 p - (1-p) log2 (1-p) in bits.
+// The limits H(0) = H(1) = 0 are handled explicitly.
+func BinaryEntropy(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}
+
+// Entropy2 returns the entropy in bits of a two-class set with pos
+// positive and neg negative members. An empty set has zero entropy.
+func Entropy2(pos, neg int) float64 {
+	n := pos + neg
+	if n == 0 {
+		return 0
+	}
+	return BinaryEntropy(float64(pos) / float64(n))
+}
+
+// PercentileRanks maps each value in xs to its percentile rank in [0,1]:
+// the fraction of values strictly below it plus half the fraction of
+// equal values (the standard mid-rank convention, so ties share a rank).
+// This is the normalizeScore transformation of Algorithm 1: raw precision
+// and generality values are replaced by their ranks before being blended,
+// so the two scales cannot drown each other out.
+func PercentileRanks(xs []float64) []float64 {
+	n := len(xs)
+	if n == 0 {
+		return nil
+	}
+	if n == 1 {
+		return []float64{1}
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j < n && xs[idx[j]] == xs[idx[i]] {
+			j++
+		}
+		// Members of the tie group [i, j) all receive the mid-rank.
+		below := float64(i)
+		equal := float64(j - i)
+		r := (below + (equal-1)/2) / float64(n-1)
+		for k := i; k < j; k++ {
+			ranks[idx[k]] = r
+		}
+		i = j
+	}
+	return ranks
+}
+
+// Similar reports whether a and b are within 10% of one another, the
+// SIM band the paper uses for compare features (Section 3.1, footnote 1).
+// The tolerance is taken relative to the larger magnitude so the relation
+// is symmetric; two zeros are similar.
+func Similar(a, b float64) bool {
+	return SimilarTol(a, b, 0.10)
+}
+
+// SimilarTol is Similar with an explicit relative tolerance.
+func SimilarTol(a, b, tol float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale == 0 {
+		return true
+	}
+	return diff <= tol*scale
+}
+
+// NewRand returns a rand.Rand seeded from seed. It exists so call sites
+// never reach for the global source, keeping every run deterministic.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// DeriveRand deterministically derives an independent generator from a
+// parent seed and a stream label, so subsystems (workload noise, sampling,
+// cross-validation splits) draw from decoupled streams: changing how many
+// values one subsystem consumes never perturbs another.
+func DeriveRand(seed int64, stream string) *rand.Rand {
+	h := uint64(seed)
+	for _, c := range stream {
+		h = h*1099511628211 + uint64(c) // FNV-style mixing
+	}
+	return rand.New(rand.NewSource(int64(h)))
+}
+
+// Clamp limits x to the closed interval [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

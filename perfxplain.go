@@ -1,0 +1,454 @@
+// Package perfxplain is a from-scratch reproduction of PerfXplain
+// (Khoussainova, Balazinska, Suciu — "PerfXplain: Debugging MapReduce Job
+// Performance", PVLDB 5(7), 2012): a system that explains the relative
+// performance of pairs of MapReduce jobs or tasks from a log of past
+// executions.
+//
+// A user asks a PXQL query — "despite these conditions, I observed this
+// behaviour but expected that one; why?" — over a pair of executions, and
+// PerfXplain answers with a (despite, because) explanation learned from
+// the log:
+//
+//	jobs, tasks, _ := perfxplain.Collect(perfxplain.SweepOptions{Small: true, Seed: 1})
+//	ex, _ := perfxplain.NewExplainer(jobs, perfxplain.Options{})
+//	x, _ := ex.ExplainQuery(`
+//	    FOR J1, J2 WHERE J1.JobID = 'job-0004' AND J2.JobID = 'job-0020'
+//	    DESPITE numinstances_issame = T AND pigscript_issame = T
+//	    OBSERVED duration_compare = GT
+//	    EXPECTED duration_compare = SIM`)
+//	fmt.Println(x)
+//
+// The package also bundles the full substrate the paper's evaluation
+// needed — a working MapReduce engine with a virtual-time EC2-style
+// cluster simulator, a Ganglia-style monitor, the two Pig benchmark
+// workloads over a synthetic Excite query log, Hadoop-style job-history
+// parsing — plus the paper's two baseline explanation generators
+// (RuleOfThumb and SimButDiff) and quality metrics (relevance, precision,
+// generality).
+package perfxplain
+
+import (
+	"fmt"
+	"io"
+
+	"perfxplain/internal/baselines"
+	"perfxplain/internal/collect"
+	"perfxplain/internal/core"
+	"perfxplain/internal/features"
+	"perfxplain/internal/hadooplog"
+	"perfxplain/internal/joblog"
+	"perfxplain/internal/pxql"
+)
+
+// Log is an execution log: one record per job or task with its raw
+// features (configuration, data characteristics, counters, Ganglia
+// averages) and duration.
+type Log struct {
+	l *joblog.Log
+}
+
+// Len returns the number of logged executions.
+func (l *Log) Len() int { return l.l.Len() }
+
+// IDs returns the record identifiers in log order.
+func (l *Log) IDs() []string {
+	out := make([]string, 0, l.l.Len())
+	for _, r := range l.l.Records {
+		out = append(out, r.ID)
+	}
+	return out
+}
+
+// FeatureNames returns the raw feature names of the log's schema.
+func (l *Log) FeatureNames() []string {
+	fields := l.l.Schema.Fields()
+	out := make([]string, len(fields))
+	for i, f := range fields {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// Feature returns the string form of a record's raw feature value; the
+// empty string means missing. ok is false when the record or feature does
+// not exist.
+func (l *Log) Feature(id, feature string) (value string, ok bool) {
+	r := l.l.Find(id)
+	if r == nil {
+		return "", false
+	}
+	if _, exists := l.l.Schema.Index(feature); !exists {
+		return "", false
+	}
+	return l.l.Value(r, feature).String(), true
+}
+
+// Filter returns a new log holding the records for which keep returns
+// true; keep receives the record's ID.
+func (l *Log) Filter(keep func(id string) bool) *Log {
+	return &Log{l.l.Filter(func(r *joblog.Record) bool { return keep(r.ID) })}
+}
+
+// WriteCSV writes the log in the self-describing CSV format.
+func (l *Log) WriteCSV(w io.Writer) error { return l.l.WriteCSV(w) }
+
+// WriteJSON writes the log as JSON.
+func (l *Log) WriteJSON(w io.Writer) error { return l.l.WriteJSON(w) }
+
+// ReadLogCSV reads a log written by WriteCSV.
+func ReadLogCSV(r io.Reader) (*Log, error) {
+	l, err := joblog.ReadCSV(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Log{l}, nil
+}
+
+// ReadLogJSON reads a log written by WriteJSON.
+func ReadLogJSON(r io.Reader) (*Log, error) {
+	l, err := joblog.ReadJSON(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Log{l}, nil
+}
+
+// SweepOptions configures Collect.
+type SweepOptions struct {
+	// Small runs a 32-job grid instead of the paper's full 540-job
+	// Table 2 sweep — handy for tests and examples.
+	Small bool
+	// Seed makes the collected log reproducible.
+	Seed int64
+}
+
+// Collect executes the paper's parameter sweep on the simulated cluster
+// and returns the job and task execution logs.
+func Collect(opt SweepOptions) (jobs, tasks *Log, err error) {
+	sweep := collect.DefaultSweep(opt.Seed)
+	if opt.Small {
+		sweep = collect.SmallSweep(opt.Seed)
+	}
+	res, err := sweep.Collect()
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Log{res.Jobs}, &Log{res.Tasks}, nil
+}
+
+// LogsFromHistory parses Hadoop-style job-history streams (as written by
+// the pxqlcollect tool) into job and task logs. History files carry
+// counters, placement and timing but no Ganglia metrics; those features
+// are missing in the result, which PerfXplain handles natively.
+func LogsFromHistory(readers ...io.Reader) (jobs, tasks *Log, err error) {
+	jobSchema := collect.JobSchema()
+	taskSchema := collect.TaskSchema()
+	jl := joblog.NewLog(jobSchema)
+	tl := joblog.NewLog(taskSchema)
+	for i, r := range readers {
+		res, err := hadooplog.ReadJob(r)
+		if err != nil {
+			return nil, nil, fmt.Errorf("perfxplain: history stream %d: %w", i, err)
+		}
+		if err := jl.Append(collect.JobRecord(jobSchema, res, res.Start)); err != nil {
+			return nil, nil, err
+		}
+		for _, tr := range collect.TaskRecords(taskSchema, res, 0) {
+			if err := tl.Append(tr); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return &Log{jl}, &Log{tl}, nil
+}
+
+// Query is a parsed PXQL query.
+type Query struct {
+	q *pxql.Query
+}
+
+// ParseQuery parses PXQL source (see the package example for the
+// grammar). The FOR/WHERE clause binds the pair of interest.
+func ParseQuery(src string) (*Query, error) {
+	q, err := pxql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{q}, nil
+}
+
+// Bind sets the query's pair of interest by record ID.
+func (q *Query) Bind(id1, id2 string) {
+	q.q.ID1, q.q.ID2 = id1, id2
+}
+
+// Pair returns the bound pair of interest.
+func (q *Query) Pair() (id1, id2 string) { return q.q.ID1, q.q.ID2 }
+
+// String renders the query in PXQL syntax.
+func (q *Query) String() string { return q.q.String() }
+
+// Options tunes explanation generation; zero values take the paper's
+// defaults (width 3, sample 2000, precision weight 0.8, full feature set).
+type Options struct {
+	// Width is the number of predicates in the because clause.
+	Width int
+	// DespiteWidth is the width of generated despite extensions.
+	DespiteWidth int
+	// SampleSize is the balanced training-sample target.
+	SampleSize int
+	// FeatureLevel restricts explanation features: 1 = isSame only,
+	// 2 = + compare/diff, 3 = full (default).
+	FeatureLevel int
+	// MaxPairs caps pair enumeration (0 = library default).
+	MaxPairs int
+	// Seed drives sampling; runs are deterministic per seed.
+	Seed int64
+	// Target selects the performance metric being explained (default
+	// "duration"). The paper's approach applies directly to any numeric
+	// metric in the log.
+	Target string
+	// DiverseSample biases the training sample toward a varied set of
+	// executions (the paper's Section 4.3 future-work idea).
+	DiverseSample bool
+}
+
+func (o Options) coreConfig() core.Config {
+	cfg := core.Config{
+		Width:         o.Width,
+		DespiteWidth:  o.DespiteWidth,
+		SampleSize:    o.SampleSize,
+		MaxPairs:      o.MaxPairs,
+		Seed:          o.Seed,
+		Target:        o.Target,
+		DiverseSample: o.DiverseSample,
+	}
+	if o.FeatureLevel != 0 {
+		cfg.Level = features.Level(o.FeatureLevel)
+	}
+	return cfg
+}
+
+// Explainer answers PXQL queries over one log.
+type Explainer struct {
+	ex  *core.Explainer
+	log *Log
+}
+
+// NewExplainer builds an explainer over a job or task log.
+func NewExplainer(log *Log, opt Options) (*Explainer, error) {
+	ex, err := core.NewExplainer(log.l, opt.coreConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &Explainer{ex: ex, log: log}, nil
+}
+
+// Explanation is a generated (despite, because) answer plus its quality
+// measured on the training log.
+type Explanation struct {
+	x *core.Explanation
+	q *pxql.Query
+}
+
+// Despite returns the generated despite extension in PXQL syntax ("true"
+// when none was generated).
+func (x *Explanation) Despite() string { return x.x.Despite.String() }
+
+// Because returns the because clause in PXQL syntax.
+func (x *Explanation) Because() string { return x.x.Because.String() }
+
+// TrainPrecision is P(observed | because ∧ despite) on the training
+// sample.
+func (x *Explanation) TrainPrecision() float64 { return x.x.TrainPrecision }
+
+// TrainGenerality is P(because | despite) on the training sample.
+func (x *Explanation) TrainGenerality() float64 { return x.x.TrainGenerality }
+
+// TrainRelevance is P(expected | despite) on the related training pairs.
+func (x *Explanation) TrainRelevance() float64 { return x.x.TrainRelevance }
+
+// String renders the explanation in the paper's DESPITE/BECAUSE form.
+func (x *Explanation) String() string { return x.x.String() }
+
+// AtomDetail is the cumulative training quality of one because-clause
+// prefix, in clause order: the most important predicates come first.
+type AtomDetail struct {
+	// Atom is the predicate in PXQL syntax.
+	Atom string
+	// Precision is P(observed | atoms so far) on the training sample.
+	Precision float64
+	// Generality is P(atoms so far) on the training sample.
+	Generality float64
+}
+
+// AtomDetails reports how each successive because-clause predicate
+// tightened the explanation.
+func (x *Explanation) AtomDetails() []AtomDetail {
+	out := make([]AtomDetail, 0, len(x.x.Atoms))
+	for _, st := range x.x.Atoms {
+		out = append(out, AtomDetail{
+			Atom:       st.Atom.String(),
+			Precision:  st.Precision,
+			Generality: st.Generality,
+		})
+	}
+	return out
+}
+
+// Explain generates a because clause for the query (the user's despite
+// clause is used as-is).
+func (e *Explainer) Explain(q *Query) (*Explanation, error) {
+	x, err := e.ex.Explain(q.q)
+	if err != nil {
+		return nil, err
+	}
+	return &Explanation{x: x, q: q.q}, nil
+}
+
+// ExplainQuery parses PXQL source and explains it in one step.
+func (e *Explainer) ExplainQuery(src string) (*Explanation, error) {
+	q, err := ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.Explain(q)
+}
+
+// ExplainWithDespite first generates a despite extension (for
+// under-specified queries), then the because clause in its context.
+func (e *Explainer) ExplainWithDespite(q *Query) (*Explanation, error) {
+	x, err := e.ex.ExplainWithDespite(q.q)
+	if err != nil {
+		return nil, err
+	}
+	return &Explanation{x: x, q: q.q}, nil
+}
+
+// GenerateDespite produces only the despite extension for a query.
+func (e *Explainer) GenerateDespite(q *Query) (string, error) {
+	des, err := e.ex.GenerateDespite(q.q)
+	if err != nil {
+		return "", err
+	}
+	return des.String(), nil
+}
+
+// DespiteToThreshold generates the shortest despite extension whose
+// training relevance reaches the threshold (paper Section 4.2's
+// relevance-threshold modification). met reports whether the threshold
+// was reached; the returned clause is PerfXplain's best effort either
+// way.
+func (e *Explainer) DespiteToThreshold(q *Query, threshold float64) (despite string, relevance float64, met bool, err error) {
+	des, rel, ok, err := e.ex.DespiteToThreshold(q.q, threshold)
+	if err != nil {
+		return "", 0, false, err
+	}
+	return des.String(), rel, ok, nil
+}
+
+// NewTargetQuery builds an unbound query about an arbitrary numeric
+// metric: "I observed <target> to be <obsCode> (LT/SIM/GT) but expected
+// <expCode>". Combine with Bind or FindPairOfInterest, and set
+// Options.Target to the same metric when building the Explainer.
+func NewTargetQuery(target, obsCode, expCode string) (*Query, error) {
+	q, err := core.TargetQuery(target, obsCode, expCode)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{q}, nil
+}
+
+// Metrics are the paper's explanation-quality measures evaluated on a
+// log (Definitions 4-6).
+type Metrics struct {
+	Relevance  float64
+	Precision  float64
+	Generality float64
+}
+
+// Evaluate measures an explanation for a query against a log, typically
+// a held-out one.
+func Evaluate(log *Log, q *Query, x *Explanation, opt Options) (Metrics, error) {
+	maxPairs := opt.MaxPairs
+	if maxPairs == 0 {
+		maxPairs = core.DefaultConfig().MaxPairs
+	}
+	m, err := core.EvaluateExplanation(log.l, features.Level3, q.q, x.x, maxPairs, opt.Seed)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return Metrics{Relevance: m.Relevance, Precision: m.Precision, Generality: m.Generality}, nil
+}
+
+// RuleOfThumbExplain runs the RuleOfThumb baseline (paper Section 5.1):
+// the top-width globally important features the pair disagrees on.
+func RuleOfThumbExplain(log *Log, q *Query, width int, seed int64) (*Explanation, error) {
+	if width <= 0 {
+		width = 3
+	}
+	rot, err := baselines.NewRuleOfThumb(log.l, "duration", seed)
+	if err != nil {
+		return nil, err
+	}
+	x, err := rot.Explain(q.q, width)
+	if err != nil {
+		return nil, err
+	}
+	return &Explanation{x: x, q: q.q}, nil
+}
+
+// SimButDiffExplain runs the SimButDiff baseline (paper Section 5.2):
+// what-if analysis over isSame features of pairs similar to the pair of
+// interest.
+func SimButDiffExplain(log *Log, q *Query, width int, seed int64) (*Explanation, error) {
+	if width <= 0 {
+		width = 3
+	}
+	sbd, err := baselines.NewSimButDiff(log.l, baselines.SimButDiffConfig{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	x, err := sbd.Explain(q.q, width)
+	if err != nil {
+		return nil, err
+	}
+	return &Explanation{x: x, q: q.q}, nil
+}
+
+// FindPairOfInterest returns a pair of record IDs in the log that
+// satisfies the query's despite and observed clauses — a convenience for
+// demos and tests that need a concrete pair to ask about. Among the
+// matching pairs it returns the most salient one: the largest gap on the
+// raw feature the observed clause compares (a user asks about the case
+// that caught their eye, not a borderline one). ok is false when no such
+// pair exists.
+func FindPairOfInterest(log *Log, q *Query, seed int64) (id1, id2 string, ok bool) {
+	pairs := core.RelatedPairs(log.l, features.Level3, q.q, 50000, seed)
+	raw := ""
+	if len(q.q.Observed) > 0 {
+		raw, _ = features.ParseName(q.q.Observed[0].Feature)
+	}
+	bestGap := -1.0
+	for _, p := range pairs {
+		if !p.Observed {
+			continue
+		}
+		gap := 0.0
+		if raw != "" {
+			v1 := log.l.Value(p.A, raw)
+			v2 := log.l.Value(p.B, raw)
+			if v1.Kind == joblog.Numeric && v2.Kind == joblog.Numeric && v1.Num > 0 && v2.Num > 0 {
+				gap = v1.Num / v2.Num
+				if gap < 1 {
+					gap = 1 / gap
+				}
+			}
+		}
+		if gap > bestGap {
+			bestGap = gap
+			id1, id2, ok = p.A.ID, p.B.ID, true
+		}
+	}
+	return id1, id2, ok
+}
