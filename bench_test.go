@@ -14,6 +14,7 @@ package perfxplain
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -352,6 +353,54 @@ func BenchmarkExplainLatency(b *testing.B) {
 		if _, err := ex.Explain(q); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkParallelismAblation tracks the serial-vs-parallel speedup of
+// the explanation pipeline: the same workload at Parallelism 1, 2, 4 and
+// GOMAXPROCS. Output is byte-identical across the variants (asserted by
+// the determinism tests), so any delta is pure throughput. Two scopes:
+// "explain" is a single end-to-end core explanation on the full 540-job
+// log; "table3" is the harness regenerating Table 3 (reps, despite
+// generation and held-out evaluation all on the worker pool).
+func BenchmarkParallelismAblation(b *testing.B) {
+	benchHarness(b, 3)
+	t := eval.WhySlowerDespiteSameNumInstances()
+	q, err := t.Query()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairs := core.RelatedPairs(benchRes.Jobs, features.Level3, q, 50000, 1)
+	for _, p := range pairs {
+		if p.Observed {
+			q.ID1, q.ID2 = p.A.ID, p.B.ID
+			break
+		}
+	}
+	levels := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+	for _, p := range levels {
+		b.Run(fmt.Sprintf("explain/p%d", p), func(b *testing.B) {
+			ex, err := core.NewExplainer(benchRes.Jobs, core.Config{Width: 3, Seed: 1, Parallelism: p})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := ex.Explain(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, p := range levels {
+		b.Run(fmt.Sprintf("table3/p%d", p), func(b *testing.B) {
+			h := benchHarness(b, 3)
+			h.Parallelism = p
+			for i := 0; i < b.N; i++ {
+				if _, err := h.Table3(3); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -32,20 +32,21 @@ func main() {
 	width := flag.Int("width", 3, "explanation width")
 	level := flag.Int("level", 3, "feature level 1-3")
 	seed := flag.Int64("seed", 1, "sampling seed")
+	parallelism := flag.Int("parallelism", 0, "worker goroutines for the explanation pipeline (0 = all cores); the answer is identical at every setting")
 	technique := flag.String("technique", "perfxplain", "perfxplain | ruleofthumb | simbutdiff")
 	genDespite := flag.Bool("gen-despite", false, "generate a despite extension before explaining (perfxplain only)")
 	evalPath := flag.String("eval", "", "optional second log CSV to evaluate the explanation against")
 	flag.Parse()
 
 	if err := run(*logPath, *querySrc, *queryFile, *pair, *find, *width, *level,
-		*seed, *technique, *genDespite, *evalPath); err != nil {
+		*seed, *parallelism, *technique, *genDespite, *evalPath); err != nil {
 		fmt.Fprintln(os.Stderr, "pxql:", err)
 		os.Exit(1)
 	}
 }
 
 func run(logPath, querySrc, queryFile, pair string, find bool, width, level int,
-	seed int64, technique string, genDespite bool, evalPath string) error {
+	seed int64, parallelism int, technique string, genDespite bool, evalPath string) error {
 
 	if logPath == "" {
 		return fmt.Errorf("-log is required")
@@ -74,7 +75,7 @@ func run(logPath, querySrc, queryFile, pair string, find bool, width, level int,
 		if !find {
 			return fmt.Errorf("no pair of interest: add a FOR clause, -pair, or -find")
 		}
-		id1, id2, ok := perfxplain.FindPairOfInterest(log, q, seed)
+		id1, id2, ok := perfxplain.FindPairOfInterestP(log, q, seed, parallelism)
 		if !ok {
 			return fmt.Errorf("no pair in the log satisfies the query")
 		}
@@ -82,7 +83,7 @@ func run(logPath, querySrc, queryFile, pair string, find bool, width, level int,
 		fmt.Printf("pair of interest: %s, %s\n", id1, id2)
 	}
 
-	opt := perfxplain.Options{Width: width, DespiteWidth: width, FeatureLevel: level, Seed: seed}
+	opt := perfxplain.Options{Width: width, DespiteWidth: width, FeatureLevel: level, Seed: seed, Parallelism: parallelism}
 	var x *perfxplain.Explanation
 	switch strings.ToLower(technique) {
 	case "perfxplain":
@@ -104,7 +105,7 @@ func run(logPath, querySrc, queryFile, pair string, find bool, width, level int,
 			return err
 		}
 	case "simbutdiff":
-		x, err = perfxplain.SimButDiffExplain(log, q, width, seed)
+		x, err = perfxplain.SimButDiffExplainP(log, q, width, seed, parallelism)
 		if err != nil {
 			return err
 		}
@@ -124,7 +125,7 @@ func run(logPath, querySrc, queryFile, pair string, find bool, width, level int,
 		if err != nil {
 			return err
 		}
-		m, err := perfxplain.Evaluate(evalLog, q, x, perfxplain.Options{Seed: seed})
+		m, err := perfxplain.Evaluate(evalLog, q, x, perfxplain.Options{Seed: seed, Parallelism: parallelism})
 		if err != nil {
 			return err
 		}

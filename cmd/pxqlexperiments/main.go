@@ -26,15 +26,16 @@ func main() {
 	seed := flag.Int64("seed", 42, "sweep + harness seed")
 	reps := flag.Int("reps", 10, "cross-validation repetitions")
 	small := flag.Bool("small", false, "use the reduced 32-job grid (faster, noisier)")
+	parallelism := flag.Int("parallelism", 0, "worker goroutines for repetitions and cells (0 = all cores); tables are identical at every setting")
 	flag.Parse()
 
-	if err := run(*exp, *seed, *reps, *small); err != nil {
+	if err := run(*exp, *seed, *reps, *small, *parallelism); err != nil {
 		fmt.Fprintln(os.Stderr, "pxqlexperiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, seed int64, reps int, small bool) error {
+func run(exp string, seed int64, reps int, small bool, parallelism int) error {
 	sweep := collect.DefaultSweep(seed)
 	if small {
 		sweep = collect.SmallSweep(seed)
@@ -49,6 +50,7 @@ func run(exp string, seed int64, reps int, small bool) error {
 
 	h := eval.NewHarness(res.Jobs, res.Tasks, seed)
 	h.Reps = reps
+	h.Parallelism = parallelism
 
 	type runner func() error
 	table := func(f func() (*eval.Table, error)) runner {

@@ -1,0 +1,3 @@
+module perfxplain
+
+go 1.22

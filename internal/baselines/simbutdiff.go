@@ -23,6 +23,10 @@ type SimButDiffConfig struct {
 	// Target raw feature excluded from the isSame feature set (it is the
 	// query subject). Default "duration".
 	Target string
+	// Parallelism bounds the worker goroutines of related-pair
+	// enumeration (<= 0 means GOMAXPROCS); the result is identical at
+	// every setting.
+	Parallelism int
 }
 
 func (c SimButDiffConfig) withDefaults() SimButDiffConfig {
@@ -89,7 +93,7 @@ func (s *SimButDiff) Explain(q *pxql.Query, width int) (*core.Explanation, error
 
 	// Lines 1-5: related pairs, reduced to isSame features, filtered to
 	// those agreeing with the pair of interest on >= k features.
-	related := core.RelatedPairs(s.log, features.Level3, q, s.cfg.MaxPairs, s.cfg.Seed)
+	related := core.RelatedPairsP(s.log, features.Level3, q, s.cfg.MaxPairs, s.cfg.Seed, s.cfg.Parallelism)
 	if len(related) == 0 {
 		return nil, fmt.Errorf("baselines: no related pairs for this query")
 	}

@@ -194,7 +194,7 @@ func TestBlockingMatchesBruteForce(t *testing.T) {
 		Observed: pxql.Predicate{{Feature: "duration_compare", Op: pxql.OpEq, Value: joblog.Str("GT")}},
 		Expected: pxql.Predicate{{Feature: "duration_compare", Op: pxql.OpEq, Value: joblog.Str("SIM")}},
 	}
-	blocked := enumerateRelated(log, d, q, q.Despite, 0, rand.New(rand.NewSource(1)))
+	blocked := enumerateRelated(log, d, q, q.Despite, 0, 1, 1)
 
 	// Brute force for comparison.
 	type key struct{ a, b string }

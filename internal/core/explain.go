@@ -7,6 +7,7 @@ import (
 	"perfxplain/internal/dtree"
 	"perfxplain/internal/features"
 	"perfxplain/internal/joblog"
+	"perfxplain/internal/par"
 	"perfxplain/internal/pxql"
 	"perfxplain/internal/stats"
 )
@@ -49,6 +50,10 @@ type Config struct {
 	// appear in the training sample, implementing the paper's Section 4.3
 	// future-work idea of biasing toward a varied set of executions.
 	DiverseSample bool
+	// Parallelism bounds the worker goroutines used for pair enumeration,
+	// materialization and predicate scoring. Values <= 0 mean
+	// runtime.GOMAXPROCS(0). Output is byte-identical at every setting.
+	Parallelism int
 }
 
 // DefaultConfig returns the paper's settings.
@@ -213,8 +218,8 @@ func (e *Explainer) explain(q *pxql.Query, genDespite bool) (*Explanation, error
 		despite = q.Despite.And(des)
 	}
 
-	rng := stats.DeriveRand(e.cfg.Seed, "because")
-	related := enumerateRelated(e.log, e.d, q, despite, e.cfg.MaxPairs, rng)
+	related := enumerateRelated(e.log, e.d, q, despite, e.cfg.MaxPairs,
+		stats.DeriveSeed(e.cfg.Seed, "because-pairs"), e.cfg.Parallelism)
 	x.RelatedPairs = len(related.refs)
 	if len(related.refs) == 0 {
 		return nil, fmt.Errorf("core: no related pairs in the log for this query")
@@ -222,9 +227,12 @@ func (e *Explainer) explain(q *pxql.Query, genDespite bool) (*Explanation, error
 	nObs, _ := related.counts()
 	x.TrainRelevance = 1 - float64(nObs)/float64(len(related.refs))
 
-	sample := e.sample(related, rng)
+	// Sampling stays serial: it is O(pairs) cheap, and drawing from one
+	// sequential stream over the deterministically ordered pair set keeps
+	// it reproducible.
+	sample := e.sample(related, stats.DeriveRand(e.cfg.Seed, "because-sample"))
 	x.SampleSize = len(sample.refs)
-	vecs := materialize(e.log, e.d, sample)
+	vecs := materialize(e.log, e.d, sample, e.cfg.Parallelism)
 	pairVec := e.d.Vector(a, b)
 
 	bec := e.grow(vecs, sample.labels, pairVec, e.cfg.Width)
@@ -279,13 +287,13 @@ func (e *Explainer) GenerateDespite(q *pxql.Query) (pxql.Predicate, error) {
 }
 
 func (e *Explainer) generateDespite(q *pxql.Query, a, b *joblog.Record) (pxql.Predicate, error) {
-	rng := stats.DeriveRand(e.cfg.Seed, "despite")
-	related := enumerateRelated(e.log, e.d, q, q.Despite, e.cfg.MaxPairs, rng)
+	related := enumerateRelated(e.log, e.d, q, q.Despite, e.cfg.MaxPairs,
+		stats.DeriveSeed(e.cfg.Seed, "despite-pairs"), e.cfg.Parallelism)
 	if len(related.refs) == 0 {
 		return nil, fmt.Errorf("core: no related pairs in the log for this query")
 	}
-	sample := e.sample(related, rng)
-	vecs := materialize(e.log, e.d, sample)
+	sample := e.sample(related, stats.DeriveRand(e.cfg.Seed, "despite-sample"))
+	vecs := materialize(e.log, e.d, sample, e.cfg.Parallelism)
 	pairVec := e.d.Vector(a, b)
 
 	// Positive class for despite generation is "performed as expected":
@@ -343,10 +351,12 @@ func (e *Explainer) grow(vecs [][]joblog.Value, labels []bool,
 		}
 
 		// Cross-feature selection: percentile-normalised blend of
-		// precision (P(positive | p)) and generality (P(p)).
+		// precision (P(positive | p)) and generality (P(p)). Each
+		// candidate's counts are independent, so score them in parallel.
 		precs := make([]float64, len(cands))
 		gens := make([]float64, len(cands))
-		for ci, cand := range cands {
+		par.Do(len(cands), e.cfg.Parallelism, func(ci int) {
+			cand := cands[ci]
 			sat, satPos := 0, 0
 			fi := cand.featIdx
 			for _, i := range cur {
@@ -361,7 +371,7 @@ func (e *Explainer) grow(vecs [][]joblog.Value, labels []bool,
 				precs[ci] = float64(satPos) / float64(sat)
 			}
 			gens[ci] = float64(sat) / float64(len(cur))
-		}
+		})
 		precScores, genScores := precs, gens
 		if !e.cfg.RawScores {
 			precScores = stats.PercentileRanks(precs)
@@ -397,7 +407,10 @@ type candidate struct {
 }
 
 // candidates builds the best applicable predicate per feature by
-// information gain (Algorithm 1 line 5). Features derived from the query
+// information gain (Algorithm 1 line 5) — the algorithm's inner loop,
+// scored concurrently across features. Results land in a per-feature
+// slot and are compacted in schema order afterwards, so the candidate
+// list is independent of scheduling. Features derived from the query
 // target are excluded, as are features whose pair-of-interest value is
 // missing (no applicable predicate exists) and atoms already in the
 // clause.
@@ -409,27 +422,27 @@ func (e *Explainer) candidates(vecs [][]joblog.Value, labels []bool,
 	for k, i := range cur {
 		subLabels[k] = labels[i]
 	}
-	col := make([]joblog.Value, len(cur))
 
-	var out []candidate
-	for f := 0; f < schema.Len(); f++ {
+	found := make([]*candidate, schema.Len())
+	par.Do(schema.Len(), e.cfg.Parallelism, func(f int) {
 		rawIdx, kind := e.d.RawOf(f)
 		if e.d.RawSchema().Field(rawIdx).Name == e.cfg.Target {
-			continue
+			return
 		}
 		// Honour the configured feature level (Section 6.8): level 1 may
 		// use only isSame features; level 2 adds compare and diff; level 3
 		// adds base features.
 		if e.cfg.Level == features.Level1 && kind != features.IsSame {
-			continue
+			return
 		}
 		if e.cfg.Level == features.Level2 && kind == features.Base {
-			continue
+			return
 		}
 		v0 := pairVec[f]
 		if v0.IsMissing() {
-			continue // no predicate over f can hold on the pair of interest
+			return // no predicate over f can hold on the pair of interest
 		}
+		col := make([]joblog.Value, len(cur))
 		for k, i := range cur {
 			col[k] = vecs[i][f]
 		}
@@ -438,7 +451,7 @@ func (e *Explainer) candidates(vecs [][]joblog.Value, labels []bool,
 		if schema.Field(f).Kind == joblog.Numeric {
 			thr, g, ok := dtree.BestThreshold(col, subLabels)
 			if !ok {
-				continue
+				return
 			}
 			op := pxql.OpLe
 			if v0.Num > thr {
@@ -449,7 +462,7 @@ func (e *Explainer) candidates(vecs [][]joblog.Value, labels []bool,
 		} else {
 			val, g, ok := dtree.BestNominalValue(col, subLabels)
 			if !ok {
-				continue
+				return
 			}
 			// The split on value v* has the same gain whichever side the
 			// predicate asserts; applicability picks the direction.
@@ -461,9 +474,16 @@ func (e *Explainer) candidates(vecs [][]joblog.Value, labels []bool,
 			gain = g
 		}
 		if containsAtom(clause, atom) {
-			continue
+			return
 		}
-		out = append(out, candidate{featIdx: f, atom: atom, gain: gain})
+		found[f] = &candidate{featIdx: f, atom: atom, gain: gain}
+	})
+
+	var out []candidate
+	for _, c := range found {
+		if c != nil {
+			out = append(out, *c)
+		}
 	}
 	return out
 }

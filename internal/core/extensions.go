@@ -43,10 +43,10 @@ func (e *Explainer) DespiteToThreshold(q *pxql.Query, r float64) (des pxql.Predi
 	if err != nil {
 		return nil, 0, false, err
 	}
-	rng := stats.DeriveRand(e.cfg.Seed, "despite-threshold")
+	pairSeed := stats.DeriveSeed(e.cfg.Seed, "despite-threshold")
 	for w := 0; w <= len(full); w++ {
 		prefix := full[:w]
-		rel := e.trainRelevance(q, q.Despite.And(prefix), rng)
+		rel := e.trainRelevance(q, q.Despite.And(prefix), pairSeed)
 		if rel >= r {
 			return prefix, rel, true, nil
 		}
@@ -57,8 +57,8 @@ func (e *Explainer) DespiteToThreshold(q *pxql.Query, r float64) (des pxql.Predi
 }
 
 // trainRelevance measures P(exp | despite) over the log's related pairs.
-func (e *Explainer) trainRelevance(q *pxql.Query, despite pxql.Predicate, rng *rand.Rand) float64 {
-	related := enumerateRelated(e.log, e.d, q, despite, e.cfg.MaxPairs, rng)
+func (e *Explainer) trainRelevance(q *pxql.Query, despite pxql.Predicate, pairSeed uint64) float64 {
+	related := enumerateRelated(e.log, e.d, q, despite, e.cfg.MaxPairs, pairSeed, e.cfg.Parallelism)
 	if len(related.refs) == 0 {
 		return 0
 	}

@@ -2,10 +2,10 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
 
 	"perfxplain/internal/features"
 	"perfxplain/internal/joblog"
+	"perfxplain/internal/par"
 	"perfxplain/internal/pxql"
 	"perfxplain/internal/stats"
 )
@@ -29,12 +29,22 @@ type Metrics struct {
 	BecausePairs int
 }
 
-// EvaluateExplanation measures an explanation against a log. The query
-// supplies des, obs and exp; the explanation supplies des' and bec. The
-// probability space is the set of ordered pairs satisfying des ∧ des'
-// (blocked and capped exactly like training enumeration).
+// EvaluateExplanation measures an explanation against a log with all
+// available cores. The query supplies des, obs and exp; the explanation
+// supplies des' and bec. The probability space is the set of ordered
+// pairs satisfying des ∧ des' (blocked and capped exactly like training
+// enumeration).
 func EvaluateExplanation(log *joblog.Log, level features.Level,
 	q *pxql.Query, x *Explanation, maxPairs int, seed int64) (Metrics, error) {
+	return EvaluateExplanationP(log, level, q, x, maxPairs, seed, 0)
+}
+
+// EvaluateExplanationP is EvaluateExplanation with an explicit worker
+// count (<= 0 means GOMAXPROCS). Shards accumulate integer counts that
+// are summed in shard order, so the metrics are exact and identical at
+// every parallelism level.
+func EvaluateExplanationP(log *joblog.Log, level features.Level,
+	q *pxql.Query, x *Explanation, maxPairs int, seed int64, parallelism int) (Metrics, error) {
 
 	if log == nil || log.Len() == 0 {
 		return Metrics{}, fmt.Errorf("core: empty evaluation log")
@@ -46,21 +56,38 @@ func EvaluateExplanation(log *joblog.Log, level features.Level,
 		}
 	}
 	despite := q.Despite.And(x.Despite)
-	rng := stats.DeriveRand(seed, "evaluate")
+	pairSeed := stats.DeriveSeed(seed, "evaluate")
+	sp := buildPairSpace(log, despite, maxPairs, parallelism)
+
+	type counts struct {
+		context, exp, bec, obsGivenBec int
+	}
+	parts := make([]counts, len(sp.shards))
+	par.Do(len(sp.shards), parallelism, func(s int) {
+		var c counts
+		sp.forEachPair(s, log, d, despite, pairSeed, func(_, _ int, a, b *joblog.Record) {
+			c.context++
+			if q.Expected.EvalPair(d, a, b) {
+				c.exp++
+			}
+			if x.Because.EvalPair(d, a, b) {
+				c.bec++
+				if q.Observed.EvalPair(d, a, b) {
+					c.obsGivenBec++
+				}
+			}
+		})
+		parts[s] = c
+	})
+
 	var m Metrics
 	var nExp, nObsGivenBec int
-	forEachContextPair(log, d, despite, maxPairs, rng, func(a, b *joblog.Record) {
-		m.ContextPairs++
-		if q.Expected.EvalPair(d, a, b) {
-			nExp++
-		}
-		if x.Because.EvalPair(d, a, b) {
-			m.BecausePairs++
-			if q.Observed.EvalPair(d, a, b) {
-				nObsGivenBec++
-			}
-		}
-	})
+	for _, c := range parts {
+		m.ContextPairs += c.context
+		nExp += c.exp
+		m.BecausePairs += c.bec
+		nObsGivenBec += c.obsGivenBec
+	}
 	if m.ContextPairs == 0 {
 		return m, fmt.Errorf("core: no pairs satisfy the despite context in the evaluation log")
 	}
@@ -70,60 +97,4 @@ func EvaluateExplanation(log *joblog.Log, level features.Level,
 		m.Precision = float64(nObsGivenBec) / float64(m.BecausePairs)
 	}
 	return m, nil
-}
-
-// forEachContextPair visits ordered pairs satisfying the despite context,
-// using the same blocking and capping rules as training enumeration.
-func forEachContextPair(log *joblog.Log, d *features.Deriver,
-	despite pxql.Predicate, maxPairs int, rng *rand.Rand,
-	visit func(a, b *joblog.Record)) {
-
-	recs := candidateRecords(log, despite)
-	var blockIdx []int
-	for _, a := range despite {
-		raw, kind := features.ParseName(a.Feature)
-		if kind != features.IsSame || a.Op != pxql.OpEq || a.Value != features.ValT {
-			continue
-		}
-		if i, ok := log.Schema.Index(raw); ok {
-			blockIdx = append(blockIdx, i)
-		}
-	}
-	groups := make(map[string][]int)
-	order := []string{}
-	for _, ri := range recs {
-		key := blockKey(log.Records[ri], blockIdx)
-		if key == "" && len(blockIdx) > 0 {
-			continue
-		}
-		if _, seen := groups[key]; !seen {
-			order = append(order, key)
-		}
-		groups[key] = append(groups[key], ri)
-	}
-	var total int
-	for _, g := range groups {
-		total += len(g) * (len(g) - 1)
-	}
-	keepP := 1.0
-	if maxPairs > 0 && total > maxPairs {
-		keepP = float64(maxPairs) / float64(total)
-	}
-	for _, key := range order {
-		g := groups[key]
-		for _, i := range g {
-			for _, j := range g {
-				if i == j {
-					continue
-				}
-				if keepP < 1 && rng.Float64() >= keepP {
-					continue
-				}
-				a, b := log.Records[i], log.Records[j]
-				if despite.EvalPair(d, a, b) {
-					visit(a, b)
-				}
-			}
-		}
-	}
 }

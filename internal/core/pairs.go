@@ -24,11 +24,14 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 	"strings"
 
 	"perfxplain/internal/features"
 	"perfxplain/internal/joblog"
+	"perfxplain/internal/par"
 	"perfxplain/internal/pxql"
+	"perfxplain/internal/stats"
 )
 
 // pairRef is an ordered pair of record indices into the log.
@@ -43,6 +46,127 @@ type pairSet struct {
 	labels []bool
 }
 
+// pairShard is one unit of parallel pair enumeration: the outer-loop
+// positions [lo, hi) of a single blocking group. Shards partition the
+// full iteration space contiguously in (group order, member order), so
+// concatenating shard outputs in shard order reproduces the serial
+// iteration order no matter how the shards were scheduled.
+type pairShard struct {
+	group  []int // record indices of the blocking group
+	lo, hi int   // outer-member positions this shard owns
+}
+
+// pairSpace is the blocked ordered-pair space of a log under a despite
+// clause: shards in deterministic order plus the Bernoulli keep
+// probability implied by maxPairs.
+type pairSpace struct {
+	shards []pairShard
+	keepP  float64
+}
+
+// blockIndexes extracts the raw schema indices of despite conjuncts of
+// the form <raw>_issame = T, the blocking keys of pair enumeration.
+func blockIndexes(log *joblog.Log, despite pxql.Predicate) []int {
+	var blockIdx []int
+	for _, a := range despite {
+		raw, kind := features.ParseName(a.Feature)
+		if kind != features.IsSame || a.Op != pxql.OpEq || a.Value != features.ValT {
+			continue
+		}
+		if i, ok := log.Schema.Index(raw); ok {
+			blockIdx = append(blockIdx, i)
+		}
+	}
+	return blockIdx
+}
+
+// buildPairSpace blocks the candidate records into groups and cuts the
+// iteration space into shards sized for the worker count. Group order is
+// deterministic (first-appearance order over the record list) and shard
+// boundaries only affect scheduling, never output order.
+func buildPairSpace(log *joblog.Log, despite pxql.Predicate, maxPairs, workers int) pairSpace {
+	recs := candidateRecords(log, despite)
+	blockIdx := blockIndexes(log, despite)
+
+	groups := make(map[string][]int)
+	var order []string
+	for _, ri := range recs {
+		key := blockKey(log.Records[ri], blockIdx)
+		if key == "" && len(blockIdx) > 0 {
+			continue // missing blocking value can never satisfy isSame = T
+		}
+		if _, seen := groups[key]; !seen {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], ri)
+	}
+
+	// Candidate ordered pair count, for the subsampling probability.
+	var total, units int
+	for _, g := range groups {
+		total += len(g) * (len(g) - 1)
+		units += len(g)
+	}
+	keepP := 1.0
+	if maxPairs > 0 && total > maxPairs {
+		keepP = float64(maxPairs) / float64(total)
+	}
+
+	// Aim for several shards per worker so uneven groups still balance.
+	chunk := units / (par.Resolve(workers) * 8)
+	if chunk < 1 {
+		chunk = 1
+	}
+	sp := pairSpace{keepP: keepP}
+	for _, key := range order {
+		g := groups[key]
+		for lo := 0; lo < len(g); lo += chunk {
+			hi := lo + chunk
+			if hi > len(g) {
+				hi = len(g)
+			}
+			sp.shards = append(sp.shards, pairShard{group: g, lo: lo, hi: hi})
+		}
+	}
+	return sp
+}
+
+// keepPair is the counter-based Bernoulli subsampling decision for the
+// ordered record pair (i, j): a pure function of the seed and the pair,
+// so the decision is identical whichever shard or goroutine evaluates it.
+func keepPair(seed uint64, i, j int, keepP float64) bool {
+	if keepP >= 1 {
+		return true
+	}
+	return stats.KeepFloat(seed, uint64(i)<<32|uint64(uint32(j))) < keepP
+}
+
+// forEachPair visits one shard's ordered pairs that survive the keep
+// decision and satisfy the despite clause, in iteration order. This is
+// the single definition of the pair probability space: training
+// enumeration and explanation evaluation both walk it, so they can never
+// drift apart on blocking, capping or the despite check.
+func (sp pairSpace) forEachPair(shard int, log *joblog.Log, d *features.Deriver,
+	despite pxql.Predicate, seed uint64, visit func(i, j int, a, b *joblog.Record)) {
+
+	sh := sp.shards[shard]
+	for _, i := range sh.group[sh.lo:sh.hi] {
+		for _, j := range sh.group {
+			if i == j {
+				continue
+			}
+			if !keepPair(seed, i, j, sp.keepP) {
+				continue
+			}
+			a, b := log.Records[i], log.Records[j]
+			if !despite.EvalPair(d, a, b) {
+				continue
+			}
+			visit(i, j, a, b)
+		}
+	}
+}
+
 // enumerateRelated walks the ordered pairs of the log that satisfy the
 // despite predicate and either obs or exp, labelling them. To avoid the
 // quadratic blowup on task logs, despite conjuncts of the forms
@@ -54,82 +178,38 @@ type pairSet struct {
 // pair-by-pair afterwards, so blocking is purely an optimisation. When the
 // blocked pair space still exceeds maxPairs, a deterministic Bernoulli
 // subsample is taken.
+//
+// Shards are enumerated on up to workers goroutines and merged in shard
+// order; together with the counter-based keep decision this makes the
+// result byte-identical at every worker count.
 func enumerateRelated(log *joblog.Log, d *features.Deriver, q *pxql.Query,
-	despite pxql.Predicate, maxPairs int, rng *rand.Rand) *pairSet {
+	despite pxql.Predicate, maxPairs int, seed uint64, workers int) *pairSet {
 
-	recs := candidateRecords(log, despite)
-
-	// Blocking keys: raw features whose isSame must be T.
-	var blockIdx []int
-	for _, a := range despite {
-		raw, kind := features.ParseName(a.Feature)
-		if kind != features.IsSame || a.Op != pxql.OpEq || a.Value != features.ValT {
-			continue
-		}
-		if i, ok := log.Schema.Index(raw); ok {
-			blockIdx = append(blockIdx, i)
-		}
-	}
-
-	groups := make(map[string][]int)
-	for _, ri := range recs {
-		key := blockKey(log.Records[ri], blockIdx)
-		if key == "" && len(blockIdx) > 0 {
-			continue // missing blocking value can never satisfy isSame = T
-		}
-		groups[key] = append(groups[key], ri)
-	}
-
-	// Candidate ordered pair count, for the subsampling probability.
-	var total int
-	for _, g := range groups {
-		total += len(g) * (len(g) - 1)
-	}
-	keepP := 1.0
-	if maxPairs > 0 && total > maxPairs {
-		keepP = float64(maxPairs) / float64(total)
-	}
-
-	// Deterministic group order: iterate records, visiting each group when
-	// its first member appears.
-	visited := make(map[string]bool)
-	ps := &pairSet{}
-	for _, ri := range recs {
-		key := blockKey(log.Records[ri], blockIdx)
-		if visited[key] {
-			continue
-		}
-		if key == "" && len(blockIdx) > 0 {
-			continue
-		}
-		visited[key] = true
-		g := groups[key]
-		for _, i := range g {
-			for _, j := range g {
-				if i == j {
-					continue
-				}
-				if keepP < 1 && rng.Float64() >= keepP {
-					continue
-				}
-				a, b := log.Records[i], log.Records[j]
-				if !despite.EvalPair(d, a, b) {
-					continue
-				}
-				obs := q.Observed.EvalPair(d, a, b)
-				exp := q.Expected.EvalPair(d, a, b)
-				if !obs && !exp {
-					continue
-				}
-				// A pair satisfying both obs and exp would contradict
-				// obs ⊨ ¬exp (Definition 1); classify as observed, which
-				// can only happen with inconsistent user predicates.
-				ps.refs = append(ps.refs, pairRef{i, j})
-				ps.labels = append(ps.labels, obs)
+	sp := buildPairSpace(log, despite, maxPairs, workers)
+	parts := make([]*pairSet, len(sp.shards))
+	par.Do(len(sp.shards), workers, func(s int) {
+		ps := &pairSet{}
+		sp.forEachPair(s, log, d, despite, seed, func(i, j int, a, b *joblog.Record) {
+			obs := q.Observed.EvalPair(d, a, b)
+			exp := q.Expected.EvalPair(d, a, b)
+			if !obs && !exp {
+				return
 			}
-		}
+			// A pair satisfying both obs and exp would contradict
+			// obs ⊨ ¬exp (Definition 1); classify as observed, which
+			// can only happen with inconsistent user predicates.
+			ps.refs = append(ps.refs, pairRef{i, j})
+			ps.labels = append(ps.labels, obs)
+		})
+		parts[s] = ps
+	})
+
+	out := &pairSet{}
+	for _, p := range parts {
+		out.refs = append(out.refs, p.refs...)
+		out.labels = append(out.labels, p.labels...)
 	}
-	return ps
+	return out
 }
 
 // candidateRecords applies base-feature equality prefilters from the
@@ -165,6 +245,11 @@ func candidateRecords(log *joblog.Log, despite pxql.Predicate) []int {
 	return out
 }
 
+// blockKey renders a record's blocking tuple as a string key. Each value
+// is length-prefixed so distinct tuples can never alias, whatever bytes
+// the values contain. The empty key is reserved: it means "no blocking"
+// when blockIdx is empty and "unblockable" (a missing blocking value)
+// otherwise — a present tuple always renders to at least "0:".
 func blockKey(r *joblog.Record, blockIdx []int) string {
 	if len(blockIdx) == 0 {
 		return ""
@@ -175,8 +260,10 @@ func blockKey(r *joblog.Record, blockIdx []int) string {
 		if v.IsMissing() {
 			return ""
 		}
-		b.WriteString(v.String())
-		b.WriteByte('\x1f')
+		s := v.String()
+		b.WriteString(strconv.Itoa(len(s)))
+		b.WriteByte(':')
+		b.WriteString(s)
 	}
 	return b.String()
 }
@@ -249,12 +336,15 @@ func uniformSample(ps *pairSet, m int, rng *rand.Rand) *pairSet {
 	return out
 }
 
-// materialize computes the derived feature vectors for the pair set.
-func materialize(log *joblog.Log, d *features.Deriver, ps *pairSet) [][]joblog.Value {
+// materialize computes the derived feature vectors for the pair set,
+// fanned out across workers; each slot is written by exactly one
+// goroutine, so the result is identical at every worker count.
+func materialize(log *joblog.Log, d *features.Deriver, ps *pairSet, workers int) [][]joblog.Value {
 	vecs := make([][]joblog.Value, len(ps.refs))
-	for i, ref := range ps.refs {
+	par.Do(len(ps.refs), workers, func(i int) {
+		ref := ps.refs[i]
 		vecs[i] = d.Vector(log.Records[ref.a], log.Records[ref.b])
-	}
+	})
 	return vecs
 }
 

@@ -20,13 +20,21 @@ type LabeledPair struct {
 // RelatedPairs enumerates the log's pairs related to the query under its
 // despite clause — the construction both PerfXplain and the SimButDiff
 // baseline train from. maxPairs caps the pair space (0 = unlimited);
-// enumeration is deterministic in seed.
+// enumeration is deterministic in seed and runs on all available cores
+// (the result does not depend on the worker count).
 func RelatedPairs(log *joblog.Log, level features.Level, q *pxql.Query,
 	maxPairs int, seed int64) []LabeledPair {
+	return RelatedPairsP(log, level, q, maxPairs, seed, 0)
+}
+
+// RelatedPairsP is RelatedPairs with an explicit worker bound (<= 0
+// means GOMAXPROCS); the result is identical at every setting.
+func RelatedPairsP(log *joblog.Log, level features.Level, q *pxql.Query,
+	maxPairs int, seed int64, parallelism int) []LabeledPair {
 
 	d := features.NewDeriver(log.Schema, level)
-	rng := stats.DeriveRand(seed, "related-pairs")
-	ps := enumerateRelated(log, d, q, q.Despite, maxPairs, rng)
+	ps := enumerateRelated(log, d, q, q.Despite, maxPairs,
+		stats.DeriveSeed(seed, "related-pairs"), parallelism)
 	out := make([]LabeledPair, len(ps.refs))
 	for i, ref := range ps.refs {
 		out[i] = LabeledPair{

@@ -13,9 +13,11 @@
 package dtree
 
 import (
+	"math"
 	"sort"
 
 	"perfxplain/internal/joblog"
+	"perfxplain/internal/par"
 	"perfxplain/internal/stats"
 )
 
@@ -148,5 +150,97 @@ func Column(log *joblog.Log, i int) []joblog.Value {
 	for j, r := range log.Records {
 		out[j] = r.Values[i]
 	}
+	return out
+}
+
+// Split is the best binary split found for one feature: a threshold
+// partition for numeric features, an equality partition for nominal
+// ones.
+type Split struct {
+	FeatIdx   int
+	Nominal   bool
+	Threshold float64 // numeric: (value <= Threshold) vs (value > Threshold)
+	Value     string  // nominal: (value == Value) vs (value != Value)
+	Gain      float64
+	// Info is C4.5's split information — the entropy of the partition
+	// sizes (left/right/missing) — computed alongside the gain so
+	// gain-ratio consumers need no second pass over the values.
+	Info float64
+}
+
+// SatisfiedBy reports whether a value takes the split's satisfying
+// (left) branch; missing values take neither.
+func (s *Split) SatisfiedBy(v joblog.Value) bool {
+	if s.Nominal {
+		return v.Kind == joblog.Nominal && v.Str == s.Value
+	}
+	return v.Kind == joblog.Numeric && v.Num <= s.Threshold
+}
+
+// splitInfoOf is the entropy of the split's partition sizes, the
+// denominator of C4.5's gain ratio.
+func splitInfoOf(values []joblog.Value, s *Split) float64 {
+	var nl, nr, nm float64
+	for _, v := range values {
+		switch {
+		case v.IsMissing():
+			nm++
+		case s.SatisfiedBy(v):
+			nl++
+		default:
+			nr++
+		}
+	}
+	total := nl + nr + nm
+	si := 0.0
+	for _, c := range []float64{nl, nr, nm} {
+		if c > 0 {
+			p := c / total
+			si -= p * math.Log2(p)
+		}
+	}
+	return si
+}
+
+// BestSplits scores every schema feature concurrently over the instance
+// subset idx, returning the best split per feature in feature order (nil
+// when the feature admits no split). labels runs parallel to
+// log.Records. Each feature's result lands in its own slot, so the
+// output is independent of the worker count. This is the tree builder's
+// concurrent inner loop; PerfXplain's Algorithm 1 runs its own
+// equivalent scan (with applicability filtering) over BestThreshold and
+// BestNominalValue directly in internal/core. withInfo additionally
+// fills Split.Info for gain-ratio consumers; skip it to avoid the extra
+// pass when raw gain is the criterion.
+func BestSplits(log *joblog.Log, labels []bool, idx []int, parallelism int, withInfo bool) []*Split {
+	subLabels := make([]bool, len(idx))
+	for j, i := range idx {
+		subLabels[j] = labels[i]
+	}
+	out := make([]*Split, log.Schema.Len())
+	par.Do(log.Schema.Len(), parallelism, func(f int) {
+		subValues := make([]joblog.Value, len(idx))
+		for j, i := range idx {
+			subValues[j] = log.Records[i].Values[f]
+		}
+		var s *Split
+		if log.Schema.Field(f).Kind == joblog.Numeric {
+			thr, g, ok := BestThreshold(subValues, subLabels)
+			if !ok {
+				return
+			}
+			s = &Split{FeatIdx: f, Threshold: thr, Gain: g}
+		} else {
+			val, g, ok := BestNominalValue(subValues, subLabels)
+			if !ok {
+				return
+			}
+			s = &Split{FeatIdx: f, Nominal: true, Value: val, Gain: g}
+		}
+		if withInfo {
+			s.Info = splitInfoOf(subValues, s)
+		}
+		out[f] = s
+	})
 	return out
 }

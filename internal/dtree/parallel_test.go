@@ -1,0 +1,92 @@
+package dtree
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"perfxplain/internal/joblog"
+)
+
+// Build must produce the identical tree at every parallelism level: the
+// concurrent feature scan lands in feature-indexed slots and the winner
+// is selected by a serial scan in schema order.
+func TestBuildIdenticalAcrossParallelism(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	schema := joblog.NewSchema([]joblog.Field{
+		{Name: "n1", Kind: joblog.Numeric},
+		{Name: "n2", Kind: joblog.Numeric},
+		{Name: "c1", Kind: joblog.Nominal},
+		{Name: "c2", Kind: joblog.Nominal},
+	})
+	log := joblog.NewLog(schema)
+	labels := make([]bool, 0, 200)
+	cats := []string{"a", "b", "c"}
+	for i := 0; i < 200; i++ {
+		n1 := rng.Float64()
+		n2 := rng.Float64()
+		c1 := cats[rng.Intn(len(cats))]
+		c2 := cats[rng.Intn(len(cats))]
+		log.MustAppend(&joblog.Record{
+			ID: string(rune('a' + i%26)),
+			Values: []joblog.Value{
+				joblog.Num(n1), joblog.Num(n2), joblog.Str(c1), joblog.Str(c2),
+			},
+		})
+		// Label depends on several features so the tree has real depth.
+		labels = append(labels, n1 > 0.5 || (c1 == "a" && n2 < 0.3))
+	}
+	for _, variant := range []Config{
+		{},
+		{GainRatio: true},
+		{Prune: true},
+		{GainRatio: true, Prune: true, MaxDepth: 4},
+	} {
+		cfgSerial := variant
+		cfgSerial.Parallelism = 1
+		base := Build(log, labels, cfgSerial).String()
+		for _, p := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+			cfg := variant
+			cfg.Parallelism = p
+			if got := Build(log, labels, cfg).String(); got != base {
+				t.Errorf("config %+v: tree at parallelism %d differs from serial:\n%s\nvs\n%s",
+					variant, p, got, base)
+			}
+		}
+	}
+}
+
+// BestSplits must agree with the sequential per-feature primitives.
+func TestBestSplitsMatchesPrimitives(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	schema := joblog.NewSchema([]joblog.Field{
+		{Name: "num", Kind: joblog.Numeric},
+		{Name: "nom", Kind: joblog.Nominal},
+	})
+	log := joblog.NewLog(schema)
+	labels := make([]bool, 0, 60)
+	for i := 0; i < 60; i++ {
+		v := rng.Float64()
+		log.MustAppend(&joblog.Record{
+			ID:     string(rune('a' + i%26)),
+			Values: []joblog.Value{joblog.Num(v), joblog.Str([]string{"x", "y"}[rng.Intn(2)])},
+		})
+		labels = append(labels, v > 0.4)
+	}
+	idx := make([]int, log.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	splits := BestSplits(log, labels, idx, 4, true)
+	if len(splits) != 2 {
+		t.Fatalf("got %d split slots", len(splits))
+	}
+	thr, gain, ok := BestThreshold(Column(log, 0), labels)
+	if !ok || splits[0] == nil || splits[0].Threshold != thr || splits[0].Gain != gain {
+		t.Errorf("numeric split %+v disagrees with BestThreshold (%v, %v, %v)", splits[0], thr, gain, ok)
+	}
+	val, gain2, ok2 := BestNominalValue(Column(log, 1), labels)
+	if !ok2 || splits[1] == nil || !splits[1].Nominal || splits[1].Value != val || splits[1].Gain != gain2 {
+		t.Errorf("nominal split %+v disagrees with BestNominalValue (%v, %v, %v)", splits[1], val, gain2, ok2)
+	}
+}

@@ -23,6 +23,12 @@ type Config struct {
 	// replaced by a leaf when the leaf's error count plus 1/2 is within one
 	// standard error of the subtree's continuity-corrected error.
 	Prune bool
+	// Parallelism bounds the goroutines scoring candidate splits across
+	// features at each node (<= 0 means GOMAXPROCS). The selected split —
+	// and therefore the tree — is identical at every setting: per-feature
+	// scores land in feature-indexed slots and the winner is chosen by a
+	// serial scan in schema order, reproducing the sequential tie-break.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -97,43 +103,26 @@ func build(log *joblog.Log, labels []bool, idx []int, cfg Config, depth int) *no
 		return makeLeaf(pos, neg)
 	}
 
+	splits := BestSplits(log, labels, idx, cfg.Parallelism, cfg.GainRatio)
+	// Winner selection scans feature-indexed slots in schema order with a
+	// strict >, reproducing the sequential tie-break exactly.
 	bestScore := -1.0
 	var best *node
-	subValues := make([]joblog.Value, len(idx))
-	subLabels := make([]bool, len(idx))
-	for f := 0; f < log.Schema.Len(); f++ {
-		for j, i := range idx {
-			subValues[j] = log.Records[i].Values[f]
-			subLabels[j] = labels[i]
+	for _, sp := range splits {
+		if sp == nil {
+			continue
 		}
-		var cand *node
-		var gain float64
-		if log.Schema.Field(f).Kind == joblog.Numeric {
-			thr, g, ok := BestThreshold(subValues, subLabels)
-			if !ok {
-				continue
-			}
-			cand = &node{featIdx: f, threshold: thr}
-			gain = g
-		} else {
-			val, g, ok := BestNominalValue(subValues, subLabels)
-			if !ok {
-				continue
-			}
-			cand = &node{featIdx: f, nominal: true, value: val}
-			gain = g
-		}
-		score := gain
+		score := sp.Gain
 		if cfg.GainRatio {
-			si := splitInfo(subValues, cand)
-			if si <= 1e-9 {
+			if sp.Info <= 1e-9 {
 				continue
 			}
-			score = gain / si
+			score = sp.Gain / sp.Info
 		}
 		if score > bestScore {
 			bestScore = score
-			best = cand
+			best = &node{featIdx: sp.FeatIdx, nominal: sp.Nominal,
+				threshold: sp.Threshold, value: sp.Value}
 		}
 	}
 	if best == nil || bestScore <= 1e-12 {
@@ -150,31 +139,6 @@ func build(log *joblog.Log, labels []bool, idx []int, cfg Config, depth int) *no
 	best.left = build(log, labels, leftIdx, cfg, depth+1)
 	best.right = build(log, labels, rightIdx, cfg, depth+1)
 	return best
-}
-
-// splitInfo is C4.5's split information: the entropy of the partition
-// sizes themselves (including the missing bucket when present).
-func splitInfo(values []joblog.Value, n *node) float64 {
-	var nl, nr, nm float64
-	for _, v := range values {
-		switch {
-		case v.IsMissing():
-			nm++
-		case goesLeft(v, n):
-			nl++
-		default:
-			nr++
-		}
-	}
-	total := nl + nr + nm
-	si := 0.0
-	for _, c := range []float64{nl, nr, nm} {
-		if c > 0 {
-			p := c / total
-			si -= p * math.Log2(p)
-		}
-	}
-	return si
 }
 
 func goesLeft(v joblog.Value, n *node) bool {

@@ -8,6 +8,7 @@ import (
 	"perfxplain/internal/core"
 	"perfxplain/internal/features"
 	"perfxplain/internal/joblog"
+	"perfxplain/internal/par"
 	"perfxplain/internal/pxql"
 	"perfxplain/internal/stats"
 )
@@ -15,25 +16,43 @@ import (
 // DefaultWidths are the x positions of the paper's width sweeps.
 var DefaultWidths = []int{0, 1, 2, 3, 4, 5}
 
+// evaluate measures an explanation on the test log with the harness's
+// protocol settings, on the given worker bound.
+func (h *Harness) evaluate(test *joblog.Log, q *pxql.Query, x *core.Explanation, seed int64, workers int) (core.Metrics, error) {
+	return core.EvaluateExplanationP(test, features.Level3, q, x, h.MaxPairs, seed, workers)
+}
+
+// repRows allocates one result row per repetition for each technique;
+// skipped reps stay nil and drop out of aggregation, so concurrent reps
+// write disjoint slots while row order stays the rep order.
+func (h *Harness) repRows() map[string][][]float64 {
+	rows := make(map[string][][]float64, len(AllTechniques))
+	for _, tech := range AllTechniques {
+		rows[tech] = make([][]float64, h.Reps)
+	}
+	return rows
+}
+
 // PrecisionVsWidth reproduces Figures 3(a) and 3(b): mean explanation
 // precision on the held-out log as a function of explanation width, for
 // all three techniques.
 func (h *Harness) PrecisionVsWidth(t QueryTemplate, widths []int) (*Table, error) {
-	rows := map[string][][]float64{}
+	rows := h.repRows()
 	maxW := maxInt(widths)
+	inner := h.innerParallelism(h.Reps)
 	err := h.forEachRep(t, func(rep int, train, test *joblog.Log, q *pxql.Query, seed int64) {
 		for _, tech := range AllTechniques {
 			row := nanRow(len(widths))
-			x, err := h.explainFull(tech, train, q, maxW, seed, h.Level, false)
+			x, err := h.explainFull(tech, train, q, maxW, seed, h.Level, false, inner)
 			if err == nil {
 				for wi, w := range widths {
-					m, merr := core.EvaluateExplanation(test, features.Level3, q, prefix(x, w), h.MaxPairs, seed)
+					m, merr := h.evaluate(test, q, prefix(x, w), seed, inner)
 					if merr == nil {
 						row[wi] = m.Precision
 					}
 				}
 			}
-			rows[tech] = append(rows[tech], row)
+			rows[tech][rep] = row
 		}
 	})
 	if err != nil {
@@ -74,15 +93,16 @@ func (h *Harness) DifferentJobLog(widths []int) (*Table, error) {
 		return nil, fmt.Errorf("eval: log lacks one of the two scripts")
 	}
 
-	rows := map[string][][]float64{}
-	for rep := 0; rep < h.Reps; rep++ {
+	if _, err := t.Query(); err != nil {
+		return nil, err
+	}
+	rows := h.repRows()
+	inner := h.innerParallelism(h.Reps)
+	par.Do(h.Reps, h.Parallelism, func(rep int) {
 		rng := stats.DeriveRand(h.Seed, fmt.Sprintf("fig3c-rep-%d", rep))
-		q, err := t.Query()
-		if err != nil {
-			return nil, err
-		}
-		if err := h.pickPair(filterJobs, t, q, rng); err != nil {
-			continue
+		q, _ := t.Query()
+		if err := h.pickPair(filterJobs, t, q, rng, inner); err != nil {
+			return
 		}
 		// Training log: the groupby jobs plus the pair of interest.
 		train := joblog.NewLog(h.Jobs.Schema)
@@ -91,18 +111,18 @@ func (h *Harness) DifferentJobLog(widths []int) (*Table, error) {
 		seed := rng.Int63()
 		for _, tech := range AllTechniques {
 			row := nanRow(len(widths))
-			x, err := h.explainFull(tech, train, q, maxW, seed, h.Level, false)
+			x, err := h.explainFull(tech, train, q, maxW, seed, h.Level, false, inner)
 			if err == nil {
 				for wi, w := range widths {
-					m, merr := core.EvaluateExplanation(filterJobs, features.Level3, q, prefix(x, w), h.MaxPairs, seed)
+					m, merr := h.evaluate(filterJobs, q, prefix(x, w), seed, inner)
 					if merr == nil {
 						row[wi] = m.Precision
 					}
 				}
 			}
-			rows[tech] = append(rows[tech], row)
+			rows[tech][rep] = row
 		}
-	}
+	})
 	tab := &Table{
 		ID:     "Figure 3(c)",
 		Title:  "precision when training on simple-groupby jobs only — " + t.Name,
@@ -117,40 +137,42 @@ func (h *Harness) DifferentJobLog(widths []int) (*Table, error) {
 
 // LogSizeSweep reproduces Figure 3(d): width-3 precision as the training
 // log shrinks from 50% to 10% of the jobs, evaluated on the remainder.
+// Every (repetition, fraction) cell derives its own RNG stream, so the
+// full grid fans out over the worker pool; each cell writes one disjoint
+// element of its rep's row.
 func (h *Harness) LogSizeSweep(fracs []float64, width int) (*Table, error) {
 	t := WhySlowerDespiteSameNumInstances()
-	rows := map[string][][]float64{}
-	for rep := 0; rep < h.Reps; rep++ {
-		perTech := map[string][]float64{}
-		for _, tech := range AllTechniques {
-			perTech[tech] = nanRow(len(fracs))
-		}
-		for fi, frac := range fracs {
-			rng := stats.DeriveRand(h.Seed, fmt.Sprintf("fig3d-rep-%d-frac-%d", rep, fi))
-			train, test := h.split(t, frac, rng)
-			q, err := t.Query()
-			if err != nil {
-				return nil, err
-			}
-			if err := h.pickPair(train, t, q, rng); err != nil {
-				continue
-			}
-			seed := rng.Int63()
-			for _, tech := range AllTechniques {
-				x, err := h.explainFull(tech, train, q, width, seed, h.Level, false)
-				if err != nil {
-					continue
-				}
-				m, merr := core.EvaluateExplanation(test, features.Level3, q, prefix(x, width), h.MaxPairs, seed)
-				if merr == nil {
-					perTech[tech][fi] = m.Precision
-				}
-			}
-		}
-		for _, tech := range AllTechniques {
-			rows[tech] = append(rows[tech], perTech[tech])
+	if _, err := t.Query(); err != nil {
+		return nil, err
+	}
+	rows := h.repRows()
+	for _, tech := range AllTechniques {
+		for rep := 0; rep < h.Reps; rep++ {
+			rows[tech][rep] = nanRow(len(fracs))
 		}
 	}
+	inner := h.innerParallelism(h.Reps * len(fracs))
+	par.Do(h.Reps*len(fracs), h.Parallelism, func(cell int) {
+		rep, fi := cell/len(fracs), cell%len(fracs)
+		frac := fracs[fi]
+		rng := stats.DeriveRand(h.Seed, fmt.Sprintf("fig3d-rep-%d-frac-%d", rep, fi))
+		train, test := h.split(t, frac, rng)
+		q, _ := t.Query()
+		if err := h.pickPair(train, t, q, rng, inner); err != nil {
+			return
+		}
+		seed := rng.Int63()
+		for _, tech := range AllTechniques {
+			x, err := h.explainFull(tech, train, q, width, seed, h.Level, false, inner)
+			if err != nil {
+				continue
+			}
+			m, merr := h.evaluate(test, q, prefix(x, width), seed, inner)
+			if merr == nil {
+				rows[tech][rep][fi] = m.Precision
+			}
+		}
+	})
 	tab := &Table{
 		ID:     "Figure 3(d)",
 		Title:  fmt.Sprintf("width-%d precision vs training-log fraction — %s", width, t.Name),
@@ -174,8 +196,9 @@ func (h *Harness) DespiteRelevance(widths []int) (*Table, error) {
 		YLabel: "relevance",
 	}
 	maxW := maxInt(widths)
+	inner := h.innerParallelism(h.Reps)
 	for _, base := range Templates() {
-		var rows [][]float64
+		rows := make([][]float64, h.Reps)
 		err := h.forEachRepStripped(base, func(rep int, train, test *joblog.Log, q *pxql.Query, seed int64) {
 			row := nanRow(len(widths))
 			ex, err := core.NewExplainer(train, core.Config{
@@ -183,6 +206,7 @@ func (h *Harness) DespiteRelevance(widths []int) (*Table, error) {
 				SampleSize:   h.SampleSize,
 				MaxPairs:     h.MaxPairs,
 				Seed:         seed,
+				Parallelism:  inner,
 			})
 			if err == nil {
 				des, derr := ex.GenerateDespite(q)
@@ -192,15 +216,14 @@ func (h *Harness) DespiteRelevance(widths []int) (*Table, error) {
 						if w < len(d) {
 							d = d[:w]
 						}
-						m, merr := core.EvaluateExplanation(test, features.Level3, q,
-							&core.Explanation{Despite: d}, h.MaxPairs, seed)
+						m, merr := h.evaluate(test, q, &core.Explanation{Despite: d}, seed, inner)
 						if merr == nil {
 							row[wi] = m.Relevance
 						}
 					}
 				}
 			}
-			rows = append(rows, row)
+			rows[rep] = row
 		})
 		if err != nil {
 			return nil, err
@@ -221,10 +244,11 @@ func (h *Harness) Table3(despiteWidth int) (*Table, error) {
 		YLabel: "relevance",
 	}
 	var before, after [][]float64
+	inner := h.innerParallelism(h.Reps)
 	for qi, base := range Templates() {
-		var b, a []float64
+		bByRep, aByRep := nanRow(h.Reps), nanRow(h.Reps)
 		err := h.forEachRepStripped(base, func(rep int, train, test *joblog.Log, q *pxql.Query, seed int64) {
-			mB, err := core.EvaluateExplanation(test, features.Level3, q, &core.Explanation{}, h.MaxPairs, seed)
+			mB, err := h.evaluate(test, q, &core.Explanation{}, seed, inner)
 			if err != nil {
 				return
 			}
@@ -233,6 +257,7 @@ func (h *Harness) Table3(despiteWidth int) (*Table, error) {
 				SampleSize:   h.SampleSize,
 				MaxPairs:     h.MaxPairs,
 				Seed:         seed,
+				Parallelism:  inner,
 			})
 			if err != nil {
 				return
@@ -241,16 +266,23 @@ func (h *Harness) Table3(despiteWidth int) (*Table, error) {
 			if err != nil {
 				return
 			}
-			mA, err := core.EvaluateExplanation(test, features.Level3, q,
-				&core.Explanation{Despite: des}, h.MaxPairs, seed)
+			mA, err := h.evaluate(test, q, &core.Explanation{Despite: des}, seed, inner)
 			if err != nil {
 				return
 			}
-			b = append(b, mB.Relevance)
-			a = append(a, mA.Relevance)
+			bByRep[rep] = mB.Relevance
+			aByRep[rep] = mA.Relevance
 		})
 		if err != nil {
 			return nil, err
+		}
+		// Compact in rep order, dropping skipped reps.
+		var b, a []float64
+		for rep := 0; rep < h.Reps; rep++ {
+			if !isNaN(bByRep[rep]) && !isNaN(aByRep[rep]) {
+				b = append(b, bByRep[rep])
+				a = append(a, aByRep[rep])
+			}
 		}
 		x := float64(qi + 1)
 		before = append(before, []float64{x, stats.Mean(b), stats.StdDev(b)})
@@ -278,25 +310,32 @@ func (h *Harness) Table3(despiteWidth int) (*Table, error) {
 func (h *Harness) PrecisionGenerality(widths []int) (*Table, error) {
 	t := WhySlowerDespiteSameNumInstances()
 	maxW := maxInt(widths)
-	type pt struct{ gens, precs []float64 }
-	pts := map[string][]pt{}
-	for _, tech := range AllTechniques {
-		pts[tech] = make([]pt, len(widths))
+	// cells[tech][wi][rep] holds one (generality, precision) measurement;
+	// reps fill disjoint slots and are read back in rep order.
+	type cell struct {
+		gen, prec float64
+		ok        bool
 	}
+	cells := map[string][][]cell{}
+	for _, tech := range AllTechniques {
+		cells[tech] = make([][]cell, len(widths))
+		for wi := range widths {
+			cells[tech][wi] = make([]cell, h.Reps)
+		}
+	}
+	inner := h.innerParallelism(h.Reps)
 	err := h.forEachRep(t, func(rep int, train, test *joblog.Log, q *pxql.Query, seed int64) {
 		for _, tech := range AllTechniques {
-			x, err := h.explainFull(tech, train, q, maxW, seed, h.Level, false)
+			x, err := h.explainFull(tech, train, q, maxW, seed, h.Level, false, inner)
 			if err != nil {
 				continue
 			}
 			for wi, w := range widths {
-				m, merr := core.EvaluateExplanation(test, features.Level3, q, prefix(x, w), h.MaxPairs, seed)
+				m, merr := h.evaluate(test, q, prefix(x, w), seed, inner)
 				if merr != nil {
 					continue
 				}
-				p := &pts[tech][wi]
-				p.gens = append(p.gens, m.Generality)
-				p.precs = append(p.precs, m.Precision)
+				cells[tech][wi][rep] = cell{gen: m.Generality, prec: m.Precision, ok: true}
 			}
 		}
 	})
@@ -312,13 +351,19 @@ func (h *Harness) PrecisionGenerality(widths []int) (*Table, error) {
 	for _, tech := range AllTechniques {
 		s := Series{Name: tech}
 		for wi := range widths {
-			p := pts[tech][wi]
-			if len(p.gens) == 0 {
+			var gens, precs []float64
+			for rep := 0; rep < h.Reps; rep++ {
+				if c := cells[tech][wi][rep]; c.ok {
+					gens = append(gens, c.gen)
+					precs = append(precs, c.prec)
+				}
+			}
+			if len(gens) == 0 {
 				continue
 			}
-			s.X = append(s.X, round3(stats.Mean(p.gens)))
-			s.Mean = append(s.Mean, stats.Mean(p.precs))
-			s.Std = append(s.Std, stats.StdDev(p.precs))
+			s.X = append(s.X, round3(stats.Mean(gens)))
+			s.Mean = append(s.Mean, stats.Mean(precs))
+			s.Std = append(s.Std, stats.StdDev(precs))
 		}
 		tab.Series = append(tab.Series, s)
 	}
@@ -332,19 +377,23 @@ func (h *Harness) FeatureLevels(widths []int) (*Table, error) {
 	maxW := maxInt(widths)
 	levels := []features.Level{features.Level1, features.Level2, features.Level3}
 	rows := map[features.Level][][]float64{}
+	for _, lv := range levels {
+		rows[lv] = make([][]float64, h.Reps)
+	}
+	inner := h.innerParallelism(h.Reps)
 	err := h.forEachRep(t, func(rep int, train, test *joblog.Log, q *pxql.Query, seed int64) {
 		for _, lv := range levels {
 			row := nanRow(len(widths))
-			x, err := h.explainFull(TechPerfXplain, train, q, maxW, seed, lv, false)
+			x, err := h.explainFull(TechPerfXplain, train, q, maxW, seed, lv, false, inner)
 			if err == nil {
 				for wi, w := range widths {
-					m, merr := core.EvaluateExplanation(test, features.Level3, q, prefix(x, w), h.MaxPairs, seed)
+					m, merr := h.evaluate(test, q, prefix(x, w), seed, inner)
 					if merr == nil {
 						row[wi] = m.Precision
 					}
 				}
 			}
-			rows[lv] = append(rows[lv], row)
+			rows[lv][rep] = row
 		}
 	})
 	if err != nil {
@@ -372,17 +421,23 @@ func (h *Harness) ExampleExplanations(t QueryTemplate, width int) (map[string]st
 		return nil, err
 	}
 	rng := stats.DeriveRand(h.Seed, "examples-"+t.Name)
-	if err := h.pickPair(log, t, q, rng); err != nil {
+	if err := h.pickPair(log, t, q, rng, h.Parallelism); err != nil {
 		return nil, err
 	}
-	out := make(map[string]string)
-	for _, tech := range AllTechniques {
-		x, err := h.explainFull(tech, log, q, width, rng.Int63(), h.Level, false)
+	seed := rng.Int63()
+	results := make([]string, len(AllTechniques))
+	inner := h.innerParallelism(len(AllTechniques))
+	par.Do(len(AllTechniques), h.Parallelism, func(ti int) {
+		x, err := h.explainFull(AllTechniques[ti], log, q, width, seed, h.Level, false, inner)
 		if err != nil {
-			out[tech] = "(error: " + err.Error() + ")"
-			continue
+			results[ti] = "(error: " + err.Error() + ")"
+			return
 		}
-		out[tech] = prefix(x, width).Because.String()
+		results[ti] = prefix(x, width).Because.String()
+	})
+	out := make(map[string]string, len(AllTechniques))
+	for ti, tech := range AllTechniques {
+		out[tech] = results[ti]
 	}
 	return out, nil
 }
@@ -391,27 +446,35 @@ func (h *Harness) ExampleExplanations(t QueryTemplate, width int) (map[string]st
 // of interest bound from the training log, and the callback per rep.
 // Repetitions where no pair of interest exists are skipped, mirroring the
 // paper's use of splits that contain query-satisfying pairs.
+//
+// Repetitions are independent — each derives its own RNG stream from the
+// harness seed — so they run concurrently on the worker pool. fn is
+// therefore invoked from multiple goroutines (for distinct reps) and
+// must write only into rep-indexed storage.
 func (h *Harness) forEachRep(t QueryTemplate,
 	fn func(rep int, train, test *joblog.Log, q *pxql.Query, seed int64)) error {
 
-	ran := 0
-	for rep := 0; rep < h.Reps; rep++ {
+	if _, err := t.Query(); err != nil {
+		return err
+	}
+	ran := make([]bool, h.Reps)
+	inner := h.innerParallelism(h.Reps)
+	par.Do(h.Reps, h.Parallelism, func(rep int) {
 		rng := stats.DeriveRand(h.Seed, fmt.Sprintf("%s-rep-%d", t.Name, rep))
 		train, test := h.split(t, 0.5, rng)
-		q, err := t.Query()
-		if err != nil {
-			return err
-		}
-		if err := h.pickPair(train, t, q, rng); err != nil {
-			continue
+		q, _ := t.Query()
+		if err := h.pickPair(train, t, q, rng, inner); err != nil {
+			return
 		}
 		fn(rep, train, test, q, rng.Int63())
-		ran++
+		ran[rep] = true
+	})
+	for _, ok := range ran {
+		if ok {
+			return nil
+		}
 	}
-	if ran == 0 {
-		return fmt.Errorf("eval: no repetition of %s found a pair of interest", t.Name)
-	}
-	return nil
+	return fmt.Errorf("eval: no repetition of %s found a pair of interest", t.Name)
 }
 
 // forEachRepStripped is forEachRep for the under-specified experiments of

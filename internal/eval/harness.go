@@ -8,6 +8,7 @@ import (
 	"perfxplain/internal/core"
 	"perfxplain/internal/features"
 	"perfxplain/internal/joblog"
+	"perfxplain/internal/par"
 	"perfxplain/internal/pxql"
 	"perfxplain/internal/stats"
 )
@@ -36,6 +37,12 @@ type Harness struct {
 	SampleSize int
 	// Level is the feature hierarchy level (default Level3).
 	Level features.Level
+	// Parallelism bounds the worker goroutines running repetitions and
+	// experiment cells, and is threaded through to explanation generation
+	// and evaluation (<= 0 means GOMAXPROCS). Every table is identical at
+	// every setting: reps write into rep-indexed slots and aggregation
+	// reads them in rep order.
+	Parallelism int
 }
 
 // NewHarness returns a harness with the paper's protocol defaults.
@@ -49,6 +56,23 @@ func NewHarness(jobs, tasks *joblog.Log, seed int64) *Harness {
 		SampleSize: 2000,
 		Level:      features.Level3,
 	}
+}
+
+// innerParallelism is the worker bound handed to work nested inside an
+// outer fan-out of the given width (reps, grid cells, techniques): the
+// pool budget divided by the outer width, so nested stages soak up
+// whatever the outer fan-out leaves idle instead of oversubscribing
+// cores. Results are identical at any split — parallelism is never a
+// semantics knob.
+func (h *Harness) innerParallelism(outer int) int {
+	if outer < 1 {
+		outer = 1
+	}
+	inner := par.Resolve(h.Parallelism) / outer
+	if inner < 1 {
+		return 1
+	}
+	return inner
 }
 
 // logFor selects the log a template runs over.
@@ -93,8 +117,8 @@ func (h *Harness) split(t QueryTemplate, frac float64, rng *rand.Rand) (train, t
 // This mirrors the paper's protocol: the user asks about one conspicuous
 // pair they noticed, fixed across repetitions, not a random borderline
 // case whose 10%-band membership is a coin flip.
-func (h *Harness) pickPair(log *joblog.Log, t QueryTemplate, q *pxql.Query, rng *rand.Rand) error {
-	related := core.RelatedPairs(log, h.Level, q, h.MaxPairs, rng.Int63())
+func (h *Harness) pickPair(log *joblog.Log, t QueryTemplate, q *pxql.Query, rng *rand.Rand, workers int) error {
+	related := core.RelatedPairsP(log, h.Level, q, h.MaxPairs, rng.Int63(), workers)
 	var best core.LabeledPair
 	bestGap := -1.0
 	for _, p := range related {
@@ -130,7 +154,7 @@ func (h *Harness) pickPair(log *joblog.Log, t QueryTemplate, q *pxql.Query, rng 
 // of the width-maxW clause; experiments evaluate prefixes instead of
 // re-running the generator per width.
 func (h *Harness) explainFull(tech string, train *joblog.Log, q *pxql.Query,
-	maxW int, seed int64, level features.Level, genDespite bool) (*core.Explanation, error) {
+	maxW int, seed int64, level features.Level, genDespite bool, workers int) (*core.Explanation, error) {
 
 	switch tech {
 	case TechPerfXplain:
@@ -141,6 +165,7 @@ func (h *Harness) explainFull(tech string, train *joblog.Log, q *pxql.Query,
 			Level:        level,
 			MaxPairs:     h.MaxPairs,
 			Seed:         seed,
+			Parallelism:  workers,
 		})
 		if err != nil {
 			return nil, err
@@ -157,8 +182,9 @@ func (h *Harness) explainFull(tech string, train *joblog.Log, q *pxql.Query,
 		return rot.Explain(q, maxW)
 	case TechSimButDiff:
 		sbd, err := baselines.NewSimButDiff(train, baselines.SimButDiffConfig{
-			MaxPairs: h.MaxPairs,
-			Seed:     seed,
+			MaxPairs:    h.MaxPairs,
+			Seed:        seed,
+			Parallelism: workers,
 		})
 		if err != nil {
 			return nil, err

@@ -1,0 +1,69 @@
+package joblog
+
+import (
+	"reflect"
+	"testing"
+)
+
+func memoLog() *Log {
+	schema := NewSchema([]Field{
+		{Name: "site", Kind: Nominal},
+		{Name: "x", Kind: Numeric},
+	})
+	l := NewLog(schema)
+	l.MustAppend(&Record{ID: "a", Values: []Value{Str("east"), Num(3)}})
+	l.MustAppend(&Record{ID: "b", Values: []Value{Str("west"), Num(7)}})
+	return l
+}
+
+// Domain and NumericRange memoize their scans; appending records — via
+// Append or by growing Records directly, as the evaluation harness does —
+// must invalidate the memo.
+func TestStatsMemoInvalidation(t *testing.T) {
+	l := memoLog()
+	if got := l.Domain("site"); !reflect.DeepEqual(got, []string{"east", "west"}) {
+		t.Fatalf("Domain = %v", got)
+	}
+	// Cached call returns the same answer.
+	if got := l.Domain("site"); !reflect.DeepEqual(got, []string{"east", "west"}) {
+		t.Fatalf("cached Domain = %v", got)
+	}
+	min, max, ok := l.NumericRange("x")
+	if !ok || min != 3 || max != 7 {
+		t.Fatalf("NumericRange = %v, %v, %v", min, max, ok)
+	}
+
+	l.MustAppend(&Record{ID: "c", Values: []Value{Str("eu"), Num(11)}})
+	if got := l.Domain("site"); !reflect.DeepEqual(got, []string{"east", "eu", "west"}) {
+		t.Errorf("Domain after Append = %v (stale memo?)", got)
+	}
+	if _, max, _ = l.NumericRange("x"); max != 11 {
+		t.Errorf("NumericRange max after Append = %v (stale memo?)", max)
+	}
+
+	// Direct Records manipulation, as Filter-built logs and the harness do.
+	l.Records = append(l.Records, &Record{ID: "d", Values: []Value{Str("apac"), Num(0.5)}})
+	if got := l.Domain("site"); len(got) != 4 {
+		t.Errorf("Domain after direct append = %v (stale memo?)", got)
+	}
+	if min, _, _ = l.NumericRange("x"); min != 0.5 {
+		t.Errorf("NumericRange min after direct append = %v (stale memo?)", min)
+	}
+}
+
+func TestStatsMemoConcurrentReads(t *testing.T) {
+	l := memoLog()
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 100; i++ {
+				l.Domain("site")
+				l.NumericRange("x")
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}

@@ -3,6 +3,7 @@ package joblog
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Field is one raw feature of a job or task: its name and value kind.
@@ -96,6 +97,44 @@ func (r *Record) Clone() *Record {
 type Log struct {
 	Schema  *Schema
 	Records []*Record
+
+	// statsMu guards statsCache. The cache memoizes the whole-log scans
+	// behind Domain and NumericRange so repeat callers (today: RuleOfThumb's
+	// RReliefF statistics via relief.computeStats; any query path that
+	// inspects field domains) pay one scan per field instead of one per
+	// call. Invalidation keys on the record count, which covers both Append
+	// and direct Records growth (the harness builds logs that way); records
+	// are append-only and never mutated once logged, so count equality
+	// implies content equality.
+	statsMu    sync.Mutex
+	statsCache *logStats
+}
+
+// logStats holds memoized per-field scan results, valid for a specific
+// record count.
+type logStats struct {
+	n       int // len(Records) the cache was built against
+	domains map[string][]string
+	ranges  map[string]numericRange
+}
+
+type numericRange struct {
+	min, max float64
+	ok       bool
+}
+
+// stats returns the memo for the log's current record count, resetting
+// it when records were added (or a filtered view was grown in place).
+// Callers hold statsMu.
+func (l *Log) stats() *logStats {
+	if l.statsCache == nil || l.statsCache.n != len(l.Records) {
+		l.statsCache = &logStats{
+			n:       len(l.Records),
+			domains: make(map[string][]string),
+			ranges:  make(map[string]numericRange),
+		}
+	}
+	return l.statsCache
 }
 
 // NewLog returns an empty log over the schema.
@@ -157,11 +196,19 @@ func (l *Log) Filter(keep func(*Record) bool) *Log {
 }
 
 // Domain returns the sorted distinct non-missing nominal values observed
-// for the named field. For numeric fields it returns nil.
+// for the named field. For numeric fields it returns nil. The scan is
+// memoized per field until the record count changes; callers must not
+// mutate the returned slice.
 func (l *Log) Domain(name string) []string {
 	i, ok := l.Schema.Index(name)
 	if !ok || l.Schema.Field(i).Kind != Nominal {
 		return nil
+	}
+	l.statsMu.Lock()
+	defer l.statsMu.Unlock()
+	st := l.stats()
+	if out, hit := st.domains[name]; hit {
+		return out
 	}
 	seen := make(map[string]bool)
 	for _, r := range l.Records {
@@ -175,16 +222,24 @@ func (l *Log) Domain(name string) []string {
 		out = append(out, s)
 	}
 	sort.Strings(out)
+	st.domains[name] = out
 	return out
 }
 
 // NumericRange returns the observed min and max of a numeric field,
 // ignoring missing values. ok is false if the field is absent, nominal,
-// or entirely missing.
+// or entirely missing. Like Domain, the scan is memoized until the
+// record count changes.
 func (l *Log) NumericRange(name string) (min, max float64, ok bool) {
 	i, found := l.Schema.Index(name)
 	if !found || l.Schema.Field(i).Kind != Numeric {
 		return 0, 0, false
+	}
+	l.statsMu.Lock()
+	defer l.statsMu.Unlock()
+	st := l.stats()
+	if r, hit := st.ranges[name]; hit {
+		return r.min, r.max, r.ok
 	}
 	first := true
 	for _, r := range l.Records {
@@ -203,5 +258,6 @@ func (l *Log) NumericRange(name string) (min, max float64, ok bool) {
 			max = v.Num
 		}
 	}
+	st.ranges[name] = numericRange{min: min, max: max, ok: !first}
 	return min, max, !first
 }

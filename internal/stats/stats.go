@@ -152,11 +152,40 @@ func NewRand(seed int64) *rand.Rand {
 // cross-validation splits) draw from decoupled streams: changing how many
 // values one subsystem consumes never perturbs another.
 func DeriveRand(seed int64, stream string) *rand.Rand {
+	return rand.New(rand.NewSource(int64(DeriveSeed(seed, stream))))
+}
+
+// DeriveSeed is DeriveRand's mixing step exposed directly: a 64-bit seed
+// for the (parent seed, stream) pair. Counter-based samplers (SplitMix64
+// over a per-item key) start from this, which is what lets sharded
+// enumeration stay byte-identical at every parallelism level — the
+// decision for an item depends only on the derived seed and the item,
+// never on how many draws other shards consumed.
+func DeriveSeed(seed int64, stream string) uint64 {
 	h := uint64(seed)
 	for _, c := range stream {
 		h = h*1099511628211 + uint64(c) // FNV-style mixing
 	}
-	return rand.New(rand.NewSource(int64(h)))
+	return h
+}
+
+// SplitMix64 is the splitmix64 finalizer: a bijective avalanche mix of a
+// 64-bit key. Feeding it seed^key gives a stateless, order-independent
+// uniform hash — the building block for counter-based Bernoulli draws.
+func SplitMix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// KeepFloat maps a 64-bit key to a uniform float in [0, 1) via
+// SplitMix64; Keep-style subsamplers compare it against a probability.
+func KeepFloat(seed, key uint64) float64 {
+	return float64(SplitMix64(seed^key)>>11) / (1 << 53)
 }
 
 // Clamp limits x to the closed interval [lo, hi].

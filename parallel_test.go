@@ -1,0 +1,78 @@
+package perfxplain
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// The public determinism contract of Options.Parallelism: with the same
+// seed, the end-to-end pipeline — collection, explanation with a
+// generated despite clause, and held-out evaluation — produces
+// byte-identical output at Parallelism 1, 4 and GOMAXPROCS.
+
+var (
+	detOnce sync.Once
+	detJobs *Log
+	detErr  error
+)
+
+func detLog(t *testing.T) *Log {
+	t.Helper()
+	detOnce.Do(func() {
+		detJobs, _, detErr = Collect(SweepOptions{Small: true, Seed: 42})
+	})
+	if detErr != nil {
+		t.Fatal(detErr)
+	}
+	return detJobs
+}
+
+const detQuery = `
+DESPITE numinstances_issame = T AND pigscript_issame = T
+OBSERVED duration_compare = GT
+EXPECTED duration_compare = SIM`
+
+func explainAt(t *testing.T, jobs *Log, parallelism int) (explanation string, metrics Metrics) {
+	t.Helper()
+	opt := Options{Width: 3, DespiteWidth: 2, Seed: 7, Parallelism: parallelism}
+	q, err := ParseQuery(detQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1, id2, ok := FindPairOfInterest(jobs, q, 7)
+	if !ok {
+		t.Fatal("no pair of interest in the small sweep")
+	}
+	q.Bind(id1, id2)
+	ex, err := NewExplainer(jobs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := ex.ExplainWithDespite(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Evaluate(jobs, q, x, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x.String(), m
+}
+
+func TestExplanationIdenticalAcrossParallelism(t *testing.T) {
+	jobs := detLog(t)
+	baseX, baseM := explainAt(t, jobs, 1)
+	if baseX == "" {
+		t.Fatal("empty explanation")
+	}
+	for _, p := range []int{4, runtime.GOMAXPROCS(0)} {
+		gotX, gotM := explainAt(t, jobs, p)
+		if gotX != baseX {
+			t.Errorf("Parallelism=%d explanation differs:\n%s\nvs Parallelism=1:\n%s", p, gotX, baseX)
+		}
+		if gotM != baseM {
+			t.Errorf("Parallelism=%d metrics %+v differ from serial %+v", p, gotM, baseM)
+		}
+	}
+}

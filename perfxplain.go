@@ -211,6 +211,12 @@ type Options struct {
 	// DiverseSample biases the training sample toward a varied set of
 	// executions (the paper's Section 4.3 future-work idea).
 	DiverseSample bool
+	// Parallelism bounds the worker goroutines used throughout the
+	// explanation pipeline — pair enumeration, materialization, predicate
+	// scoring and evaluation. Values <= 0 mean runtime.GOMAXPROCS(0), i.e.
+	// all available cores. Explanations are byte-identical at every
+	// setting: same seed, same answer, whatever the hardware.
+	Parallelism int
 }
 
 func (o Options) coreConfig() core.Config {
@@ -222,6 +228,7 @@ func (o Options) coreConfig() core.Config {
 		Seed:          o.Seed,
 		Target:        o.Target,
 		DiverseSample: o.DiverseSample,
+		Parallelism:   o.Parallelism,
 	}
 	if o.FeatureLevel != 0 {
 		cfg.Level = features.Level(o.FeatureLevel)
@@ -374,7 +381,7 @@ func Evaluate(log *Log, q *Query, x *Explanation, opt Options) (Metrics, error) 
 	if maxPairs == 0 {
 		maxPairs = core.DefaultConfig().MaxPairs
 	}
-	m, err := core.EvaluateExplanation(log.l, features.Level3, q.q, x.x, maxPairs, opt.Seed)
+	m, err := core.EvaluateExplanationP(log.l, features.Level3, q.q, x.x, maxPairs, opt.Seed, opt.Parallelism)
 	if err != nil {
 		return Metrics{}, err
 	}
@@ -400,12 +407,20 @@ func RuleOfThumbExplain(log *Log, q *Query, width int, seed int64) (*Explanation
 
 // SimButDiffExplain runs the SimButDiff baseline (paper Section 5.2):
 // what-if analysis over isSame features of pairs similar to the pair of
-// interest.
+// interest, on all available cores.
 func SimButDiffExplain(log *Log, q *Query, width int, seed int64) (*Explanation, error) {
+	return SimButDiffExplainP(log, q, width, seed, 0)
+}
+
+// SimButDiffExplainP is SimButDiffExplain with an explicit worker bound
+// for pair enumeration (<= 0 means GOMAXPROCS); the explanation is
+// identical at every setting. RuleOfThumb has no such variant: its
+// RReliefF weighting is inherently sequential.
+func SimButDiffExplainP(log *Log, q *Query, width int, seed int64, parallelism int) (*Explanation, error) {
 	if width <= 0 {
 		width = 3
 	}
-	sbd, err := baselines.NewSimButDiff(log.l, baselines.SimButDiffConfig{Seed: seed})
+	sbd, err := baselines.NewSimButDiff(log.l, baselines.SimButDiffConfig{Seed: seed, Parallelism: parallelism})
 	if err != nil {
 		return nil, err
 	}
@@ -422,9 +437,17 @@ func SimButDiffExplain(log *Log, q *Query, width int, seed int64) (*Explanation,
 // matching pairs it returns the most salient one: the largest gap on the
 // raw feature the observed clause compares (a user asks about the case
 // that caught their eye, not a borderline one). ok is false when no such
-// pair exists.
+// pair exists. The search runs on all available cores; use
+// FindPairOfInterestP to bound it.
 func FindPairOfInterest(log *Log, q *Query, seed int64) (id1, id2 string, ok bool) {
-	pairs := core.RelatedPairs(log.l, features.Level3, q.q, 50000, seed)
+	return FindPairOfInterestP(log, q, seed, 0)
+}
+
+// FindPairOfInterestP is FindPairOfInterest with an explicit worker
+// bound (<= 0 means GOMAXPROCS); the selected pair is identical at
+// every setting.
+func FindPairOfInterestP(log *Log, q *Query, seed int64, parallelism int) (id1, id2 string, ok bool) {
+	pairs := core.RelatedPairsP(log.l, features.Level3, q.q, 50000, seed, parallelism)
 	raw := ""
 	if len(q.q.Observed) > 0 {
 		raw, _ = features.ParseName(q.q.Observed[0].Feature)
