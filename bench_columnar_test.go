@@ -1,0 +1,323 @@
+package perfxplain
+
+// BenchmarkColumnarVsRow measures the columnar engine against the boxed
+// row path it replaced, on the three hot stages of the explanation
+// pipeline over the small-sweep log:
+//
+//   - predicates: despite/observed/expected evaluation over every related
+//     pair (compiled predicates vs interpreted EvalPair);
+//   - materialize: derived pair-feature materialization (flat pair matrix
+//     vs [][]joblog.Value);
+//   - dtree: per-feature split scoring (columnar BestSplits vs a boxed
+//     gather over BestThreshold/BestNominalValue).
+//
+// Run with:
+//
+//	go test -bench BenchmarkColumnarVsRow -benchmem
+//
+// The same measurements feed the BENCH_columnar.json perf artifact:
+//
+//	BENCH_COLUMNAR_JSON=BENCH_columnar.json go test -run TestBenchColumnarJSON .
+//
+// which CI runs and uploads on every push so the perf trajectory is
+// tracked from this PR on.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"perfxplain/internal/core"
+	"perfxplain/internal/dtree"
+	"perfxplain/internal/features"
+	"perfxplain/internal/joblog"
+	"perfxplain/internal/pxql"
+)
+
+// colBench is the shared fixture: the small-sweep job log, the WhySlower
+// query bound to a real pair, and its related pairs.
+type colBenchFixture struct {
+	log   *joblog.Log
+	d     *features.Deriver
+	q     *pxql.Query
+	pairs []core.LabeledPair
+}
+
+var (
+	colBenchOnce sync.Once
+	colBench     *colBenchFixture
+	colBenchErr  error
+)
+
+func colBenchFix() (*colBenchFixture, error) {
+	colBenchOnce.Do(func() {
+		jobs, _, err := Collect(SweepOptions{Small: true, Seed: 42})
+		if err != nil {
+			colBenchErr = err
+			return
+		}
+		q, err := ParseQuery(whySlowerSrc)
+		if err != nil {
+			colBenchErr = err
+			return
+		}
+		id1, id2, ok := FindPairOfInterest(jobs, q, 1)
+		if !ok {
+			colBenchErr = fmt.Errorf("no pair of interest in small log")
+			return
+		}
+		q.Bind(id1, id2)
+		log := jobs.l
+		colBench = &colBenchFixture{
+			log:   log,
+			d:     features.NewDeriver(log.Schema, features.Level3),
+			q:     q.q,
+			pairs: core.RelatedPairs(log, features.Level3, q.q, 0, 1),
+		}
+	})
+	return colBench, colBenchErr
+}
+
+// benchPredicatesRow evaluates the query's three clauses on every related
+// pair through the interpreted row engine.
+func benchPredicatesRow(b *testing.B) {
+	fx, err := colBenchFix()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	sink := 0
+	for n := 0; n < b.N; n++ {
+		for _, p := range fx.pairs {
+			if fx.q.Despite.EvalPair(fx.d, p.A, p.B) {
+				sink++
+			}
+			if fx.q.Observed.EvalPair(fx.d, p.A, p.B) {
+				sink++
+			}
+			if fx.q.Expected.EvalPair(fx.d, p.A, p.B) {
+				sink++
+			}
+		}
+	}
+	benchSink = sink
+}
+
+// benchPredicatesColumnar is the same workload on compiled predicates.
+func benchPredicatesColumnar(b *testing.B) {
+	fx, err := colBenchFix()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cols := fx.log.Columns()
+	cDes := fx.q.Despite.Compile(fx.d, cols)
+	cObs := fx.q.Observed.Compile(fx.d, cols)
+	cExp := fx.q.Expected.Compile(fx.d, cols)
+	b.ReportAllocs()
+	b.ResetTimer()
+	sink := 0
+	for n := 0; n < b.N; n++ {
+		for _, p := range fx.pairs {
+			if cDes.EvalPair(p.IA, p.IB) {
+				sink++
+			}
+			if cObs.EvalPair(p.IA, p.IB) {
+				sink++
+			}
+			if cExp.EvalPair(p.IA, p.IB) {
+				sink++
+			}
+		}
+	}
+	benchSink = sink
+}
+
+// benchMaterializeRow materializes every related pair's derived vector
+// through the boxed row engine.
+func benchMaterializeRow(b *testing.B) {
+	fx, err := colBenchFix()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		for _, p := range fx.pairs {
+			vec := fx.d.Vector(p.A, p.B)
+			benchSink = len(vec)
+		}
+	}
+}
+
+// benchMaterializeColumnar fills a preallocated pair matrix — the
+// steady-state path, which must not allocate per pair.
+func benchMaterializeColumnar(b *testing.B) {
+	fx, err := colBenchFix()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cols := fx.log.Columns()
+	m := fx.d.NewPairMatrix(len(fx.pairs))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		for i, p := range fx.pairs {
+			m.Fill(cols, i, p.IA, p.IB)
+		}
+	}
+	benchSink = m.N
+}
+
+// benchLabels labels each record by whether its duration exceeds the
+// log's midpoint — a balanced, deterministic split-scoring workload.
+func benchLabels(log *joblog.Log) []bool {
+	min, max, _ := log.NumericRange("duration")
+	mid := (min + max) / 2
+	di := log.Schema.MustIndex("duration")
+	labels := make([]bool, log.Len())
+	for i, r := range log.Records {
+		labels[i] = r.Values[di].Kind == joblog.Numeric && r.Values[di].Num > mid
+	}
+	return labels
+}
+
+// benchDtreeRow is the pre-columnar BestSplits: gather each feature's
+// boxed values, then score with the boxed primitives.
+func benchDtreeRow(b *testing.B) {
+	fx, err := colBenchFix()
+	if err != nil {
+		b.Fatal(err)
+	}
+	labels := benchLabels(fx.log)
+	idx := make([]int, fx.log.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		found := 0
+		subLabels := make([]bool, len(idx))
+		for j, i := range idx {
+			subLabels[j] = labels[i]
+		}
+		for f := 0; f < fx.log.Schema.Len(); f++ {
+			subValues := make([]joblog.Value, len(idx))
+			for j, i := range idx {
+				subValues[j] = fx.log.Records[i].Values[f]
+			}
+			if fx.log.Schema.Field(f).Kind == joblog.Numeric {
+				if _, _, ok := dtree.BestThreshold(subValues, subLabels); ok {
+					found++
+				}
+			} else {
+				if _, _, ok := dtree.BestNominalValue(subValues, subLabels); ok {
+					found++
+				}
+			}
+		}
+		benchSink = found
+	}
+}
+
+// benchDtreeColumnar is today's BestSplits over the columnar view.
+func benchDtreeColumnar(b *testing.B) {
+	fx, err := colBenchFix()
+	if err != nil {
+		b.Fatal(err)
+	}
+	labels := benchLabels(fx.log)
+	idx := make([]int, fx.log.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	fx.log.Columns() // build outside the timed loop, like every real caller
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		splits := dtree.BestSplits(fx.log, labels, idx, 1, false)
+		benchSink = len(splits)
+	}
+}
+
+var benchSink int
+
+var columnarVsRow = []struct {
+	name string
+	fn   func(*testing.B)
+}{
+	{"predicates/row", benchPredicatesRow},
+	{"predicates/columnar", benchPredicatesColumnar},
+	{"materialize/row", benchMaterializeRow},
+	{"materialize/columnar", benchMaterializeColumnar},
+	{"dtree/row", benchDtreeRow},
+	{"dtree/columnar", benchDtreeColumnar},
+}
+
+func BenchmarkColumnarVsRow(b *testing.B) {
+	for _, bench := range columnarVsRow {
+		b.Run(bench.name, bench.fn)
+	}
+}
+
+// TestBenchColumnarJSON runs the columnar-vs-row benchmarks
+// programmatically and writes the BENCH_columnar.json summary consumed
+// by CI. Skipped unless BENCH_COLUMNAR_JSON names the output path.
+func TestBenchColumnarJSON(t *testing.T) {
+	path := os.Getenv("BENCH_COLUMNAR_JSON")
+	if path == "" {
+		t.Skip("set BENCH_COLUMNAR_JSON=<path> to emit the benchmark summary")
+	}
+	type entry struct {
+		NsPerOp     float64 `json:"ns_per_op"`
+		AllocsPerOp int64   `json:"allocs_per_op"`
+		BytesPerOp  int64   `json:"bytes_per_op"`
+	}
+	results := make(map[string]entry, len(columnarVsRow))
+	for _, bench := range columnarVsRow {
+		r := testing.Benchmark(bench.fn)
+		results[bench.name] = entry{
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+	}
+	speedup := func(stage string) float64 {
+		row, col := results[stage+"/row"], results[stage+"/columnar"]
+		if col.NsPerOp == 0 {
+			return 0
+		}
+		return row.NsPerOp / col.NsPerOp
+	}
+	out := map[string]any{
+		"benchmarks": results,
+		"speedup": map[string]float64{
+			"predicates":  speedup("predicates"),
+			"materialize": speedup("materialize"),
+			"dtree":       speedup("dtree"),
+		},
+	}
+	blob, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s:\n%s", path, blob)
+
+	// The steady-state materialization path must be allocation-free and
+	// the columnar engine must clear the 2x bar on the two pair-bound
+	// stages; regressions fail the CI step rather than silently shipping.
+	if a := results["materialize/columnar"].AllocsPerOp; a != 0 {
+		t.Errorf("materialize/columnar allocates %d times per op, want 0", a)
+	}
+	for _, stage := range []string{"predicates", "materialize"} {
+		if s := speedup(stage); s < 2 {
+			t.Errorf("%s speedup = %.2fx, want >= 2x", stage, s)
+		}
+	}
+}

@@ -26,19 +26,21 @@ func main() {
 	small := flag.Bool("small", false, "run the reduced 32-job grid instead of the full Table 2 sweep")
 	seed := flag.Int64("seed", 42, "sweep seed (same seed, same log)")
 	history := flag.Bool("history", false, "also write Hadoop-style job history files")
+	parallelism := flag.Int("parallelism", 0, "worker goroutines simulating sweep cells (0 = all cores); the log is identical at every setting")
 	flag.Parse()
 
-	if err := run(*out, *small, *seed, *history); err != nil {
+	if err := run(*out, *small, *seed, *history, *parallelism); err != nil {
 		fmt.Fprintln(os.Stderr, "pxqlcollect:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, small bool, seed int64, history bool) error {
+func run(out string, small bool, seed int64, history bool, parallelism int) error {
 	sweep := collect.DefaultSweep(seed)
 	if small {
 		sweep = collect.SmallSweep(seed)
 	}
+	sweep.Parallelism = parallelism
 	fmt.Printf("running %d simulated job executions...\n", sweep.NumJobs())
 	res, err := sweep.Collect()
 	if err != nil {

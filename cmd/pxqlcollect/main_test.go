@@ -10,7 +10,7 @@ import (
 
 func TestRunWritesLogsAndHistory(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(dir, true, 7, true); err != nil {
+	if err := run(dir, true, 7, true, 0); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"jobs.csv", "tasks.csv"} {
@@ -38,10 +38,10 @@ func TestRunWritesLogsAndHistory(t *testing.T) {
 
 func TestRunDeterministicOutput(t *testing.T) {
 	dirA, dirB := t.TempDir(), t.TempDir()
-	if err := run(dirA, true, 9, false); err != nil {
+	if err := run(dirA, true, 9, false, 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(dirB, true, 9, false); err != nil {
+	if err := run(dirB, true, 9, false, 0); err != nil {
 		t.Fatal(err)
 	}
 	a, err := os.ReadFile(filepath.Join(dirA, "jobs.csv"))
@@ -64,7 +64,7 @@ func TestRunBadOutputDir(t *testing.T) {
 	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(blocker, true, 1, false); err == nil {
+	if err := run(blocker, true, 1, false, 0); err == nil {
 		t.Error("expected error when output dir is a file")
 	}
 }

@@ -40,6 +40,7 @@ func run(exp string, seed int64, reps int, small bool, parallelism int) error {
 	if small {
 		sweep = collect.SmallSweep(seed)
 	}
+	sweep.Parallelism = parallelism
 	fmt.Printf("collecting %d simulated job executions...\n", sweep.NumJobs())
 	t0 := time.Now()
 	res, err := sweep.Collect()

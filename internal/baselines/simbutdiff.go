@@ -64,16 +64,13 @@ func NewSimButDiff(log *joblog.Log, cfg SimButDiffConfig) (*SimButDiff, error) {
 
 // Explain runs Algorithm 2 for the query.
 func (s *SimButDiff) Explain(q *pxql.Query, width int) (*core.Explanation, error) {
-	a := s.log.Find(q.ID1)
-	b := s.log.Find(q.ID2)
-	if a == nil || b == nil {
-		return nil, fmt.Errorf("baselines: pair of interest (%q, %q) not in log", q.ID1, q.ID2)
-	}
-
-	// isSame feature set, excluding the target's.
+	// isSame feature set, excluding the target's. derivedIdx addresses the
+	// feature in the columnar engine, so the similarity and what-if loops
+	// below compare packed symbols instead of boxed values.
 	type sameFeat struct {
-		name   string
-		rawIdx int
+		name       string
+		rawIdx     int
+		derivedIdx int
 	}
 	var feats []sameFeat
 	raw := s.d.RawSchema()
@@ -81,14 +78,21 @@ func (s *SimButDiff) Explain(q *pxql.Query, width int) (*core.Explanation, error
 		if raw.Field(i).Name == s.cfg.Target {
 			continue
 		}
-		feats = append(feats, sameFeat{features.Name(raw.Field(i).Name, features.IsSame), i})
+		name := features.Name(raw.Field(i).Name, features.IsSame)
+		di := s.d.Schema().MustIndex(name)
+		feats = append(feats, sameFeat{name, i, di})
 	}
 
-	// Pair-of-interest isSame vector.
-	poi := make([]joblog.Value, len(feats))
+	// Pair-of-interest isSame vector, as symbols.
+	cols := s.log.Columns()
+	ia, okA := s.log.FindIndex(q.ID1)
+	ib, okB := s.log.FindIndex(q.ID2)
+	if !okA || !okB {
+		return nil, fmt.Errorf("baselines: pair of interest (%q, %q) not in log", q.ID1, q.ID2)
+	}
+	poi := make([]uint64, len(feats))
 	for i, f := range feats {
-		v, _ := s.d.ValueByName(a, b, f.name)
-		poi[i] = v
+		poi[i] = s.d.DeriveSym(cols, ia, ib, f.derivedIdx)
 	}
 
 	// Lines 1-5: related pairs, reduced to isSame features, filtered to
@@ -99,17 +103,17 @@ func (s *SimButDiff) Explain(q *pxql.Query, width int) (*core.Explanation, error
 	}
 	k := int(s.cfg.SimilarityThreshold * float64(len(feats)))
 	type simPair struct {
-		same []joblog.Value
+		same []uint64
 		exp  bool
 	}
 	var similar []simPair
 	for _, lp := range related {
-		vec := make([]joblog.Value, len(feats))
+		vec := make([]uint64, len(feats))
 		agree := 0
 		for i, f := range feats {
-			v, _ := s.d.ValueByName(lp.A, lp.B, f.name)
+			v := s.d.DeriveSym(cols, lp.IA, lp.IB, f.derivedIdx)
 			vec[i] = v
-			if !v.IsMissing() && !poi[i].IsMissing() && v.Equal(poi[i]) {
+			if v != features.MissingSym && poi[i] != features.MissingSym && v == poi[i] {
 				agree++
 			}
 		}
@@ -132,13 +136,13 @@ func (s *SimButDiff) Explain(q *pxql.Query, width int) (*core.Explanation, error
 	}
 	var scores []scored
 	for i := range feats {
-		if poi[i].IsMissing() {
+		if poi[i] == features.MissingSym {
 			continue // cannot assert the pair's value for this feature
 		}
 		disagree, expAmong := 0, 0
 		for _, sp := range similar {
 			v := sp.same[i]
-			if v.IsMissing() || v.Equal(poi[i]) {
+			if v == features.MissingSym || v == poi[i] {
 				continue
 			}
 			disagree++
@@ -175,7 +179,7 @@ func (s *SimButDiff) Explain(q *pxql.Query, width int) (*core.Explanation, error
 		clause = append(clause, pxql.Atom{
 			Feature: feats[sc.idx].name,
 			Op:      pxql.OpEq,
-			Value:   poi[sc.idx],
+			Value:   joblog.Str(s.d.SymString(cols.Intern(), feats[sc.idx].derivedIdx, poi[sc.idx])),
 		})
 	}
 	return &core.Explanation{Because: clause}, nil

@@ -12,6 +12,7 @@ import (
 	"perfxplain/internal/excite"
 	"perfxplain/internal/joblog"
 	"perfxplain/internal/mapreduce"
+	"perfxplain/internal/par"
 	"perfxplain/internal/pig"
 	"perfxplain/internal/stats"
 )
@@ -247,6 +248,11 @@ type Sweep struct {
 	// GapSeconds is the idle time inserted between jobs on the log-wide
 	// timeline. Default 60.
 	GapSeconds float64
+	// Parallelism bounds the worker goroutines simulating grid cells
+	// (<= 0 means GOMAXPROCS). Each job derives its own seed from its grid
+	// position and the records are assembled serially in grid order, so
+	// the collected log is byte-identical at every setting.
+	Parallelism int
 }
 
 const gb = 1 << 30
@@ -292,11 +298,30 @@ type Result struct {
 }
 
 // Collect runs the whole grid on the simulated cluster and assembles the
-// execution logs. Jobs are laid out sequentially on a shared timeline.
+// execution logs. Cells simulate concurrently on the worker pool — each
+// job's seed derives from its grid position alone — while records are
+// assembled serially in grid order with the cumulative timeline offset,
+// so the collected log is byte-identical at every worker count.
 func (s Sweep) Collect() (*Result, error) {
 	if s.GapSeconds == 0 {
 		s.GapSeconds = 60
 	}
+	specs, err := s.specs()
+	if err != nil {
+		return nil, err
+	}
+
+	results := make([]*mapreduce.JobResult, len(specs))
+	errs := make([]error, len(specs))
+	par.Do(len(specs), s.Parallelism, func(i int) {
+		results[i], errs[i] = mapreduce.Run(specs[i])
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("collect: %s: %w", specs[i].ID, err)
+		}
+	}
+
 	jobSchema := JobSchema()
 	taskSchema := TaskSchema()
 	out := &Result{
@@ -304,6 +329,22 @@ func (s Sweep) Collect() (*Result, error) {
 		Tasks: joblog.NewLog(taskSchema),
 	}
 	offset := 0.0
+	for _, res := range results {
+		out.Jobs.MustAppend(JobRecord(jobSchema, res, offset))
+		for _, tr := range TaskRecords(taskSchema, res, offset) {
+			out.Tasks.MustAppend(tr)
+		}
+		out.Results = append(out.Results, res)
+		offset += res.Duration() + s.GapSeconds
+	}
+	return out, nil
+}
+
+// specs expands the grid into per-cell job specs in grid order, deriving
+// each job's seed from the sweep seed and its position — the unit of
+// parallel simulation.
+func (s Sweep) specs() ([]mapreduce.JobSpec, error) {
+	specs := make([]mapreduce.JobSpec, 0, s.NumJobs())
 	idx := 0
 	for _, script := range s.Scripts {
 		sc, err := pig.ByName(script)
@@ -316,8 +357,7 @@ func (s Sweep) Collect() (*Result, error) {
 					for _, rf := range s.ReduceFactors {
 						for _, iosf := range s.IOSortFactors {
 							id := fmt.Sprintf("job-%04d", idx)
-							seed := stats.DeriveRand(s.Seed, "sweep-"+id).Int63()
-							res, err := mapreduce.Run(mapreduce.JobSpec{
+							specs = append(specs, mapreduce.JobSpec{
 								ID:     id,
 								Script: sc,
 								Input:  excite.DatasetForBytes("excite", in),
@@ -326,18 +366,9 @@ func (s Sweep) Collect() (*Result, error) {
 									BlockSize:         bs,
 									ReduceTasksFactor: rf,
 									IOSortFactor:      iosf,
-									Seed:              seed,
+									Seed:              stats.DeriveRand(s.Seed, "sweep-"+id).Int63(),
 								},
 							})
-							if err != nil {
-								return nil, fmt.Errorf("collect: %s: %w", id, err)
-							}
-							out.Jobs.MustAppend(JobRecord(jobSchema, res, offset))
-							for _, tr := range TaskRecords(taskSchema, res, offset) {
-								out.Tasks.MustAppend(tr)
-							}
-							out.Results = append(out.Results, res)
-							offset += res.Duration() + s.GapSeconds
 							idx++
 						}
 					}
@@ -345,5 +376,5 @@ func (s Sweep) Collect() (*Result, error) {
 			}
 		}
 	}
-	return out, nil
+	return specs, nil
 }

@@ -1,0 +1,40 @@
+package collect
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestCollectParallelismInvariance pins the satellite guarantee of the
+// parallel sweep: the collected job and task logs are byte-identical at
+// every worker count.
+func TestCollectParallelismInvariance(t *testing.T) {
+	renderLogs := func(parallelism int) (string, string) {
+		t.Helper()
+		s := SmallSweep(11)
+		s.Parallelism = parallelism
+		res, err := s.Collect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jobs, tasks bytes.Buffer
+		if err := res.Jobs.WriteCSV(&jobs); err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Tasks.WriteCSV(&tasks); err != nil {
+			t.Fatal(err)
+		}
+		return jobs.String(), tasks.String()
+	}
+
+	wantJobs, wantTasks := renderLogs(1)
+	for _, p := range []int{2, 4, 0} {
+		jobs, tasks := renderLogs(p)
+		if jobs != wantJobs {
+			t.Errorf("parallelism %d: job log differs from serial collection", p)
+		}
+		if tasks != wantTasks {
+			t.Errorf("parallelism %d: task log differs from serial collection", p)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"perfxplain/internal/dtree"
 	"perfxplain/internal/features"
@@ -232,18 +233,24 @@ func (e *Explainer) explain(q *pxql.Query, genDespite bool) (*Explanation, error
 	// it reproducible.
 	sample := e.sample(related, stats.DeriveRand(e.cfg.Seed, "because-sample"))
 	x.SampleSize = len(sample.refs)
-	vecs := materialize(e.log, e.d, sample, e.cfg.Parallelism)
+	m := materialize(e.log, e.d, sample, e.cfg.Parallelism)
 	pairVec := e.d.Vector(a, b)
 
-	bec := e.grow(vecs, sample.labels, pairVec, e.cfg.Width)
+	bec := e.grow(m, sample.labels, pairVec, e.cfg.Width)
 	x.Because = bec
 
-	// Training diagnostics over the sample, per clause prefix.
+	// Training diagnostics over the sample, per clause prefix, evaluated
+	// on the lowered atoms straight off the pair matrix.
+	in := e.log.Columns().Intern()
+	mas := make([]matrixAtom, len(bec))
+	for i, a := range bec {
+		idx, _ := e.d.Schema().Index(a.Feature)
+		mas[i] = newMatrixAtom(e.d, in, idx, a)
+	}
 	for w := 1; w <= len(bec); w++ {
-		prefix := bec[:w]
 		sat, satObs := 0, 0
-		for i, v := range vecs {
-			if prefix.EvalVector(e.d.Schema(), v) {
+		for i := 0; i < m.N; i++ {
+			if evalPrefix(mas, w, m, i) {
 				sat++
 				if sample.labels[i] {
 					satObs++
@@ -254,15 +261,15 @@ func (e *Explainer) explain(q *pxql.Query, genDespite bool) (*Explanation, error
 		if sat > 0 {
 			st.Precision = float64(satObs) / float64(sat)
 		}
-		if len(vecs) > 0 {
-			st.Generality = float64(sat) / float64(len(vecs))
+		if m.N > 0 {
+			st.Generality = float64(sat) / float64(m.N)
 		}
 		x.Atoms = append(x.Atoms, st)
 	}
 	if n := len(x.Atoms); n > 0 {
 		x.TrainPrecision = x.Atoms[n-1].Precision
 		x.TrainGenerality = x.Atoms[n-1].Generality
-	} else if len(vecs) > 0 {
+	} else if m.N > 0 {
 		// Empty clause: precision is the sample's observed fraction.
 		obs := 0
 		for _, l := range sample.labels {
@@ -270,7 +277,7 @@ func (e *Explainer) explain(q *pxql.Query, genDespite bool) (*Explanation, error
 				obs++
 			}
 		}
-		x.TrainPrecision = float64(obs) / float64(len(vecs))
+		x.TrainPrecision = float64(obs) / float64(m.N)
 		x.TrainGenerality = 1
 	}
 	return x, nil
@@ -293,7 +300,7 @@ func (e *Explainer) generateDespite(q *pxql.Query, a, b *joblog.Record) (pxql.Pr
 		return nil, fmt.Errorf("core: no related pairs in the log for this query")
 	}
 	sample := e.sample(related, stats.DeriveRand(e.cfg.Seed, "despite-sample"))
-	vecs := materialize(e.log, e.d, sample, e.cfg.Parallelism)
+	m := materialize(e.log, e.d, sample, e.cfg.Parallelism)
 	pairVec := e.d.Vector(a, b)
 
 	// Positive class for despite generation is "performed as expected":
@@ -302,7 +309,7 @@ func (e *Explainer) generateDespite(q *pxql.Query, a, b *joblog.Record) (pxql.Pr
 	for i, l := range sample.labels {
 		flipped[i] = !l
 	}
-	return e.grow(vecs, flipped, pairVec, e.cfg.DespiteWidth), nil
+	return e.grow(m, flipped, pairVec, e.cfg.DespiteWidth), nil
 }
 
 func (e *Explainer) sample(ps *pairSet, rng *rand.Rand) *pairSet {
@@ -321,11 +328,11 @@ func (e *Explainer) sample(ps *pairSet, rng *rand.Rand) *pairSet {
 // (labels flipped so positive = performed-as-expected, turning the
 // precision measure into relevance — the only change the paper makes to
 // the algorithm for des' generation).
-func (e *Explainer) grow(vecs [][]joblog.Value, labels []bool,
+func (e *Explainer) grow(m *features.PairMatrix, labels []bool,
 	pairVec []joblog.Value, width int) pxql.Predicate {
 
 	var clause pxql.Predicate
-	cur := make([]int, len(vecs))
+	cur := make([]int, m.N)
 	for i := range cur {
 		cur[i] = i
 	}
@@ -345,7 +352,7 @@ func (e *Explainer) grow(vecs [][]joblog.Value, labels []bool,
 			break
 		}
 
-		cands := e.candidates(vecs, labels, cur, pairVec, clause)
+		cands := e.candidates(m, labels, cur, pairVec, clause)
 		if len(cands) == 0 {
 			break
 		}
@@ -358,9 +365,8 @@ func (e *Explainer) grow(vecs [][]joblog.Value, labels []bool,
 		par.Do(len(cands), e.cfg.Parallelism, func(ci int) {
 			cand := cands[ci]
 			sat, satPos := 0, 0
-			fi := cand.featIdx
 			for _, i := range cur {
-				if cand.atom.Eval(vecs[i][fi]) {
+				if cand.ma.eval(m, i) {
 					sat++
 					if labels[i] {
 						satPos++
@@ -391,7 +397,7 @@ func (e *Explainer) grow(vecs [][]joblog.Value, labels []bool,
 		// Restrict the working set to pairs satisfying the clause so far.
 		var next []int
 		for _, i := range cur {
-			if chosen.atom.Eval(vecs[i][chosen.featIdx]) {
+			if chosen.ma.eval(m, i) {
 				next = append(next, i)
 			}
 		}
@@ -403,21 +409,26 @@ func (e *Explainer) grow(vecs [][]joblog.Value, labels []bool,
 type candidate struct {
 	featIdx int
 	atom    pxql.Atom
+	ma      matrixAtom
 	gain    float64
 }
 
 // candidates builds the best applicable predicate per feature by
 // information gain (Algorithm 1 line 5) — the algorithm's inner loop,
-// scored concurrently across features. Results land in a per-feature
+// scored concurrently across features straight off the pair-matrix
+// planes: numeric features gather a flat float column, nominal features
+// count interned symbols and only decode the few distinct values for the
+// deterministic string-ordered tie-break. Results land in a per-feature
 // slot and are compacted in schema order afterwards, so the candidate
 // list is independent of scheduling. Features derived from the query
 // target are excluded, as are features whose pair-of-interest value is
 // missing (no applicable predicate exists) and atoms already in the
 // clause.
-func (e *Explainer) candidates(vecs [][]joblog.Value, labels []bool,
+func (e *Explainer) candidates(m *features.PairMatrix, labels []bool,
 	cur []int, pairVec []joblog.Value, clause pxql.Predicate) []candidate {
 
 	schema := e.d.Schema()
+	in := e.log.Columns().Intern()
 	subLabels := make([]bool, len(cur))
 	for k, i := range cur {
 		subLabels[k] = labels[i]
@@ -442,14 +453,14 @@ func (e *Explainer) candidates(vecs [][]joblog.Value, labels []bool,
 		if v0.IsMissing() {
 			return // no predicate over f can hold on the pair of interest
 		}
-		col := make([]joblog.Value, len(cur))
-		for k, i := range cur {
-			col[k] = vecs[i][f]
-		}
 		var atom pxql.Atom
 		var gain float64
-		if schema.Field(f).Kind == joblog.Numeric {
-			thr, g, ok := dtree.BestThreshold(col, subLabels)
+		if numOff := e.d.NumOffset(f); numOff >= 0 {
+			col := make([]float64, len(cur))
+			for k, i := range cur {
+				col[k] = m.NumAt(i, numOff)
+			}
+			thr, g, ok := dtree.BestThresholdF(col, subLabels)
 			if !ok {
 				return
 			}
@@ -460,7 +471,7 @@ func (e *Explainer) candidates(vecs [][]joblog.Value, labels []bool,
 			atom = pxql.Atom{Feature: schema.Field(f).Name, Op: op, Value: joblog.Num(thr)}
 			gain = g
 		} else {
-			val, g, ok := dtree.BestNominalValue(col, subLabels)
+			val, g, ok := bestNominalSyms(e.d, in, f, m, cur, subLabels)
 			if !ok {
 				return
 			}
@@ -476,7 +487,7 @@ func (e *Explainer) candidates(vecs [][]joblog.Value, labels []bool,
 		if containsAtom(clause, atom) {
 			return
 		}
-		found[f] = &candidate{featIdx: f, atom: atom, gain: gain}
+		found[f] = &candidate{featIdx: f, atom: atom, ma: newMatrixAtom(e.d, in, f, atom), gain: gain}
 	})
 
 	var out []candidate
@@ -486,6 +497,55 @@ func (e *Explainer) candidates(vecs [][]joblog.Value, labels []bool,
 		}
 	}
 	return out
+}
+
+// bestNominalSyms is BestNominalValue over a symbol-plane matrix column:
+// class counts accumulate per interned symbol, then the few distinct
+// symbols are decoded and merged by rendered string (distinct diff
+// symbols may render identically when a value contains the arrow) so the
+// scoring and its string-ordered tie-break match the row engine exactly.
+func bestNominalSyms(d *features.Deriver, in *joblog.Intern, featIdx int,
+	m *features.PairMatrix, cur []int, subLabels []bool) (string, float64, bool) {
+
+	symOff := d.SymOffset(featIdx)
+	type cnt struct{ pos, neg int }
+	bySym := make(map[uint64]*cnt)
+	for k, i := range cur {
+		s := m.SymAt(i, symOff)
+		if s == features.MissingSym {
+			continue
+		}
+		c := bySym[s]
+		if c == nil {
+			c = &cnt{}
+			bySym[s] = c
+		}
+		if subLabels[k] {
+			c.pos++
+		} else {
+			c.neg++
+		}
+	}
+	byVal := make(map[string]*cnt, len(bySym))
+	for s, c := range bySym {
+		v := d.SymString(in, featIdx, s)
+		if mc := byVal[v]; mc != nil {
+			mc.pos += c.pos
+			mc.neg += c.neg
+		} else {
+			byVal[v] = &cnt{pos: c.pos, neg: c.neg}
+		}
+	}
+	vals := make([]string, 0, len(byVal))
+	for v := range byVal {
+		vals = append(vals, v)
+	}
+	sort.Strings(vals)
+	counts := make([]dtree.NominalCount, len(vals))
+	for i, v := range vals {
+		counts[i] = dtree.NominalCount{Value: v, Pos: byVal[v].pos, Neg: byVal[v].neg}
+	}
+	return dtree.BestNominalFromCounts(counts, len(cur))
 }
 
 func containsAtom(p pxql.Predicate, a pxql.Atom) bool {

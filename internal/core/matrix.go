@@ -1,0 +1,83 @@
+package core
+
+// matrixAtom is a candidate predicate lowered for evaluation against
+// pair-matrix rows: one plane offset plus the comparison, no boxed
+// values, no map lookups. Algorithm 1's working-set filtering, candidate
+// scoring and per-prefix diagnostics all run on these.
+//
+// Generated atoms always agree in kind with their derived column (the
+// constant is a threshold over that column or one of its observed
+// values), so the lowering never needs the interpreter's mixed-kind
+// rejection paths; an atom that cannot match any cell lowers to a
+// constant-false evaluator all the same.
+
+import (
+	"perfxplain/internal/features"
+	"perfxplain/internal/joblog"
+	"perfxplain/internal/pxql"
+)
+
+type matrixAtom struct {
+	numOff int // >= 0: numeric plane comparison
+	symOff int // >= 0: symbol plane equality/inequality
+	op     pxql.Op
+	num    float64
+	ne     bool
+	syms   []uint64
+}
+
+// newMatrixAtom lowers an atom over the derived feature featIdx for
+// matrix-row evaluation, byte-identical to Atom.Eval on the boxed vector
+// the row engine would have materialized.
+func newMatrixAtom(d *features.Deriver, in *joblog.Intern, featIdx int, a pxql.Atom) matrixAtom {
+	ma := matrixAtom{numOff: -1, symOff: -1}
+	if a.Value.IsMissing() {
+		return ma // matches nothing; both offsets stay -1
+	}
+	if off := d.NumOffset(featIdx); off >= 0 {
+		if a.Value.Kind != joblog.Numeric {
+			return ma
+		}
+		ma.numOff, ma.op, ma.num = off, a.Op, a.Value.Num
+		return ma
+	}
+	if a.Value.Kind != joblog.Nominal || (a.Op != pxql.OpEq && a.Op != pxql.OpNe) {
+		return ma
+	}
+	ma.symOff = d.SymOffset(featIdx)
+	ma.ne = a.Op == pxql.OpNe
+	ma.syms = d.SymsForString(in, featIdx, a.Value.Str)
+	return ma
+}
+
+// eval evaluates the atom against one matrix row. Missing cells satisfy
+// no operator, mirroring Atom.Eval; the scalar comparison cores are
+// pxql's, shared with the compiled predicate evaluator.
+func (ma *matrixAtom) eval(m *features.PairMatrix, row int) bool {
+	if ma.numOff >= 0 {
+		x := m.NumAt(row, ma.numOff)
+		if x != x { // NaN: missing
+			return false
+		}
+		return pxql.EvalNumOp(ma.op, x, ma.num)
+	}
+	if ma.symOff >= 0 {
+		s := m.SymAt(row, ma.symOff)
+		if s == features.MissingSym {
+			return false
+		}
+		return pxql.EvalSymSet(ma.syms, s, ma.ne)
+	}
+	return false
+}
+
+// evalPrefix evaluates the conjunction of the first w lowered atoms on a
+// row — EvalVector for matrix rows.
+func evalPrefix(mas []matrixAtom, w int, m *features.PairMatrix, row int) bool {
+	for k := 0; k < w; k++ {
+		if !mas[k].eval(m, row) {
+			return false
+		}
+	}
+	return true
+}

@@ -58,6 +58,11 @@ func EvaluateExplanationP(log *joblog.Log, level features.Level,
 	despite := q.Despite.And(x.Despite)
 	pairSeed := stats.DeriveSeed(seed, "evaluate")
 	sp := buildPairSpace(log, despite, maxPairs, parallelism)
+	cols := log.Columns()
+	cDes := despite.Compile(d, cols)
+	cObs := q.Observed.Compile(d, cols)
+	cExp := q.Expected.Compile(d, cols)
+	cBec := x.Because.Compile(d, cols)
 
 	type counts struct {
 		context, exp, bec, obsGivenBec int
@@ -65,14 +70,14 @@ func EvaluateExplanationP(log *joblog.Log, level features.Level,
 	parts := make([]counts, len(sp.shards))
 	par.Do(len(sp.shards), parallelism, func(s int) {
 		var c counts
-		sp.forEachPair(s, log, d, despite, pairSeed, func(_, _ int, a, b *joblog.Record) {
+		sp.forEachPair(s, cDes, pairSeed, func(i, j int) {
 			c.context++
-			if q.Expected.EvalPair(d, a, b) {
+			if cExp.EvalPair(i, j) {
 				c.exp++
 			}
-			if x.Because.EvalPair(d, a, b) {
+			if cBec.EvalPair(i, j) {
 				c.bec++
-				if q.Observed.EvalPair(d, a, b) {
+				if cObs.EvalPair(i, j) {
 					c.obsGivenBec++
 				}
 			}

@@ -142,12 +142,14 @@ func keepPair(seed uint64, i, j int, keepP float64) bool {
 }
 
 // forEachPair visits one shard's ordered pairs that survive the keep
-// decision and satisfy the despite clause, in iteration order. This is
-// the single definition of the pair probability space: training
-// enumeration and explanation evaluation both walk it, so they can never
-// drift apart on blocking, capping or the despite check.
-func (sp pairSpace) forEachPair(shard int, log *joblog.Log, d *features.Deriver,
-	despite pxql.Predicate, seed uint64, visit func(i, j int, a, b *joblog.Record)) {
+// decision and satisfy the (compiled) despite clause, in iteration
+// order. This is the single definition of the pair probability space:
+// training enumeration and explanation evaluation both walk it, so they
+// can never drift apart on blocking, capping or the despite check. The
+// despite check runs compiled — integer/float compares over column
+// planes, no record dereferences on the quadratic path.
+func (sp pairSpace) forEachPair(shard int, despite *pxql.CompiledPredicate,
+	seed uint64, visit func(i, j int)) {
 
 	sh := sp.shards[shard]
 	for _, i := range sh.group[sh.lo:sh.hi] {
@@ -158,11 +160,10 @@ func (sp pairSpace) forEachPair(shard int, log *joblog.Log, d *features.Deriver,
 			if !keepPair(seed, i, j, sp.keepP) {
 				continue
 			}
-			a, b := log.Records[i], log.Records[j]
-			if !despite.EvalPair(d, a, b) {
+			if !despite.EvalPair(i, j) {
 				continue
 			}
-			visit(i, j, a, b)
+			visit(i, j)
 		}
 	}
 }
@@ -186,12 +187,16 @@ func enumerateRelated(log *joblog.Log, d *features.Deriver, q *pxql.Query,
 	despite pxql.Predicate, maxPairs int, seed uint64, workers int) *pairSet {
 
 	sp := buildPairSpace(log, despite, maxPairs, workers)
+	cols := log.Columns()
+	cDes := despite.Compile(d, cols)
+	cObs := q.Observed.Compile(d, cols)
+	cExp := q.Expected.Compile(d, cols)
 	parts := make([]*pairSet, len(sp.shards))
 	par.Do(len(sp.shards), workers, func(s int) {
 		ps := &pairSet{}
-		sp.forEachPair(s, log, d, despite, seed, func(i, j int, a, b *joblog.Record) {
-			obs := q.Observed.EvalPair(d, a, b)
-			exp := q.Expected.EvalPair(d, a, b)
+		sp.forEachPair(s, cDes, seed, func(i, j int) {
+			obs := cObs.EvalPair(i, j)
+			exp := cExp.EvalPair(i, j)
 			if !obs && !exp {
 				return
 			}
@@ -336,16 +341,19 @@ func uniformSample(ps *pairSet, m int, rng *rand.Rand) *pairSet {
 	return out
 }
 
-// materialize computes the derived feature vectors for the pair set,
-// fanned out across workers; each slot is written by exactly one
-// goroutine, so the result is identical at every worker count.
-func materialize(log *joblog.Log, d *features.Deriver, ps *pairSet, workers int) [][]joblog.Value {
-	vecs := make([][]joblog.Value, len(ps.refs))
+// materialize computes the derived feature vectors for the pair set into
+// a flat pair matrix, fanned out across workers; each row is written by
+// exactly one goroutine, so the result is identical at every worker
+// count. The planes are allocated once up front — the steady-state fill
+// path performs zero allocations per pair.
+func materialize(log *joblog.Log, d *features.Deriver, ps *pairSet, workers int) *features.PairMatrix {
+	cols := log.Columns()
+	m := d.NewPairMatrix(len(ps.refs))
 	par.Do(len(ps.refs), workers, func(i int) {
 		ref := ps.refs[i]
-		vecs[i] = d.Vector(log.Records[ref.a], log.Records[ref.b])
+		m.Fill(cols, i, ref.a, ref.b)
 	})
-	return vecs
+	return m
 }
 
 func (ps *pairSet) counts() (obs, exp int) {

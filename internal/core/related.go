@@ -12,6 +12,9 @@ import (
 // satisfied.
 type LabeledPair struct {
 	A, B *joblog.Record
+	// IA and IB are A's and B's record indices in the source log, the
+	// addresses columnar consumers evaluate pairs by.
+	IA, IB int
 	// Observed is true when the pair performed as observed (Definition 9),
 	// false when it performed as expected (Definition 8).
 	Observed bool
@@ -40,6 +43,8 @@ func RelatedPairsP(log *joblog.Log, level features.Level, q *pxql.Query,
 		out[i] = LabeledPair{
 			A:        log.Records[ref.a],
 			B:        log.Records[ref.b],
+			IA:       ref.a,
+			IB:       ref.b,
 			Observed: ps.labels[i],
 		}
 	}

@@ -42,15 +42,36 @@ func GainFromCounts(posIn, negIn, posOut, negOut int) float64 {
 // midpoints between adjacent distinct observed values. Missing values are
 // skipped and the returned gain is scaled by the known fraction. ok is
 // false when fewer than two distinct known values exist.
+//
+// NaN numeric values count as unknown, like missing values. (Before the
+// columnar engine they entered the threshold sweep, but a NaN in the
+// sort comparator makes the order — and therefore the chosen split —
+// unspecified; treating NaN as unknown is the well-defined behaviour.)
 func BestThreshold(values []joblog.Value, labels []bool) (t, gain float64, ok bool) {
+	vals := make([]float64, len(values))
+	for i, v := range values {
+		if v.Kind == joblog.Numeric {
+			vals[i] = v.Num
+		} else {
+			vals[i] = math.NaN()
+		}
+	}
+	return BestThresholdF(vals, labels)
+}
+
+// BestThresholdF is BestThreshold over a flat float column, the columnar
+// engine's numeric scorer: NaN encodes an unknown (missing) value, which
+// is skipped exactly like a missing boxed value while still counting
+// toward the known-fraction denominator.
+func BestThresholdF(vals []float64, labels []bool) (t, gain float64, ok bool) {
 	type vl struct {
 		v   float64
 		pos bool
 	}
-	known := make([]vl, 0, len(values))
-	for i, v := range values {
-		if v.Kind == joblog.Numeric {
-			known = append(known, vl{v.Num, labels[i]})
+	known := make([]vl, 0, len(vals))
+	for i, v := range vals {
+		if !math.IsNaN(v) {
+			known = append(known, vl{v, labels[i]})
 		}
 	}
 	if len(known) < 2 {
@@ -65,7 +86,7 @@ func BestThreshold(values []joblog.Value, labels []bool) (t, gain float64, ok bo
 		}
 	}
 	totalNeg := len(known) - totalPos
-	knownFrac := float64(len(known)) / float64(len(values))
+	knownFrac := float64(len(known)) / float64(len(vals))
 
 	bestGain := -1.0
 	var bestT float64
@@ -91,6 +112,44 @@ func BestThreshold(values []joblog.Value, labels []bool) (t, gain float64, ok bo
 	return bestT, bestGain * knownFrac, true
 }
 
+// NominalCount is one distinct nominal value's class counts, the input
+// unit of BestNominalFromCounts.
+type NominalCount struct {
+	Value    string
+	Pos, Neg int
+}
+
+// BestNominalFromCounts picks the nominal value maximising the gain of
+// the (value == v) vs (value != v) partition from precomputed per-value
+// class counts, which MUST be sorted by Value — the sequential tie-break
+// (first maximum in string order) is part of the contract. total is the
+// number of instances including unknowns, the known-fraction denominator.
+// This is the shared scoring core of BestNominalValue and the columnar
+// engine's interned-symbol counting paths.
+func BestNominalFromCounts(counts []NominalCount, total int) (v string, gain float64, ok bool) {
+	if len(counts) < 2 {
+		return "", 0, false
+	}
+	totalPos, totalKnown := 0, 0
+	for _, c := range counts {
+		totalPos += c.Pos
+		totalKnown += c.Pos + c.Neg
+	}
+	totalNeg := totalKnown - totalPos
+	knownFrac := float64(totalKnown) / float64(total)
+
+	bestGain := -1.0
+	var bestVal string
+	for _, c := range counts {
+		g := GainFromCounts(c.Pos, c.Neg, totalPos-c.Pos, totalNeg-c.Neg)
+		if g > bestGain {
+			bestGain = g
+			bestVal = c.Value
+		}
+	}
+	return bestVal, bestGain * knownFrac, true
+}
+
 // BestNominalValue finds the nominal value v maximising the information
 // gain of the binary partition (value == v) vs (value != v). Note the
 // partitions of `f = v` and `f != v` are identical, so the caller chooses
@@ -100,7 +159,6 @@ func BestThreshold(values []joblog.Value, labels []bool) (t, gain float64, ok bo
 func BestNominalValue(values []joblog.Value, labels []bool) (v string, gain float64, ok bool) {
 	type counts struct{ pos, neg int }
 	byVal := make(map[string]*counts)
-	totalPos, totalKnown := 0, 0
 	for i, val := range values {
 		if val.Kind != joblog.Nominal {
 			continue
@@ -112,36 +170,21 @@ func BestNominalValue(values []joblog.Value, labels []bool) (v string, gain floa
 		}
 		if labels[i] {
 			c.pos++
-			totalPos++
 		} else {
 			c.neg++
 		}
-		totalKnown++
 	}
-	if len(byVal) < 2 {
-		return "", 0, false
-	}
-	totalNeg := totalKnown - totalPos
-	knownFrac := float64(totalKnown) / float64(len(values))
-
 	// Deterministic iteration order.
 	vals := make([]string, 0, len(byVal))
 	for s := range byVal {
 		vals = append(vals, s)
 	}
 	sort.Strings(vals)
-
-	bestGain := -1.0
-	var bestVal string
-	for _, s := range vals {
-		c := byVal[s]
-		g := GainFromCounts(c.pos, c.neg, totalPos-c.pos, totalNeg-c.neg)
-		if g > bestGain {
-			bestGain = g
-			bestVal = s
-		}
+	list := make([]NominalCount, len(vals))
+	for i, s := range vals {
+		list[i] = NominalCount{Value: s, Pos: byVal[s].pos, Neg: byVal[s].neg}
 	}
-	return bestVal, bestGain * knownFrac, true
+	return BestNominalFromCounts(list, len(values))
 }
 
 // Column extracts the i'th field of every record in the log, in order.
@@ -177,15 +220,26 @@ func (s *Split) SatisfiedBy(v joblog.Value) bool {
 	return v.Kind == joblog.Numeric && v.Num <= s.Threshold
 }
 
-// splitInfoOf is the entropy of the split's partition sizes, the
-// denominator of C4.5's gain ratio.
-func splitInfoOf(values []joblog.Value, s *Split) float64 {
+// splitInfoCol is the entropy of the split's partition sizes over the
+// instance subset, read straight off the column — the denominator of
+// C4.5's gain ratio. Missing values form the third partition; alien
+// (kind-mismatched) cells satisfy no split, exactly like SatisfiedBy on
+// the boxed value.
+func splitInfoCol(c *joblog.Col, in *joblog.Intern, idx []int, s *Split) float64 {
+	var valSym uint32
+	var valKnown bool
+	if s.Nominal {
+		valSym, valKnown = in.Lookup(s.Value)
+	}
 	var nl, nr, nm float64
-	for _, v := range values {
+	for _, i := range idx {
 		switch {
-		case v.IsMissing():
+		case c.Miss.Get(i):
 			nm++
-		case s.SatisfiedBy(v):
+		case c.Alien(i):
+			nr++
+		case s.Nominal && valKnown && c.Sym[i] == valSym,
+			!s.Nominal && c.Num[i] <= s.Threshold:
 			nl++
 		default:
 			nr++
@@ -193,9 +247,9 @@ func splitInfoOf(values []joblog.Value, s *Split) float64 {
 	}
 	total := nl + nr + nm
 	si := 0.0
-	for _, c := range []float64{nl, nr, nm} {
-		if c > 0 {
-			p := c / total
+	for _, cnt := range []float64{nl, nr, nm} {
+		if cnt > 0 {
+			p := cnt / total
 			si -= p * math.Log2(p)
 		}
 	}
@@ -208,39 +262,81 @@ func splitInfoOf(values []joblog.Value, s *Split) float64 {
 // log.Records. Each feature's result lands in its own slot, so the
 // output is independent of the worker count. This is the tree builder's
 // concurrent inner loop; PerfXplain's Algorithm 1 runs its own
-// equivalent scan (with applicability filtering) over BestThreshold and
-// BestNominalValue directly in internal/core. withInfo additionally
-// fills Split.Info for gain-ratio consumers; skip it to avoid the extra
-// pass when raw gain is the criterion.
+// equivalent scan (with applicability filtering) over the same scoring
+// primitives directly in internal/core. withInfo additionally fills
+// Split.Info for gain-ratio consumers; skip it to avoid the extra pass
+// when raw gain is the criterion.
+//
+// Scoring reads the log's columnar view: numeric features gather a flat
+// float column (NaN for missing or kind-mismatched cells), nominal
+// features count interned symbols and decode only the distinct values
+// for the deterministic string-ordered tie-break.
 func BestSplits(log *joblog.Log, labels []bool, idx []int, parallelism int, withInfo bool) []*Split {
+	cols := log.Columns()
+	in := cols.Intern()
 	subLabels := make([]bool, len(idx))
 	for j, i := range idx {
 		subLabels[j] = labels[i]
 	}
 	out := make([]*Split, log.Schema.Len())
 	par.Do(log.Schema.Len(), parallelism, func(f int) {
-		subValues := make([]joblog.Value, len(idx))
-		for j, i := range idx {
-			subValues[j] = log.Records[i].Values[f]
-		}
+		c := cols.Col(f)
 		var s *Split
-		if log.Schema.Field(f).Kind == joblog.Numeric {
-			thr, g, ok := BestThreshold(subValues, subLabels)
+		if c.Kind == joblog.Numeric {
+			vals := make([]float64, len(idx))
+			for j, i := range idx {
+				if c.Miss.Get(i) || c.Alien(i) {
+					vals[j] = math.NaN()
+				} else {
+					vals[j] = c.Num[i]
+				}
+			}
+			thr, g, ok := BestThresholdF(vals, subLabels)
 			if !ok {
 				return
 			}
 			s = &Split{FeatIdx: f, Threshold: thr, Gain: g}
 		} else {
-			val, g, ok := BestNominalValue(subValues, subLabels)
+			val, g, ok := bestNominalCol(c, in, idx, subLabels)
 			if !ok {
 				return
 			}
 			s = &Split{FeatIdx: f, Nominal: true, Value: val, Gain: g}
 		}
 		if withInfo {
-			s.Info = splitInfoOf(subValues, s)
+			s.Info = splitInfoCol(c, in, idx, s)
 		}
 		out[f] = s
 	})
 	return out
+}
+
+// bestNominalCol is BestNominalValue over one interned column restricted
+// to the instance subset: a counting pass per symbol, then the distinct
+// symbols decode to strings for the sorted, string-ordered selection —
+// identical output to scoring the boxed values.
+func bestNominalCol(c *joblog.Col, in *joblog.Intern, idx []int, subLabels []bool) (string, float64, bool) {
+	type cnt struct{ pos, neg int }
+	bySym := make(map[uint32]*cnt)
+	for j, i := range idx {
+		if c.Miss.Get(i) || c.Alien(i) {
+			continue
+		}
+		cc := bySym[c.Sym[i]]
+		if cc == nil {
+			cc = &cnt{}
+			bySym[c.Sym[i]] = cc
+		}
+		if subLabels[j] {
+			cc.pos++
+		} else {
+			cc.neg++
+		}
+	}
+	counts := make([]NominalCount, 0, len(bySym))
+	for s, cc := range bySym {
+		counts = append(counts, NominalCount{Value: in.Str(s), Pos: cc.pos, Neg: cc.neg})
+	}
+	sort.Slice(counts, func(a, b int) bool { return counts[a].Value < counts[b].Value })
+	return BestNominalFromCounts(counts, len(idx))
 }

@@ -112,6 +112,15 @@ type Deriver struct {
 	level   Level
 	derived *joblog.Schema
 	mapping []mapEntry // parallel to derived schema
+
+	// Plane layout for the columnar engine (see columns.go): per derived
+	// feature, its offset in the numeric or symbol plane of a PairMatrix,
+	// plus the raw-field-major materialization plan.
+	numOff   []int
+	symOff   []int
+	numW     int
+	symW     int
+	rawPlans []rawPlan
 }
 
 type mapEntry struct {
@@ -156,6 +165,7 @@ func NewDeriver(raw *joblog.Schema, level Level) *Deriver {
 		}
 	}
 	d.derived = joblog.NewSchema(fields)
+	d.buildPlanes()
 	return d
 }
 

@@ -1,0 +1,131 @@
+package joblog
+
+import "testing"
+
+func colSchema() *Schema {
+	return NewSchema([]Field{
+		{Name: "n", Kind: Numeric},
+		{Name: "s", Kind: Nominal},
+	})
+}
+
+func TestColumnsPlanes(t *testing.T) {
+	l := NewLog(colSchema())
+	l.MustAppend(&Record{ID: "a", Values: []Value{Num(1.5), Str("x")}})
+	l.MustAppend(&Record{ID: "b", Values: []Value{None(), Str("y")}})
+	l.MustAppend(&Record{ID: "c", Values: []Value{Num(-2), None()}})
+	l.MustAppend(&Record{ID: "d", Values: []Value{Num(0), Str("x")}})
+
+	c := l.Columns()
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	n, s := c.Col(0), c.Col(1)
+	if n.Sym != nil || s.Num != nil {
+		t.Fatal("plane kinds crossed")
+	}
+	if n.Num[0] != 1.5 || n.Num[2] != -2 || n.Num[3] != 0 {
+		t.Errorf("numeric plane = %v", n.Num)
+	}
+	if !n.Miss.Get(1) || n.Miss.Get(0) || !s.Miss.Get(2) || s.Miss.Get(3) {
+		t.Error("missing bitmaps wrong")
+	}
+	if s.Sym[0] != s.Sym[3] || s.Sym[0] == s.Sym[1] {
+		t.Errorf("symbol plane = %v", s.Sym)
+	}
+	if got := c.Intern().Str(s.Sym[1]); got != "y" {
+		t.Errorf("decode = %q", got)
+	}
+	if id, ok := c.Intern().Lookup("x"); !ok || id != s.Sym[0] {
+		t.Errorf("Lookup(x) = %d, %v", id, ok)
+	}
+	if _, ok := c.Intern().Lookup("zzz"); ok {
+		t.Error("Lookup of unseen string succeeded")
+	}
+	if n.HasAlien || s.HasAlien {
+		t.Error("clean log flagged alien")
+	}
+}
+
+func TestColumnsMemoInvalidation(t *testing.T) {
+	l := NewLog(colSchema())
+	l.MustAppend(&Record{ID: "a", Values: []Value{Num(1), Str("x")}})
+	c1 := l.Columns()
+	if c2 := l.Columns(); c2 != c1 {
+		t.Error("columns not memoized at stable record count")
+	}
+	l.MustAppend(&Record{ID: "b", Values: []Value{Num(2), Str("y")}})
+	c3 := l.Columns()
+	if c3 == c1 {
+		t.Error("columns not rebuilt after append")
+	}
+	if c3.Len() != 2 || c1.Len() != 1 {
+		t.Errorf("lengths = %d, %d", c3.Len(), c1.Len())
+	}
+	// The old view stays valid for its record count.
+	if c1.Col(0).Num[0] != 1 {
+		t.Error("old view corrupted")
+	}
+}
+
+func TestColumnsAlienCells(t *testing.T) {
+	l := NewLog(colSchema())
+	l.MustAppend(&Record{ID: "a", Values: []Value{Str("oops"), Num(3)}})
+	l.MustAppend(&Record{ID: "b", Values: []Value{Num(7), Str("x")}})
+	c := l.Columns()
+	n, s := c.Col(0), c.Col(1)
+	if !n.HasAlien || !n.Alien(0) || n.Alien(1) {
+		t.Error("numeric column alien flags wrong")
+	}
+	if !s.HasAlien || !s.Alien(0) || s.Alien(1) {
+		t.Error("nominal column alien flags wrong")
+	}
+	// Planes still hold what derive() reads: v.Num and interned v.Str.
+	if n.Num[0] != 0 || n.Num[1] != 7 {
+		t.Errorf("numeric plane = %v", n.Num)
+	}
+	if got := c.Intern().Str(s.Sym[0]); got != "" {
+		t.Errorf("alien nominal payload = %q, want empty", got)
+	}
+	if c.Value(0, 0) != Str("oops") {
+		t.Error("Value fallback does not surface the boxed cell")
+	}
+}
+
+func TestFindMemo(t *testing.T) {
+	l := NewLog(colSchema())
+	l.MustAppend(&Record{ID: "a", Values: []Value{Num(1), Str("x")}})
+	l.MustAppend(&Record{ID: "dup", Values: []Value{Num(2), Str("x")}})
+	l.MustAppend(&Record{ID: "dup", Values: []Value{Num(3), Str("x")}})
+
+	if got := l.Find("missing"); got != nil {
+		t.Error("Find of absent ID should be nil")
+	}
+	if got := l.Find("dup"); got == nil || got.Values[0] != Num(2) {
+		t.Error("Find must return the first duplicate, like the linear scan")
+	}
+	if i, ok := l.FindIndex("dup"); !ok || i != 1 {
+		t.Errorf("FindIndex(dup) = %d, %v", i, ok)
+	}
+	// Growth invalidates the memo.
+	l.MustAppend(&Record{ID: "late", Values: []Value{Num(4), Str("y")}})
+	if got := l.Find("late"); got == nil || got.Values[0] != Num(4) {
+		t.Error("Find does not see appended records")
+	}
+}
+
+func TestBitmap(t *testing.T) {
+	b := NewBitmap(130)
+	for _, i := range []int{0, 63, 64, 129} {
+		if b.Get(i) {
+			t.Errorf("bit %d set in fresh bitmap", i)
+		}
+		b.Set(i)
+		if !b.Get(i) {
+			t.Errorf("bit %d not set", i)
+		}
+	}
+	if b.Get(1) || b.Get(65) || b.Get(128) {
+		t.Error("neighbouring bits disturbed")
+	}
+}

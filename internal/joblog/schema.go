@@ -108,6 +108,20 @@ type Log struct {
 	// implies content equality.
 	statsMu    sync.Mutex
 	statsCache *logStats
+
+	// colsMu guards colsCache, the lazily built columnar view (see
+	// columns.go). Same invalidation rule as the stats memo: keyed on the
+	// record count, which is sound because records are append-only and
+	// immutable once logged.
+	colsMu    sync.Mutex
+	colsCache *Columns
+
+	// idMu guards idCache, the memoized ID→index map behind Find. Keyed
+	// on the record count like the other memos; the first occurrence wins
+	// so duplicate IDs resolve exactly like the linear scan did.
+	idMu     sync.Mutex
+	idCache  map[string]int
+	idCacheN int
 }
 
 // logStats holds memoized per-field scan results, valid for a specific
@@ -173,14 +187,35 @@ func (l *Log) Value(r *Record, name string) Value {
 	return r.Values[i]
 }
 
-// Find returns the record with the given ID, or nil.
+// Find returns the record with the given ID, or nil. The lookup is a
+// memoized ID→index map rebuilt when the record count changes, so the
+// per-query callers (explanation binding, both baselines, the evaluation
+// harness) pay O(1) per call instead of a scan per lookup.
 func (l *Log) Find(id string) *Record {
-	for _, r := range l.Records {
-		if r.ID == id {
-			return r
-		}
+	i, ok := l.FindIndex(id)
+	if !ok {
+		return nil
 	}
-	return nil
+	return l.Records[i]
+}
+
+// FindIndex returns the index of the record with the given ID, backed by
+// the same memoized map as Find. ok is false when the ID is absent.
+func (l *Log) FindIndex(id string) (int, bool) {
+	l.idMu.Lock()
+	defer l.idMu.Unlock()
+	if l.idCache == nil || l.idCacheN != len(l.Records) {
+		idx := make(map[string]int, len(l.Records))
+		for i, r := range l.Records {
+			if _, dup := idx[r.ID]; !dup {
+				idx[r.ID] = i
+			}
+		}
+		l.idCache = idx
+		l.idCacheN = len(l.Records)
+	}
+	i, ok := l.idCache[id]
+	return i, ok
 }
 
 // Filter returns a new log (sharing the schema) with the records for which

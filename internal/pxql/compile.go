@@ -1,0 +1,189 @@
+package pxql
+
+// Predicate compilation for the columnar engine: a Predicate is lowered
+// once per (deriver, columns) pair into a flat list of compiled atoms
+// over column indices and interned symbols, so the per-pair evaluation —
+// the innermost loop of pair enumeration and explanation evaluation — is
+// pure integer/float compares with zero map lookups and zero string
+// comparisons.
+//
+// Compilation resolves, per atom:
+//
+//   - the derived feature index (one schema map lookup, at compile time);
+//   - kind admissibility (a nominal constant can never satisfy a numeric
+//     feature and vice versa; ordered operators never hold on nominal
+//     features; a missing constant satisfies nothing) — inadmissible
+//     atoms compile to a constant-false opcode, mirroring Atom.Eval;
+//   - the constant's interned symbol set for nominal features. Constants
+//     absent from the log's intern table get an empty set: equality can
+//     then never hold, while not-equal holds for every present value.
+//     Diff constants may map to several packed symbols when the rendered
+//     "(x→y)" form is ambiguous; membership in the set is exactly string
+//     equality on the rendered form.
+//
+// Raw fields carrying kind-mismatched cells (Col.HasAlien) fall back to
+// the boxed evaluator for exactness; the opcode is chosen at compile
+// time, so clean logs never pay for the check.
+//
+// Compiled evaluation is verified against the interpreted EvalPair by
+// unit tests and a fuzz target (fuzz_test.go): for every predicate and
+// log the two must agree on every ordered pair.
+
+import (
+	"perfxplain/internal/features"
+	"perfxplain/internal/joblog"
+)
+
+type caKind uint8
+
+const (
+	caFalse caKind = iota // atom can never hold
+	caNum                 // numeric-plane compare
+	caSym                 // symbol-plane equality / inequality
+	caAlien               // boxed fallback for kind-mismatched fields
+)
+
+type compiledAtom struct {
+	kind       caKind
+	derivedIdx int
+	col        *joblog.Col       // raw column the feature derives from
+	family     features.PairKind // caSym: which derived family
+	op         Op                // caNum
+	num        float64           // caNum constant
+	ne         bool              // caSym: operator is !=
+	syms       []uint64          // caSym: symbols rendering the constant
+	atom       Atom              // caAlien fallback
+}
+
+// CompiledPredicate is a Predicate lowered against one deriver and one
+// columnar log view. It is immutable and safe for concurrent use.
+type CompiledPredicate struct {
+	d     *features.Deriver
+	cols  *joblog.Columns
+	atoms []compiledAtom
+}
+
+// Compile lowers the predicate against the deriver's derived schema and
+// the log view's intern table. The result evaluates ordered record pairs
+// by index, byte-identically to EvalPair over the same records.
+func (p Predicate) Compile(d *features.Deriver, cols *joblog.Columns) *CompiledPredicate {
+	cp := &CompiledPredicate{d: d, cols: cols, atoms: make([]compiledAtom, 0, len(p))}
+	for _, a := range p {
+		cp.atoms = append(cp.atoms, compileAtom(a, d, cols))
+	}
+	return cp
+}
+
+func compileAtom(a Atom, d *features.Deriver, cols *joblog.Columns) compiledAtom {
+	i, ok := d.Schema().Index(a.Feature)
+	if !ok || a.Value.IsMissing() {
+		return compiledAtom{kind: caFalse}
+	}
+	rawIdx, family := d.RawOf(i)
+	col := cols.Col(rawIdx)
+	if col.HasAlien {
+		return compiledAtom{kind: caAlien, derivedIdx: i, atom: a}
+	}
+	if d.NumOffset(i) >= 0 {
+		// Numeric derived feature: only a numeric constant can match
+		// (Atom.Eval rejects mixed-kind comparisons outright).
+		if a.Value.Kind != joblog.Numeric {
+			return compiledAtom{kind: caFalse}
+		}
+		return compiledAtom{kind: caNum, derivedIdx: i, col: col, op: a.Op, num: a.Value.Num}
+	}
+	// Symbol plane: present derived values are nominal, so only nominal
+	// constants under = or != can ever match.
+	if a.Value.Kind != joblog.Nominal || (a.Op != OpEq && a.Op != OpNe) {
+		return compiledAtom{kind: caFalse}
+	}
+	return compiledAtom{
+		kind:       caSym,
+		derivedIdx: i,
+		col:        col,
+		family:     family,
+		ne:         a.Op == OpNe,
+		syms:       d.SymsForString(cols.Intern(), i, a.Value.Str),
+	}
+}
+
+// EvalNumOp applies a comparison operator to a present (non-missing)
+// numeric feature value x and constant c — the single scalar core shared
+// by compiled predicates and the core package's matrix-row atoms, so the
+// operator semantics can never drift between the two.
+func EvalNumOp(op Op, x, c float64) bool {
+	switch op {
+	case OpEq:
+		return x == c
+	case OpNe:
+		return x != c
+	case OpLt:
+		return x < c
+	case OpLe:
+		return x <= c
+	case OpGt:
+		return x > c
+	case OpGe:
+		return x >= c
+	default:
+		return false
+	}
+}
+
+// EvalSymSet evaluates an equality (ne false) or inequality (ne true)
+// of a present symbol against the constant's symbol set — the shared
+// nominal counterpart of EvalNumOp. An empty set means the constant can
+// render no pair value: equality never holds, inequality always does.
+func EvalSymSet(syms []uint64, s uint64, ne bool) bool {
+	match := false
+	for _, sym := range syms {
+		if s == sym {
+			match = true
+			break
+		}
+	}
+	return match != ne
+}
+
+// EvalPair evaluates the predicate against the derived features of the
+// ordered record pair (a, b), addressed by index into the compiled
+// columns. Exactly equivalent to Predicate.EvalPair on the boxed records.
+func (cp *CompiledPredicate) EvalPair(a, b int) bool {
+	for i := range cp.atoms {
+		if !cp.atoms[i].eval(cp.d, cp.cols, a, b) {
+			return false
+		}
+	}
+	return true
+}
+
+func (ca *compiledAtom) eval(d *features.Deriver, cols *joblog.Columns, a, b int) bool {
+	switch ca.kind {
+	case caNum:
+		x := features.BaseNumFast(ca.col, a, b)
+		if x != x { // NaN: missing satisfies no operator
+			return false
+		}
+		return EvalNumOp(ca.op, x, ca.num)
+	case caSym:
+		var s uint64
+		switch ca.family {
+		case features.IsSame:
+			s = features.IsSameSym(ca.col, a, b)
+		case features.Compare:
+			s = features.CompareSym(ca.col, a, b)
+		case features.Diff:
+			s = features.DiffSymOf(ca.col, a, b)
+		default: // features.Base, nominal plane
+			s = features.BaseSymFast(ca.col, a, b)
+		}
+		if s == features.MissingSym {
+			return false
+		}
+		return EvalSymSet(ca.syms, s, ca.ne)
+	case caAlien:
+		return ca.atom.Eval(d.ValueCol(cols, a, b, ca.derivedIdx))
+	default: // caFalse
+		return false
+	}
+}

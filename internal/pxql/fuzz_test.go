@@ -1,0 +1,152 @@
+package pxql
+
+// Cross-checks of the compiled predicate evaluator against the
+// interpreted EvalPair, including a fuzz target over the full
+// parse → compile → eval path. Run the fuzzer with
+//
+//	go test -fuzz FuzzCompiledPredicate ./internal/pxql
+//
+// The two evaluators must agree on every ordered pair of every log; any
+// divergence is a bug in the columnar engine.
+
+import (
+	"math"
+	"testing"
+
+	"perfxplain/internal/features"
+	"perfxplain/internal/joblog"
+	"perfxplain/internal/stats"
+)
+
+// fuzzSchema mixes numeric and nominal fields.
+func fuzzSchema() *joblog.Schema {
+	return joblog.NewSchema([]joblog.Field{
+		{Name: "n1", Kind: joblog.Numeric},
+		{Name: "n2", Kind: joblog.Numeric},
+		{Name: "s1", Kind: joblog.Nominal},
+		{Name: "s2", Kind: joblog.Nominal},
+		{Name: "duration", Kind: joblog.Numeric},
+	})
+}
+
+// fuzzLog deterministically builds a small log from a seed. Cells draw
+// from pools that include missing values, strings containing the diff
+// arrow and parentheses (to exercise ambiguous "(x→y)" constants), and
+// occasionally kind-mismatched ("alien") values, which the compiler must
+// route through the boxed fallback.
+func fuzzLog(seed uint64) *joblog.Log {
+	nums := []float64{0, 1, -1, 2.5, 100, 0.10, 110, math.Inf(1), math.NaN()}
+	strs := []string{"x", "y", "", "T", "F", "LT", "(x→y)", "a→b", "x)", "(x"}
+	log := joblog.NewLog(fuzzSchema())
+	n := int(stats.SplitMix64(seed)%6) + 3
+	ctr := seed
+	next := func() uint64 {
+		ctr++
+		return stats.SplitMix64(ctr)
+	}
+	for i := 0; i < n; i++ {
+		rec := &joblog.Record{ID: string(rune('a' + i)), Values: make([]joblog.Value, log.Schema.Len())}
+		for f := 0; f < log.Schema.Len(); f++ {
+			r := next()
+			switch r % 10 {
+			case 0:
+				rec.Values[f] = joblog.None()
+			case 1:
+				// Alien cell: a value whose kind disagrees with the schema.
+				if log.Schema.Field(f).Kind == joblog.Numeric {
+					rec.Values[f] = joblog.Str(strs[int(r>>8)%len(strs)])
+				} else {
+					rec.Values[f] = joblog.Num(nums[int(r>>8)%len(nums)])
+				}
+			default:
+				if log.Schema.Field(f).Kind == joblog.Numeric {
+					rec.Values[f] = joblog.Num(nums[int(r>>8)%len(nums)])
+				} else {
+					rec.Values[f] = joblog.Str(strs[int(r>>8)%len(strs)])
+				}
+			}
+		}
+		log.MustAppend(rec)
+	}
+	return log
+}
+
+// checkCompiledAgainstInterpreted asserts the two evaluators agree on
+// every ordered pair of the log.
+func checkCompiledAgainstInterpreted(t *testing.T, p Predicate, log *joblog.Log) {
+	t.Helper()
+	d := features.NewDeriver(log.Schema, features.Level3)
+	cols := log.Columns()
+	cp := p.Compile(d, cols)
+	for i, ra := range log.Records {
+		for j, rb := range log.Records {
+			want := p.EvalPair(d, ra, rb)
+			got := cp.EvalPair(i, j)
+			if got != want {
+				t.Fatalf("compiled=%v interpreted=%v for %q on pair (%s=%v, %s=%v)",
+					got, want, p, ra.ID, ra.Values, rb.ID, rb.Values)
+			}
+		}
+	}
+}
+
+func FuzzCompiledPredicate(f *testing.F) {
+	seeds := []string{
+		"n1_issame = T AND s1_issame = F",
+		"n1_compare = GT",
+		"n2_compare = SIM AND s2_diff = '(x→y)'",
+		"s1_diff = '((x→y)→y)'",
+		"s1_diff != '(x→x)'",
+		"n1 <= 2.5 AND n2 > 0",
+		"duration_compare = LT AND s1 = x",
+		"s1 != zzz",
+		"n1 = NaN",
+		"nosuchfeature = T",
+		"s1_issame != T AND n1_issame = F",
+		"s2 = ''",
+	}
+	for _, s := range seeds {
+		f.Add(s, uint64(1))
+		f.Add(s, uint64(42))
+	}
+	f.Fuzz(func(t *testing.T, src string, logSeed uint64) {
+		p, err := ParsePredicate(src)
+		if err != nil {
+			t.Skip()
+		}
+		checkCompiledAgainstInterpreted(t, p, fuzzLog(logSeed))
+	})
+}
+
+// TestCompiledMatchesInterpreted pins the tricky compile-time decisions
+// without relying on the fuzzer: unknown features, missing and
+// kind-mismatched constants, ordered operators on nominal features,
+// non-interned constants under != , ambiguous diff constants, and alien
+// cells.
+func TestCompiledMatchesInterpreted(t *testing.T) {
+	preds := []Predicate{
+		{{Feature: "nosuch", Op: OpEq, Value: joblog.Str("T")}},
+		{{Feature: "n1_issame", Op: OpEq, Value: joblog.None()}},
+		{{Feature: "n1_issame", Op: OpLt, Value: joblog.Str("T")}},
+		{{Feature: "n1_issame", Op: OpEq, Value: joblog.Num(1)}},
+		{{Feature: "n1", Op: OpEq, Value: joblog.Str("x")}},
+		{{Feature: "n1", Op: OpNe, Value: joblog.Num(math.NaN())}},
+		{{Feature: "n1", Op: OpLe, Value: joblog.Num(2.5)}},
+		{{Feature: "s1", Op: OpNe, Value: joblog.Str("never-logged")}},
+		{{Feature: "s1", Op: OpEq, Value: joblog.Str("never-logged")}},
+		{{Feature: "s1_diff", Op: OpEq, Value: joblog.Str("(x→y)")}},
+		{{Feature: "s1_diff", Op: OpEq, Value: joblog.Str("((x→y)→y)")}},
+		{{Feature: "s1_diff", Op: OpNe, Value: joblog.Str("(a→b→c)")}},
+		{{Feature: "s2_compare", Op: OpEq, Value: joblog.Str("GT")}},
+		{{Feature: "n2_compare", Op: OpNe, Value: joblog.Str("SIM")}},
+		{{Feature: "s1_issame", Op: OpEq, Value: joblog.Str("T")},
+			{Feature: "n1_compare", Op: OpEq, Value: joblog.Str("GT")},
+			{Feature: "n2", Op: OpGt, Value: joblog.Num(0)}},
+	}
+	for seed := uint64(0); seed < 25; seed++ {
+		log := fuzzLog(seed)
+		for _, p := range preds {
+			checkCompiledAgainstInterpreted(t, p, log)
+		}
+	}
+}

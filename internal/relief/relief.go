@@ -53,36 +53,43 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// stats precomputed per attribute for diff().
+// stats precomputed per attribute for diff(), over the log's columnar
+// view: nominal frequencies index by interned symbol, so the per-pair
+// distance loops never touch a map or a string.
 type attrStats struct {
-	kind     joblog.Kind
-	min, max float64
-	freq     map[string]float64 // nominal value frequencies
-	sqSum    float64            // sum of squared frequencies
+	kind      joblog.Kind
+	col       *joblog.Col
+	min, max  float64
+	freqBySym []float64 // nominal value frequency per intern ID
+	sqSum     float64   // sum of squared frequencies
 }
 
 func computeStats(log *joblog.Log) []attrStats {
+	cols := log.Columns()
 	out := make([]attrStats, log.Schema.Len())
 	for i := 0; i < log.Schema.Len(); i++ {
 		f := log.Schema.Field(i)
-		st := attrStats{kind: f.Kind}
+		c := cols.Col(i)
+		st := attrStats{kind: f.Kind, col: c}
 		if f.Kind == joblog.Numeric {
 			min, max, ok := log.NumericRange(f.Name)
 			if ok {
 				st.min, st.max = min, max
 			}
 		} else {
-			st.freq = make(map[string]float64)
+			st.freqBySym = make([]float64, cols.Intern().Len())
 			n := 0.0
-			for _, r := range log.Records {
-				if v := r.Values[i]; v.Kind == joblog.Nominal {
-					st.freq[v.Str]++
+			for r := 0; r < cols.Len(); r++ {
+				if !c.Miss.Get(r) && !c.Alien(r) {
+					st.freqBySym[c.Sym[r]]++
 					n++
 				}
 			}
-			for k := range st.freq {
-				st.freq[k] /= math.Max(n, 1)
-				st.sqSum += st.freq[k] * st.freq[k]
+			// Sum in symbol order: deterministic, unlike ranging over the
+			// string-keyed map this replaced.
+			for s := range st.freqBySym {
+				st.freqBySym[s] /= math.Max(n, 1)
+				st.sqSum += st.freqBySym[s] * st.freqBySym[s]
 			}
 		}
 		out[i] = st
@@ -90,22 +97,31 @@ func computeStats(log *joblog.Log) []attrStats {
 	return out
 }
 
-// diff returns the normalised difference of attribute a between records
-// r1 and r2, in [0,1].
-func (st *attrStats) diff(v1, v2 joblog.Value) float64 {
+// nominalFreq is the relative frequency of record r's value — the boxed
+// engine's st.freq[v.Str]. Alien cells (kind-mismatched values) interned
+// their rendered payload like every other cell, so the lookup matches.
+func (st *attrStats) nominalFreq(r int) float64 {
+	return st.freqBySym[st.col.Sym[r]]
+}
+
+// diff returns the normalised difference of the attribute between
+// records r1 and r2, in [0,1], addressed by index into the columns.
+func (st *attrStats) diff(r1, r2 int) float64 {
+	c := st.col
+	m1, m2 := c.Miss.Get(r1), c.Miss.Get(r2)
 	switch {
-	case v1.IsMissing() && v2.IsMissing():
+	case m1 && m2:
 		if st.kind == joblog.Nominal {
 			return 1 - st.sqSum
 		}
 		return 0.5
-	case v1.IsMissing() || v2.IsMissing():
+	case m1 || m2:
 		if st.kind == joblog.Nominal {
-			known := v1
-			if known.IsMissing() {
-				known = v2
+			known := r1
+			if m1 {
+				known = r2
 			}
-			return 1 - st.freq[known.Str]
+			return 1 - st.nominalFreq(known)
 		}
 		return 0.5
 	}
@@ -114,9 +130,9 @@ func (st *attrStats) diff(v1, v2 joblog.Value) float64 {
 		if r == 0 {
 			return 0
 		}
-		return math.Abs(v1.Num-v2.Num) / r
+		return math.Abs(c.Num[r1]-c.Num[r2]) / r
 	}
-	if v1.Str == v2.Str {
+	if c.Sym[r1] == c.Sym[r2] {
 		return 0
 	}
 	return 1
@@ -124,13 +140,13 @@ func (st *attrStats) diff(v1, v2 joblog.Value) float64 {
 
 // distance is the sum of per-attribute diffs, optionally skipping one
 // attribute index (the regression target).
-func distance(stats []attrStats, a, b *joblog.Record, skip int) float64 {
+func distance(stats []attrStats, a, b int, skip int) float64 {
 	var d float64
 	for i := range stats {
 		if i == skip {
 			continue
 		}
-		d += stats[i].diff(a.Values[i], b.Values[i])
+		d += stats[i].diff(a, b)
 	}
 	return d
 }
@@ -152,14 +168,13 @@ func Weights(log *joblog.Log, labels []bool, cfg Config) ([]float64, error) {
 	order := sampleOrder(log.Len(), cfg)
 	m := float64(len(order))
 	for _, i := range order {
-		ri := log.Records[i]
 		hits, misses := nearestByClass(log, labels, stats, i, cfg.K)
 		for a := 0; a < n; a++ {
 			for _, h := range hits {
-				w[a] -= stats[a].diff(ri.Values[a], log.Records[h].Values[a]) / (m * float64(len(hits)))
+				w[a] -= stats[a].diff(i, h) / (m * float64(len(hits)))
 			}
 			for _, ms := range misses {
-				w[a] += stats[a].diff(ri.Values[a], log.Records[ms].Values[a]) / (m * float64(len(misses)))
+				w[a] += stats[a].diff(i, ms) / (m * float64(len(misses)))
 			}
 		}
 	}
@@ -198,10 +213,10 @@ func RegressionWeights(log *joblog.Log, target string, cfg Config) ([]float64, e
 	nDA := make([]float64, n)
 	nDCDA := make([]float64, n)
 	order := sampleOrder(log.Len(), cfg)
+	missT := log.Columns().Col(ti).Miss
 	mUsed := 0.0
 	for _, i := range order {
-		ri := log.Records[i]
-		if ri.Values[ti].IsMissing() {
+		if missT.Get(i) {
 			continue
 		}
 		neigh := nearest(log, stats, i, ti, cfg.K)
@@ -210,18 +225,17 @@ func RegressionWeights(log *joblog.Log, target string, cfg Config) ([]float64, e
 		}
 		mUsed++
 		for j, nb := range neigh {
-			rj := log.Records[nb]
-			if rj.Values[ti].IsMissing() {
+			if missT.Get(nb) {
 				continue
 			}
 			dW := rankW[j]
-			dT := stats[ti].diff(ri.Values[ti], rj.Values[ti])
+			dT := stats[ti].diff(i, nb)
 			nDC += dT * dW
 			for a := 0; a < n; a++ {
 				if a == ti {
 					continue
 				}
-				dA := stats[a].diff(ri.Values[a], rj.Values[a])
+				dA := stats[a].diff(i, nb)
 				nDA[a] += dA * dW
 				nDCDA[a] += dT * dA * dW
 			}
@@ -256,12 +270,11 @@ func nearestByClass(log *joblog.Log, labels []bool, stats []attrStats, i, k int)
 		d   float64
 	}
 	var hc, mc []cand
-	ri := log.Records[i]
-	for j, rj := range log.Records {
+	for j := 0; j < log.Len(); j++ {
 		if j == i {
 			continue
 		}
-		c := cand{j, distance(stats, ri, rj, -1)}
+		c := cand{j, distance(stats, i, j, -1)}
 		if labels[j] == labels[i] {
 			hc = append(hc, c)
 		} else {
@@ -295,12 +308,11 @@ func nearest(log *joblog.Log, stats []attrStats, i, targetIdx, k int) []int {
 		d   float64
 	}
 	cs := make([]cand, 0, log.Len()-1)
-	ri := log.Records[i]
-	for j, rj := range log.Records {
+	for j := 0; j < log.Len(); j++ {
 		if j == i {
 			continue
 		}
-		cs = append(cs, cand{j, distance(stats, ri, rj, targetIdx)})
+		cs = append(cs, cand{j, distance(stats, i, j, targetIdx)})
 	}
 	sort.Slice(cs, func(a, b int) bool {
 		if cs[a].d != cs[b].d {

@@ -120,6 +120,10 @@ type SweepOptions struct {
 	Small bool
 	// Seed makes the collected log reproducible.
 	Seed int64
+	// Parallelism bounds the worker goroutines simulating sweep cells
+	// (<= 0 means all cores). The collected log is byte-identical at
+	// every setting.
+	Parallelism int
 }
 
 // Collect executes the paper's parameter sweep on the simulated cluster
@@ -129,6 +133,7 @@ func Collect(opt SweepOptions) (jobs, tasks *Log, err error) {
 	if opt.Small {
 		sweep = collect.SmallSweep(opt.Seed)
 	}
+	sweep.Parallelism = opt.Parallelism
 	res, err := sweep.Collect()
 	if err != nil {
 		return nil, nil, err
