@@ -1,0 +1,206 @@
+package core
+
+// Cross-checks of the matrix-row bitmap kernels against the per-row
+// evaluator they replaced: fillRange must equal eval bit for bit, the
+// bitmapCache must memoize per atom identity and be independent of the
+// worker count, and the bitmap prefix compose must equal evalPrefix.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"perfxplain/internal/bitset"
+	"perfxplain/internal/features"
+	"perfxplain/internal/joblog"
+	"perfxplain/internal/pxql"
+)
+
+// bitmapFixture materializes a pair matrix over a log with missing
+// cells, so both planes carry NaN/MissingSym rows the kernels must
+// reject.
+func bitmapFixture(t *testing.T, nRecs int) (*features.Deriver, *joblog.Intern, *features.PairMatrix) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(23))
+	schema := joblog.NewSchema([]joblog.Field{
+		{Name: "x", Kind: joblog.Numeric},
+		{Name: "site", Kind: joblog.Nominal},
+		{Name: "duration", Kind: joblog.Numeric},
+	})
+	log := joblog.NewLog(schema)
+	sites := []string{"us-east", "us-west", "eu"}
+	for i := 0; i < nRecs; i++ {
+		var xv, sv joblog.Value
+		if rng.Float64() < 0.15 {
+			xv = joblog.None()
+		} else {
+			xv = joblog.Num(float64(rng.Intn(5)))
+		}
+		if rng.Float64() < 0.15 {
+			sv = joblog.None()
+		} else {
+			sv = joblog.Str(sites[rng.Intn(len(sites))])
+		}
+		log.MustAppend(&joblog.Record{ID: id(i), Values: []joblog.Value{
+			xv, sv, joblog.Num(rng.Float64() * 100),
+		}})
+	}
+	d := features.NewDeriver(log.Schema, features.Level3)
+	cols := log.Columns()
+	var refs []pairRef
+	for i := 0; i < nRecs; i++ {
+		for j := 0; j < nRecs; j++ {
+			if i != j {
+				refs = append(refs, pairRef{i, j})
+			}
+		}
+	}
+	m := d.NewPairMatrix(len(refs))
+	for r, ref := range refs {
+		m.Fill(cols, r, ref.a, ref.b)
+	}
+	return d, cols.Intern(), m
+}
+
+// bitmapAtoms enumerates atoms spanning every kernel path: numeric
+// thresholds on each operator (NaN constant included), single- and
+// multi-symbol nominal equality/inequality, never-interned constants,
+// and kind-mismatched atoms that lower to constant false.
+func bitmapAtoms() []pxql.Atom {
+	var out []pxql.Atom
+	for _, op := range []pxql.Op{pxql.OpEq, pxql.OpNe, pxql.OpLt, pxql.OpLe, pxql.OpGt, pxql.OpGe} {
+		out = append(out,
+			pxql.Atom{Feature: "x", Op: op, Value: joblog.Num(2)},
+			pxql.Atom{Feature: "x", Op: op, Value: joblog.Num(math.NaN())},
+		)
+	}
+	out = append(out,
+		pxql.Atom{Feature: "x_issame", Op: pxql.OpEq, Value: joblog.Str("T")},
+		pxql.Atom{Feature: "x_compare", Op: pxql.OpEq, Value: joblog.Str("GT")},
+		pxql.Atom{Feature: "x_compare", Op: pxql.OpNe, Value: joblog.Str("SIM")},
+		pxql.Atom{Feature: "site", Op: pxql.OpEq, Value: joblog.Str("eu")},
+		pxql.Atom{Feature: "site", Op: pxql.OpNe, Value: joblog.Str("never-logged")},
+		pxql.Atom{Feature: "site_diff", Op: pxql.OpEq, Value: joblog.Str("(us-east→eu)")},
+		pxql.Atom{Feature: "site_diff", Op: pxql.OpNe, Value: joblog.Str("(us-east→eu)")},
+		pxql.Atom{Feature: "site", Op: pxql.OpEq, Value: joblog.Num(3)},  // kind mismatch → false
+		pxql.Atom{Feature: "x", Op: pxql.OpEq, Value: joblog.Str("two")}, // kind mismatch → false
+		pxql.Atom{Feature: "x", Op: pxql.OpEq, Value: joblog.None()},     // missing constant → false
+	)
+	return out
+}
+
+func TestFillRangeMatchesEval(t *testing.T) {
+	d, in, m := bitmapFixture(t, 13) // 156 pairs: two full words + a partial tail
+	for _, a := range bitmapAtoms() {
+		featIdx, ok := d.Schema().Index(a.Feature)
+		if !ok {
+			t.Fatalf("fixture schema lost feature %q", a.Feature)
+		}
+		ma := newMatrixAtom(d, in, featIdx, a)
+		sel := bitset.Make(m.N)
+		ma.fillRange(m, 0, m.N, sel, nil)
+		for row := 0; row < m.N; row++ {
+			if sel.Get(row) != ma.eval(m, row) {
+				t.Fatalf("atom %v: bit %d = %v, eval = %v", a, row, sel.Get(row), ma.eval(m, row))
+			}
+		}
+		// Word-aligned partial fills must write the same bits.
+		part := bitset.Make(m.N)
+		for lo := 0; lo < m.N; lo += 64 {
+			ma.fillRange(m, lo, min(lo+64, m.N), part, nil)
+		}
+		for w := range sel {
+			if part[w] != sel[w] {
+				t.Fatalf("atom %v: tiled fill word %d = %x, whole fill = %x", a, w, part[w], sel[w])
+			}
+		}
+	}
+}
+
+func TestBitmapCacheComposeMatchesEvalPrefix(t *testing.T) {
+	d, in, m := bitmapFixture(t, 11)
+	atoms := []pxql.Atom{
+		{Feature: "x", Op: pxql.OpLe, Value: joblog.Num(3)},
+		{Feature: "site", Op: pxql.OpNe, Value: joblog.Str("eu")},
+		{Feature: "x_compare", Op: pxql.OpEq, Value: joblog.Str("LT")},
+	}
+	mas := make([]matrixAtom, len(atoms))
+	for i, a := range atoms {
+		fi, _ := d.Schema().Index(a.Feature)
+		mas[i] = newMatrixAtom(d, in, fi, a)
+	}
+	prefix := bitset.Make(m.N)
+	prefix.Ones(m.N)
+	sel := bitset.Make(m.N)
+	for w := 1; w <= len(atoms); w++ {
+		mas[w-1].fillRange(m, 0, m.N, sel, nil)
+		prefix.AndWith(sel)
+		want := 0
+		for row := 0; row < m.N; row++ {
+			if evalPrefix(mas, w, m, row) {
+				want++
+			}
+		}
+		if got := prefix.Count(); got != want {
+			t.Fatalf("width %d: compose count = %d, evalPrefix = %d", w, got, want)
+		}
+	}
+}
+
+func TestBitmapCacheGetAllDeterministic(t *testing.T) {
+	d, in, m := bitmapFixture(t, 12)
+	var cands []candidate
+	for _, a := range bitmapAtoms() {
+		fi, ok := d.Schema().Index(a.Feature)
+		if !ok {
+			continue
+		}
+		cands = append(cands, candidate{featIdx: fi, atom: a, ma: newMatrixAtom(d, in, fi, a)})
+	}
+	all := bitset.Make(m.N)
+	all.Ones(m.N)
+	base := newBitmapCache(m, 1).getAll(cands, all)
+	for _, workers := range []int{2, 8} {
+		got := newBitmapCache(m, workers).getAll(cands, all)
+		for ci := range cands {
+			for w := range base[ci] {
+				if got[ci][w] != base[ci][w] {
+					t.Fatalf("workers=%d: candidate %d word %d differs", workers, ci, w)
+				}
+			}
+		}
+	}
+	// Cache identity: a second batch returns the same backing bitmaps.
+	bc := newBitmapCache(m, 1)
+	s1 := bc.getAll(cands, all)
+	s2 := bc.getAll(cands, all)
+	for ci := range cands {
+		if &s1[ci][0] != &s2[ci][0] {
+			t.Fatalf("candidate %d refilled despite cache hit", ci)
+		}
+	}
+}
+
+// TestGetAllSkipsDeadWords pins fillLive's contract: words with no live
+// bit stay zero, live words carry exact bits.
+func TestGetAllSkipsDeadWords(t *testing.T) {
+	d, in, m := bitmapFixture(t, 13)
+	live := bitset.Make(m.N)
+	for i := 64; i < min(128, m.N); i++ {
+		live.SetBit(i) // one live word in the middle
+	}
+	a := pxql.Atom{Feature: "x", Op: pxql.OpLe, Value: joblog.Num(3)}
+	fi, _ := d.Schema().Index(a.Feature)
+	ma := newMatrixAtom(d, in, fi, a)
+	sels := newBitmapCache(m, 1).getAll([]candidate{{featIdx: fi, atom: a, ma: ma}}, live)
+	full := bitset.Make(m.N)
+	ma.fillRange(m, 0, m.N, full, nil)
+	for w := range sels[0] {
+		switch {
+		case live[w] == 0 && sels[0][w] != 0:
+			t.Fatalf("dead word %d filled: %x", w, sels[0][w])
+		case live[w] != 0 && sels[0][w] != full[w]:
+			t.Fatalf("live word %d = %x, want %x", w, sels[0][w], full[w])
+		}
+	}
+}

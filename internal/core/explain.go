@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"perfxplain/internal/bitset"
 	"perfxplain/internal/dtree"
 	"perfxplain/internal/features"
 	"perfxplain/internal/joblog"
@@ -236,28 +237,29 @@ func (e *Explainer) explain(q *pxql.Query, genDespite bool) (*Explanation, error
 	m := materialize(e.log, e.d, sample, e.cfg.Parallelism)
 	pairVec := e.d.Vector(a, b)
 
-	bec := e.grow(m, sample.labels, pairVec, e.cfg.Width)
+	bc := newBitmapCache(m, e.cfg.Parallelism)
+	bec := e.grow(bc, sample.labels, pairVec, e.cfg.Width)
 	x.Because = bec
 
-	// Training diagnostics over the sample, per clause prefix, evaluated
-	// on the lowered atoms straight off the pair matrix.
+	// Training diagnostics over the sample, per clause prefix: each
+	// atom fills a full-matrix bitmap (the growth cache may hold only
+	// working-set-live words, so the prefix compose — which starts from
+	// every sampled pair — fills its own), ANDs into the running prefix
+	// selection, and the counts are popcounts against the label bitmap.
 	in := e.log.Columns().Intern()
-	mas := make([]matrixAtom, len(bec))
-	for i, a := range bec {
-		idx, _ := e.d.Schema().Index(a.Feature)
-		mas[i] = newMatrixAtom(e.d, in, idx, a)
-	}
+	posBits := bitset.FromBools(sample.labels)
+	prefix := bitset.Make(m.N)
+	prefix.Ones(m.N)
+	sel := bitset.Make(m.N)
 	for w := 1; w <= len(bec); w++ {
-		sat, satObs := 0, 0
-		for i := 0; i < m.N; i++ {
-			if evalPrefix(mas, w, m, i) {
-				sat++
-				if sample.labels[i] {
-					satObs++
-				}
-			}
-		}
-		st := AtomStats{Atom: bec[w-1]}
+		a := bec[w-1]
+		idx, _ := e.d.Schema().Index(a.Feature)
+		ma := newMatrixAtom(e.d, in, idx, a)
+		ma.fillRange(m, 0, m.N, sel, nil)
+		prefix.AndWith(sel)
+		sat := prefix.Count()
+		satObs := bitset.AndCount(prefix, posBits)
+		st := AtomStats{Atom: a}
 		if sat > 0 {
 			st.Precision = float64(satObs) / float64(sat)
 		}
@@ -309,7 +311,7 @@ func (e *Explainer) generateDespite(q *pxql.Query, a, b *joblog.Record) (pxql.Pr
 	for i, l := range sample.labels {
 		flipped[i] = !l
 	}
-	return e.grow(m, flipped, pairVec, e.cfg.DespiteWidth), nil
+	return e.grow(newBitmapCache(m, e.cfg.Parallelism), flipped, pairVec, e.cfg.DespiteWidth), nil
 }
 
 func (e *Explainer) sample(ps *pairSet, rng *rand.Rand) *pairSet {
@@ -328,26 +330,33 @@ func (e *Explainer) sample(ps *pairSet, rng *rand.Rand) *pairSet {
 // (labels flipped so positive = performed-as-expected, turning the
 // precision measure into relevance — the only change the paper makes to
 // the algorithm for des' generation).
-func (e *Explainer) grow(m *features.PairMatrix, labels []bool,
+//
+// Candidate scoring runs on selection bitmaps: each round's candidate
+// atoms are evaluated once over the whole matrix into cached bitmaps
+// (tile-parallel, see bitmapCache), then every candidate's precision and
+// generality are two fused AND-popcounts against the working-set and
+// label bitmaps, and the winner restricts the working set with one
+// word-AND. The counts — and therefore the clause — are identical to
+// the per-pair loops this replaces.
+func (e *Explainer) grow(bc *bitmapCache, labels []bool,
 	pairVec []joblog.Value, width int) pxql.Predicate {
 
+	m := bc.m
 	var clause pxql.Predicate
 	cur := make([]int, m.N)
 	for i := range cur {
 		cur[i] = i
 	}
+	posBits := bitset.FromBools(labels)
+	curBits := bitset.Make(m.N)
+	curBits.Ones(m.N)
 
 	for round := 0; round < width; round++ {
 		if len(cur) == 0 {
 			break
 		}
 		// Stop when the remaining pairs are pure: no signal left.
-		pos := 0
-		for _, i := range cur {
-			if labels[i] {
-				pos++
-			}
-		}
+		pos := bitset.AndCount(curBits, posBits)
 		if pos == 0 || pos == len(cur) {
 			break
 		}
@@ -359,25 +368,21 @@ func (e *Explainer) grow(m *features.PairMatrix, labels []bool,
 
 		// Cross-feature selection: percentile-normalised blend of
 		// precision (P(positive | p)) and generality (P(p)). Each
-		// candidate's counts are independent, so score them in parallel.
+		// candidate's counts compose from its bitmap by word-AND +
+		// popcount; the heavy part — filling the distinct atoms' bitmaps —
+		// ran tile-parallel in getAll, restricted to the working set's
+		// live words.
+		sels := bc.getAll(cands, curBits)
 		precs := make([]float64, len(cands))
 		gens := make([]float64, len(cands))
-		par.Do(len(cands), e.cfg.Parallelism, func(ci int) {
-			cand := cands[ci]
-			sat, satPos := 0, 0
-			for _, i := range cur {
-				if cand.ma.eval(m, i) {
-					sat++
-					if labels[i] {
-						satPos++
-					}
-				}
-			}
+		for ci := range cands {
+			sat := bitset.AndCount(sels[ci], curBits)
+			satPos := bitset.AndCount3(sels[ci], curBits, posBits)
 			if sat > 0 {
 				precs[ci] = float64(satPos) / float64(sat)
 			}
 			gens[ci] = float64(sat) / float64(len(cur))
-		})
+		}
 		precScores, genScores := precs, gens
 		if !e.cfg.RawScores {
 			precScores = stats.PercentileRanks(precs)
@@ -395,13 +400,9 @@ func (e *Explainer) grow(m *features.PairMatrix, labels []bool,
 		clause = append(clause, chosen.atom)
 
 		// Restrict the working set to pairs satisfying the clause so far.
-		var next []int
-		for _, i := range cur {
-			if chosen.ma.eval(m, i) {
-				next = append(next, i)
-			}
-		}
-		cur = next
+		curBits.AndWith(sels[best])
+		cur = cur[:0]
+		curBits.ForEach(func(i int) { cur = append(cur, i) })
 	}
 	return clause
 }

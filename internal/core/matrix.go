@@ -10,10 +10,19 @@ package core
 // values), so the lowering never needs the interpreter's mixed-kind
 // rejection paths; an atom that cannot match any cell lowers to a
 // constant-false evaluator all the same.
+//
+// Beyond the per-row eval, each atom has a batched kernel (fillRange)
+// that scans its matrix plane and fills a selection bitmap — one bit per
+// pair, built with branchless mask arithmetic. bitmapCache memoizes one
+// bitmap per distinct atom over the whole matrix, filled tile-by-tile on
+// the worker pool so planes stay cache-resident; every candidate clause
+// is then composed by word-AND + popcount instead of re-walking pairs.
 
 import (
+	"perfxplain/internal/bitset"
 	"perfxplain/internal/features"
 	"perfxplain/internal/joblog"
+	"perfxplain/internal/par"
 	"perfxplain/internal/pxql"
 )
 
@@ -72,7 +81,8 @@ func (ma *matrixAtom) eval(m *features.PairMatrix, row int) bool {
 }
 
 // evalPrefix evaluates the conjunction of the first w lowered atoms on a
-// row — EvalVector for matrix rows.
+// row — EvalVector for matrix rows. Kept as the reference the bitmap
+// compose path is tested against.
 func evalPrefix(mas []matrixAtom, w int, m *features.PairMatrix, row int) bool {
 	for k := 0; k < w; k++ {
 		if !mas[k].eval(m, row) {
@@ -80,4 +90,150 @@ func evalPrefix(mas []matrixAtom, w int, m *features.PairMatrix, row int) bool {
 		}
 	}
 	return true
+}
+
+// fillRange writes the atom's selection bits for matrix rows [lo, hi)
+// into sel (bit i of sel is row i; lo must be word-aligned). Whole words
+// are overwritten, with tail bits beyond hi left clear, so disjoint
+// tiles can be filled concurrently. A non-nil live mask restricts the
+// fill: words with no live bit are skipped and keep their current value
+// (zero in a fresh bitmap) — bits in live words are exact, which is all
+// a consumer masking by (a subset of) live can observe. The operator
+// dispatch and kernel construction are hoisted out of the loops;
+// selection words are built with pxql's shared NumKernel/SymKernel bit
+// constructors — the same exactness rules as the compiled pair kernels,
+// so the bits equal eval row for row by construction.
+func (ma *matrixAtom) fillRange(m *features.PairMatrix, lo, hi int, sel, live bitset.Set) {
+	switch {
+	case ma.numOff >= 0:
+		kern := pxql.NewNumKernel(ma.op, ma.num)
+		stride := m.NumStride()
+		plane := m.Num
+		idx := lo*stride + ma.numOff
+		for w, base := lo>>6, lo; base < hi; w, base = w+1, base+64 {
+			end := min(base+64, hi)
+			if live != nil && live[w] == 0 {
+				idx += (end - base) * stride
+				continue
+			}
+			var selW uint64
+			for i := base; i < end; i++ {
+				selW |= kern.Bit(plane[idx]) << uint(i-base)
+				idx += stride
+			}
+			sel[w] = selW
+		}
+	case ma.symOff >= 0:
+		kern := pxql.NewSymKernel(ma.syms, ma.ne)
+		stride := m.SymStride()
+		plane := m.Sym
+		idx := lo*stride + ma.symOff
+		for w, base := lo>>6, lo; base < hi; w, base = w+1, base+64 {
+			end := min(base+64, hi)
+			if live != nil && live[w] == 0 {
+				idx += (end - base) * stride
+				continue
+			}
+			var selW uint64
+			for i := base; i < end; i++ {
+				selW |= kern.Bit(plane[idx]) << uint(i-base)
+				idx += stride
+			}
+			sel[w] = selW
+		}
+	default: // constant false
+		for w, base := lo>>6, lo; base < hi; w, base = w+1, base+64 {
+			if live != nil && live[w] == 0 {
+				continue
+			}
+			sel[w] = 0
+		}
+	}
+}
+
+// rowTile is the tile height of batched matrix scans: 4096 rows = 64
+// bitmap words per atom, so a tile's slice of every plane column and the
+// bitmap words it produces stay cache-resident while several atoms scan
+// it.
+const rowTile = 4096
+
+// atomKey identifies an atom for bitmap memoization: feature, operator
+// and constant — exactly the identity containsAtom deduplicates clauses
+// by.
+type atomKey struct {
+	feature string
+	op      pxql.Op
+	kind    joblog.Kind
+	num     float64
+	nanNum  bool
+	str     string
+}
+
+func keyOf(a pxql.Atom) atomKey {
+	k := atomKey{feature: a.Feature, op: a.Op, kind: a.Value.Kind, num: a.Value.Num, str: a.Value.Str}
+	if k.num != k.num {
+		// NaN never compares equal to itself, so it would defeat the map
+		// lookup; every NaN constant behaves identically under every
+		// operator, so one canonical key is exact.
+		k.num, k.nanNum = 0, true
+	}
+	return k
+}
+
+// bitmapCache memoizes per-atom selection bitmaps over one pair matrix,
+// so candidate scoring and working-set filtering evaluate each distinct
+// atom at most once per matrix and compose with word operations.
+//
+// Cached bitmaps are exact only on words that were live in the working
+// set when they were filled (dead words stay zero — see getAll), which
+// is sound for every cache consumer because the working set shrinks
+// monotonically: scoring and filtering always mask by the current
+// working-set bitmap, a subset of the live words at fill time. Code
+// needing full-matrix bits (the prefix diagnostics) must fill its own
+// bitmap with fillRange instead of reading the cache.
+type bitmapCache struct {
+	m       *features.PairMatrix
+	workers int
+	cache   map[atomKey]bitset.Set
+}
+
+func newBitmapCache(m *features.PairMatrix, workers int) *bitmapCache {
+	return &bitmapCache{m: m, workers: workers, cache: make(map[atomKey]bitset.Set)}
+}
+
+// getAll returns the bitmaps of a candidate batch, filling the cache
+// misses tile-parallel: the unit of work is (tile, atom), consecutive
+// units share a tile, so one tile's plane rows are scanned by every
+// missing atom while hot. Words with no live bit in the working set are
+// skipped (left zero) — once a selective clause collapses the working
+// set, losing candidates cost plane reads only where pairs remain.
+// Scheduling never affects the bits — each unit writes a disjoint word
+// range of its own atom's bitmap.
+func (bc *bitmapCache) getAll(cands []candidate, live bitset.Set) []bitset.Set {
+	sels := make([]bitset.Set, len(cands))
+	var missSel []bitset.Set
+	var missMA []matrixAtom
+	for ci := range cands {
+		k := keyOf(cands[ci].atom)
+		if sel, ok := bc.cache[k]; ok {
+			sels[ci] = sel
+			continue
+		}
+		sel := bitset.Make(bc.m.N)
+		bc.cache[k] = sel
+		sels[ci] = sel
+		missSel = append(missSel, sel)
+		missMA = append(missMA, cands[ci].ma)
+	}
+	if len(missSel) == 0 {
+		return sels
+	}
+	tiles := (bc.m.N + rowTile - 1) / rowTile
+	par.Do(tiles*len(missSel), bc.workers, func(u int) {
+		t, k := u/len(missSel), u%len(missSel)
+		lo := t * rowTile
+		hi := min(lo+rowTile, bc.m.N)
+		missMA[k].fillRange(bc.m, lo, hi, missSel[k], live)
+	})
+	return sels
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"perfxplain/internal/bitset"
 	"perfxplain/internal/features"
 	"perfxplain/internal/joblog"
 	"perfxplain/internal/par"
@@ -43,6 +44,12 @@ func EvaluateExplanation(log *joblog.Log, level features.Level,
 // count (<= 0 means GOMAXPROCS). Shards accumulate integer counts that
 // are summed in shard order, so the metrics are exact and identical at
 // every parallelism level.
+//
+// Each tile of pairs is evaluated batched: the despite context fills a
+// selection bitmap, exp and bec push down over copies of it, obs pushes
+// down over the bec selection, and all four counts are popcounts — the
+// per-pair conditional nesting becomes word-wise AND composition with
+// identical totals.
 func EvaluateExplanationP(log *joblog.Log, level features.Level,
 	q *pxql.Query, x *Explanation, maxPairs int, seed int64, parallelism int) (Metrics, error) {
 
@@ -70,17 +77,21 @@ func EvaluateExplanationP(log *joblog.Log, level features.Level,
 	parts := make([]counts, len(sp.shards))
 	par.Do(len(sp.shards), parallelism, func(s int) {
 		var c counts
-		sp.forEachPair(s, cDes, pairSeed, func(i, j int) {
-			c.context++
-			if cExp.EvalPair(i, j) {
-				c.exp++
-			}
-			if cBec.EvalPair(i, j) {
-				c.bec++
-				if cObs.EvalPair(i, j) {
-					c.obsGivenBec++
-				}
-			}
+		des := bitset.Make(pairBlock)
+		scratch := bitset.Make(pairBlock)
+		sp.forEachBlock(s, pairSeed, func(ai, bi []int) {
+			nw := bitset.Words(len(ai))
+			dS, t := des[:nw], scratch[:nw]
+			cDes.EvalBlock(ai, bi, dS)
+			c.context += dS.Count()
+			t.CopyFrom(dS)
+			cExp.AndBlock(ai, bi, t)
+			c.exp += t.Count()
+			t.CopyFrom(dS)
+			cBec.AndBlock(ai, bi, t)
+			c.bec += t.Count()
+			cObs.AndBlock(ai, bi, t)
+			c.obsGivenBec += t.Count()
 		})
 		parts[s] = c
 	})

@@ -27,6 +27,7 @@ import (
 	"strconv"
 	"strings"
 
+	"perfxplain/internal/bitset"
 	"perfxplain/internal/features"
 	"perfxplain/internal/joblog"
 	"perfxplain/internal/par"
@@ -141,17 +142,25 @@ func keepPair(seed uint64, i, j int, keepP float64) bool {
 	return stats.KeepFloat(seed, uint64(i)<<32|uint64(uint32(j))) < keepP
 }
 
-// forEachPair visits one shard's ordered pairs that survive the keep
-// decision and satisfy the (compiled) despite clause, in iteration
-// order. This is the single definition of the pair probability space:
-// training enumeration and explanation evaluation both walk it, so they
-// can never drift apart on blocking, capping or the despite check. The
-// despite check runs compiled — integer/float compares over column
-// planes, no record dereferences on the quadratic path.
-func (sp pairSpace) forEachPair(shard int, despite *pxql.CompiledPredicate,
-	seed uint64, visit func(i, j int)) {
+// pairBlock is the tile size of batched pair evaluation: 4096 pairs = 64
+// selection-bitmap words, small enough that a tile's index arrays,
+// bitmaps and the column-plane cells they touch stay cache-resident
+// while every clause scans it.
+const pairBlock = 4096
 
+// forEachBlock visits one shard's ordered pairs that survive the keep
+// decision, in iteration order, delivered as tiles of at most pairBlock
+// pairs (parallel index arrays, reused between calls — callers must not
+// retain them). This is the single definition of the pair probability
+// space: training enumeration and explanation evaluation both walk it,
+// so they can never drift apart on blocking or capping. Predicates —
+// the despite clause included — are pushed down over each tile as
+// bitmap kernels by the callers, replacing the per-pair compiled checks
+// this walked before.
+func (sp pairSpace) forEachBlock(shard int, seed uint64, visit func(ai, bi []int)) {
 	sh := sp.shards[shard]
+	ai := make([]int, 0, pairBlock)
+	bi := make([]int, 0, pairBlock)
 	for _, i := range sh.group[sh.lo:sh.hi] {
 		for _, j := range sh.group {
 			if i == j {
@@ -160,11 +169,16 @@ func (sp pairSpace) forEachPair(shard int, despite *pxql.CompiledPredicate,
 			if !keepPair(seed, i, j, sp.keepP) {
 				continue
 			}
-			if !despite.EvalPair(i, j) {
-				continue
+			ai = append(ai, i)
+			bi = append(bi, j)
+			if len(ai) == pairBlock {
+				visit(ai, bi)
+				ai, bi = ai[:0], bi[:0]
 			}
-			visit(i, j)
 		}
+	}
+	if len(ai) > 0 {
+		visit(ai, bi)
 	}
 }
 
@@ -183,6 +197,13 @@ func (sp pairSpace) forEachPair(shard int, despite *pxql.CompiledPredicate,
 // Shards are enumerated on up to workers goroutines and merged in shard
 // order; together with the counter-based keep decision this makes the
 // result byte-identical at every worker count.
+//
+// Each shard walks its pairs in tiles: the despite clause fills a
+// selection bitmap per tile (EvalBlock), the observed and expected
+// clauses are pushed down over that selection (AndBlock — dead words
+// are skipped), and the related set is their word-wise union, read out
+// in ascending bit order. The tiles visit pairs in exactly the order the
+// per-pair loop did, so the output is bit-for-bit the same.
 func enumerateRelated(log *joblog.Log, d *features.Deriver, q *pxql.Query,
 	despite pxql.Predicate, maxPairs int, seed uint64, workers int) *pairSet {
 
@@ -194,17 +215,26 @@ func enumerateRelated(log *joblog.Log, d *features.Deriver, q *pxql.Query,
 	parts := make([]*pairSet, len(sp.shards))
 	par.Do(len(sp.shards), workers, func(s int) {
 		ps := &pairSet{}
-		sp.forEachPair(s, cDes, seed, func(i, j int) {
-			obs := cObs.EvalPair(i, j)
-			exp := cExp.EvalPair(i, j)
-			if !obs && !exp {
-				return
-			}
-			// A pair satisfying both obs and exp would contradict
-			// obs ⊨ ¬exp (Definition 1); classify as observed, which
-			// can only happen with inconsistent user predicates.
-			ps.refs = append(ps.refs, pairRef{i, j})
-			ps.labels = append(ps.labels, obs)
+		des := bitset.Make(pairBlock)
+		obs := bitset.Make(pairBlock)
+		exp := bitset.Make(pairBlock)
+		sp.forEachBlock(s, seed, func(ai, bi []int) {
+			nw := bitset.Words(len(ai))
+			dS, oS, eS := des[:nw], obs[:nw], exp[:nw]
+			cDes.EvalBlock(ai, bi, dS)
+			oS.CopyFrom(dS)
+			cObs.AndBlock(ai, bi, oS)
+			eS.CopyFrom(dS)
+			cExp.AndBlock(ai, bi, eS)
+			// Related = (obs ∪ exp) within the despite selection. A pair
+			// satisfying both obs and exp would contradict obs ⊨ ¬exp
+			// (Definition 1); classify as observed, which can only happen
+			// with inconsistent user predicates.
+			eS.OrWith(oS)
+			eS.ForEach(func(k int) {
+				ps.refs = append(ps.refs, pairRef{ai[k], bi[k]})
+				ps.labels = append(ps.labels, oS.Get(k))
+			})
 		})
 		parts[s] = ps
 	})

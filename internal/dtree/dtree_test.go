@@ -331,3 +331,75 @@ func TestAccuracyEmpty(t *testing.T) {
 		t.Errorf("Accuracy on empty log = %v", got)
 	}
 }
+
+// TestPartitionMatchesBoxedRouting pins the columnar partition against
+// routing every boxed value through goesLeft, on a log exercising the
+// corner cases the planes must reproduce: missing cells, alien
+// (kind-mismatched) cells, NaN numerics, and a nominal split value the
+// intern table has never seen.
+func TestPartitionMatchesBoxedRouting(t *testing.T) {
+	schema := joblog.NewSchema([]joblog.Field{
+		{Name: "num", Kind: joblog.Numeric},
+		{Name: "cat", Kind: joblog.Nominal},
+	})
+	log := joblog.NewLog(schema)
+	cells := [][]joblog.Value{
+		{joblog.Num(1), joblog.Str("a")},
+		{joblog.Num(5), joblog.Str("b")},
+		{joblog.None(), joblog.None()},
+		{joblog.Str("alien"), joblog.Num(7)}, // both cells kind-mismatched
+		{joblog.Num(math.NaN()), joblog.Str("a")},
+		{joblog.Num(3), joblog.Str("c")},
+	}
+	for i, vs := range cells {
+		log.MustAppend(&joblog.Record{ID: string(rune('a' + i)), Values: vs})
+	}
+	idx := make([]int, log.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	nodes := []*node{
+		{featIdx: 0, threshold: 3},
+		{featIdx: 0, threshold: -1},
+		{featIdx: 1, nominal: true, value: "a"},
+		{featIdx: 1, nominal: true, value: "never-logged"},
+	}
+	for _, n := range nodes {
+		left, right := partition(log, idx, n)
+		// Reference: boxed routing with the same missing-follows-majority
+		// rule.
+		var wantL, wantR, missing []int
+		for _, i := range idx {
+			v := log.Records[i].Values[n.featIdx]
+			switch {
+			case v.IsMissing():
+				missing = append(missing, i)
+			case goesLeft(v, n):
+				wantL = append(wantL, i)
+			default:
+				wantR = append(wantR, i)
+			}
+		}
+		if len(wantL) >= len(wantR) {
+			wantL = append(wantL, missing...)
+		} else {
+			wantR = append(wantR, missing...)
+		}
+		if !equalInts(left, wantL) || !equalInts(right, wantR) {
+			t.Errorf("node %+v: partition = %v | %v, boxed routing = %v | %v",
+				n, left, right, wantL, wantR)
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -141,6 +141,8 @@ func build(log *joblog.Log, labels []bool, idx []int, cfg Config, depth int) *no
 	return best
 }
 
+// goesLeft routes a boxed value at classify time; the training path uses
+// the columnar partition below instead.
 func goesLeft(v joblog.Value, n *node) bool {
 	if n.nominal {
 		return v.Kind == joblog.Nominal && v.Str == n.value
@@ -148,16 +150,32 @@ func goesLeft(v joblog.Value, n *node) bool {
 	return v.Kind == joblog.Numeric && v.Num <= n.threshold
 }
 
+// partition routes the instance subset down the split via the log's
+// column planes — missing bitmap, float plane or interned symbols — with
+// no boxed-Value access, matching goesLeft on the boxed records exactly:
+// alien cells (value kind disagreeing with the schema) satisfy neither a
+// numeric nor a nominal test and go right, as does a nominal value the
+// intern table has never seen (no logged record can equal it). NaN
+// numeric cells fail the <= comparison on both paths.
 func partition(log *joblog.Log, idx []int, n *node) (left, right []int) {
+	cols := log.Columns()
+	c := cols.Col(n.featIdx)
+	var valSym uint32
+	valKnown := false
+	if n.nominal {
+		valSym, valKnown = cols.Intern().Lookup(n.value)
+	}
 	// Missing values follow the larger branch, decided after the known
 	// instances are routed.
 	var missing []int
 	for _, i := range idx {
-		v := log.Records[i].Values[n.featIdx]
 		switch {
-		case v.IsMissing():
+		case c.Miss.Get(i):
 			missing = append(missing, i)
-		case goesLeft(v, n):
+		case c.Alien(i):
+			right = append(right, i)
+		case n.nominal && valKnown && c.Sym[i] == valSym,
+			!n.nominal && c.Num[i] <= n.threshold:
 			left = append(left, i)
 		default:
 			right = append(right, i)

@@ -383,6 +383,13 @@ func (m *PairMatrix) NumAt(row, numOff int) float64 { return m.Num[row*m.numW+nu
 // SymAt reads the symbol plane at (row, SymOffset(feature)).
 func (m *PairMatrix) SymAt(row, symOff int) uint64 { return m.Sym[row*m.symW+symOff] }
 
+// NumStride returns the row stride of the numeric plane — the batched
+// kernels walk a column incrementally instead of multiplying per row.
+func (m *PairMatrix) NumStride() int { return m.numW }
+
+// SymStride returns the row stride of the symbol plane.
+func (m *PairMatrix) SymStride() int { return m.symW }
+
 // Fill materializes the derived vector of the record pair (a, b) into
 // row. It is safe to call concurrently for distinct rows.
 func (m *PairMatrix) Fill(cols *joblog.Columns, row, a, b int) {

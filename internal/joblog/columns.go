@@ -18,17 +18,20 @@ package joblog
 // value for flagged fields, so the view is exact even for hand-built
 // pathological logs while the fast path assumes nothing it can't prove.
 
-// Bitmap is a fixed-size bitset addressed by record index.
-type Bitmap []uint64
+import (
+	"sync"
+
+	"perfxplain/internal/bitset"
+)
+
+// Bitmap is a fixed-size bitset addressed by record index — an alias of
+// the shared bitset.Set, so the word layout and bit addressing exist in
+// exactly one place and the batched predicate kernels can treat missing
+// bitmaps and selection bitmaps uniformly.
+type Bitmap = bitset.Set
 
 // NewBitmap returns a bitmap with capacity for n bits, all clear.
-func NewBitmap(n int) Bitmap { return make(Bitmap, (n+63)/64) }
-
-// Get reports whether bit i is set.
-func (b Bitmap) Get(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
-
-// Set sets bit i.
-func (b Bitmap) Set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+func NewBitmap(n int) Bitmap { return bitset.Make(n) }
 
 // Intern is a per-log string intern table: nominal values become dense
 // uint32 symbol IDs assigned in first-appearance order, so equality of
@@ -106,6 +109,9 @@ type Columns struct {
 	n      int
 	intern *Intern
 	cols   []Col
+
+	memoMu sync.Mutex
+	memos  map[any]any
 }
 
 // Len returns the number of records the view covers.
@@ -126,6 +132,29 @@ func (c *Columns) Value(row, f int) Value { return c.log.Records[row].Values[f] 
 
 // ID returns the row'th record's identifier.
 func (c *Columns) ID(row int) string { return c.log.Records[row].ID }
+
+// Memo returns the value cached under key, calling build to produce it
+// on first use. It is the consumer-side extension point of the columnar
+// view's count-invalidation scheme: a view is immutable and rebuilt when
+// the log's record count changes (see Log.Columns), so derived
+// aggregates memoized here — e.g. relief's per-attribute statistics —
+// are invalidated exactly when the planes themselves are, and die with
+// the view. build runs under the memo lock (concurrent callers see one
+// build, already-built values are returned without re-entry) and must
+// not call Memo itself.
+func (c *Columns) Memo(key any, build func() any) any {
+	c.memoMu.Lock()
+	defer c.memoMu.Unlock()
+	if v, ok := c.memos[key]; ok {
+		return v
+	}
+	if c.memos == nil {
+		c.memos = make(map[any]any)
+	}
+	v := build()
+	c.memos[key] = v
+	return v
+}
 
 // Columns returns the log's columnar view, building it on first use and
 // rebuilding when the record count changed (the same invalidation rule as
@@ -159,14 +188,14 @@ func buildColumns(l *Log) *Columns {
 			col := &c.cols[f]
 			v := r.Values[f]
 			if v.Kind == Missing {
-				col.Miss.Set(i)
+				col.Miss.SetBit(i)
 				continue
 			}
 			if v.Kind != col.Kind {
 				if col.alien == nil {
 					col.alien = NewBitmap(n)
 				}
-				col.alien.Set(i)
+				col.alien.SetBit(i)
 				col.HasAlien = true
 			}
 			if col.Kind == Numeric {

@@ -120,7 +120,7 @@ func TestBitmap(t *testing.T) {
 		if b.Get(i) {
 			t.Errorf("bit %d set in fresh bitmap", i)
 		}
-		b.Set(i)
+		b.SetBit(i)
 		if !b.Get(i) {
 			t.Errorf("bit %d not set", i)
 		}

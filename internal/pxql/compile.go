@@ -30,6 +30,9 @@ package pxql
 // log the two must agree on every ordered pair.
 
 import (
+	"math/bits"
+
+	"perfxplain/internal/bitset"
 	"perfxplain/internal/features"
 	"perfxplain/internal/joblog"
 )
@@ -106,6 +109,106 @@ func compileAtom(a Atom, d *features.Deriver, cols *joblog.Columns) compiledAtom
 		syms:       d.SymsForString(cols.Intern(), i, a.Value.Str),
 	}
 }
+
+// NumOpMasks decomposes a comparison operator into its trichotomy masks:
+// the operator holds for present values x, c exactly when
+//
+//	B2u(x < c)&lt | B2u(x == c)&eq | B2u(x > c)&gt
+//
+// is 1. This is EvalNumOp in branchless form — the batched kernels (both
+// the compiled pair kernels here and core's matrix-row kernels) build
+// selection words from it, and because NaN fails all three comparisons a
+// missing (NaN-encoded) value satisfies no operator, != included, without
+// a separate presence check. The one comparison the masks cannot express
+// is a NaN constant under != (every present value passes, yet all three
+// compares fail); kernels add a hoisted presence term for that case.
+func NumOpMasks(op Op) (lt, eq, gt uint64) {
+	switch op {
+	case OpEq:
+		return 0, 1, 0
+	case OpNe:
+		return 1, 0, 1
+	case OpLt:
+		return 1, 0, 0
+	case OpLe:
+		return 1, 1, 0
+	case OpGt:
+		return 0, 0, 1
+	case OpGe:
+		return 0, 1, 1
+	default:
+		return 0, 0, 0
+	}
+}
+
+// NumKernel is the branchless numeric word-builder shared by every
+// batched kernel (the compiled pair kernels here and core's matrix-row
+// kernels): hoist the operator into masks once with NewNumKernel, then
+// Bit computes the atom's selection bit for one plane value. Keeping the
+// bit construction in one place means the NaN exactness rules can never
+// drift between the two engines.
+type NumKernel struct {
+	cst        float64
+	lt, eq, gt uint64
+}
+
+// NewNumKernel builds the kernel for one operator and constant. The NaN
+// constant under != (every present value passes) is folded away here:
+// it is exactly the full trichotomy lt=eq=gt=1 against any non-NaN
+// constant — one of the three compares holds for every present x and
+// none for NaN — so Bit itself stays a three-compare expression small
+// enough for the inliner.
+func NewNumKernel(op Op, cst float64) NumKernel {
+	lt, eq, gt := NumOpMasks(op)
+	if op == OpNe && cst != cst {
+		return NumKernel{cst: 0, lt: 1, eq: 1, gt: 1}
+	}
+	return NumKernel{cst: cst, lt: lt, eq: eq, gt: gt}
+}
+
+// Bit returns 1 exactly when the atom holds on plane value x (NaN = a
+// missing value, which satisfies no operator) — EvalNumOp plus the
+// missing check, as a branchless 0/1 word.
+func (k NumKernel) Bit(x float64) uint64 {
+	return b2u(x < k.cst)&k.lt | b2u(x == k.cst)&k.eq | b2u(x > k.cst)&k.gt
+}
+
+// SymKernel is NumKernel's symbol-plane counterpart: a branchless
+// membership test of a derived symbol against the constant's symbol set,
+// specialised for the ubiquitous one-symbol case. Missing symbols
+// satisfy nothing; under != an empty set matches every present symbol —
+// both fall out of the same present mask.
+type SymKernel struct {
+	syms      []uint64
+	single    uint64
+	useSingle bool
+	neU       uint64
+}
+
+// NewSymKernel builds the kernel for one symbol set and direction.
+func NewSymKernel(syms []uint64, ne bool) SymKernel {
+	k := SymKernel{syms: syms, neU: b2u(ne), useSingle: len(syms) == 1}
+	if k.useSingle {
+		k.single = syms[0]
+	}
+	return k
+}
+
+// Bit returns 1 exactly when the atom holds on derived symbol s —
+// EvalSymSet plus the missing check, as a branchless 0/1 word.
+func (k SymKernel) Bit(s uint64) uint64 {
+	var match uint64
+	if k.useSingle {
+		match = b2u(s == k.single)
+	} else {
+		for _, sym := range k.syms {
+			match |= b2u(s == sym)
+		}
+	}
+	return (match ^ k.neU) & b2u(s != features.MissingSym)
+}
+
+func b2u(b bool) uint64 { return bitset.B2u(b) }
 
 // EvalNumOp applies a comparison operator to a present (non-missing)
 // numeric feature value x and constant c — the single scalar core shared
@@ -185,5 +288,108 @@ func (ca *compiledAtom) eval(d *features.Deriver, cols *joblog.Columns, a, b int
 		return ca.atom.Eval(d.ValueCol(cols, a, b, ca.derivedIdx))
 	default: // caFalse
 		return false
+	}
+}
+
+// EvalBlock fills sel with the predicate's selection bitmap over a pair
+// block: bit k of sel reports EvalPair(ai[k], bi[k]). sel must hold at
+// least bitset.Words(len(ai)) words; tail bits of the last covered word
+// are left clear. Each atom scans the block once with a branch-light
+// compare loop, so a conjunction costs O(atoms × pairs) plane reads —
+// the batched counterpart of calling EvalPair per pair, byte-identical
+// to it bit for bit.
+func (cp *CompiledPredicate) EvalBlock(ai, bi []int, sel bitset.Set) {
+	sel = sel[:bitset.Words(len(ai))]
+	sel.Ones(len(ai))
+	cp.AndBlock(ai, bi, sel)
+}
+
+// AndBlock intersects sel with the predicate's selection bitmap over the
+// pair block (sel &= eval(block)) — the pushdown step of batched
+// composition: callers seed sel with an outer selection (e.g. the
+// despite clause's bitmap) and push further clauses through it. Words
+// already zero are skipped entirely, so a selective outer clause bounds
+// the work of every clause behind it.
+func (cp *CompiledPredicate) AndBlock(ai, bi []int, sel bitset.Set) {
+	sel = sel[:bitset.Words(len(ai))]
+	for i := range cp.atoms {
+		cp.atoms[i].andBlock(cp.d, cp.cols, ai, bi, sel)
+	}
+}
+
+// andBlock intersects acc with the atom's selection bits over the pair
+// block. The kind/operator dispatch is hoisted out of the pair loop;
+// selection words are built with branchless mask arithmetic and ANDed in
+// word-wise, preserving clear tail bits.
+func (ca *compiledAtom) andBlock(d *features.Deriver, cols *joblog.Columns, ai, bi []int, acc bitset.Set) {
+	n := len(ai)
+	switch ca.kind {
+	case caNum:
+		c := ca.col
+		kern := NewNumKernel(ca.op, ca.num)
+		for w, base := 0, 0; base < n; w, base = w+1, base+64 {
+			m := acc[w]
+			if m == 0 {
+				continue
+			}
+			end := min(base+64, n)
+			var selW uint64
+			for k := base; k < end; k++ {
+				selW |= kern.Bit(features.BaseNumFast(c, ai[k], bi[k])) << uint(k-base)
+			}
+			acc[w] = m & selW
+		}
+	case caSym:
+		ca.andBlockSym(n, ai, bi, acc)
+	case caAlien:
+		// Exactness over speed: the boxed fallback evaluates per pair, but
+		// only for bits still live in the accumulator.
+		for w, base := 0, 0; base < n; w, base = w+1, base+64 {
+			m := acc[w]
+			if m == 0 {
+				continue
+			}
+			for live := m; live != 0; live &= live - 1 {
+				k := bits.TrailingZeros64(live)
+				if !ca.atom.Eval(d.ValueCol(cols, ai[base+k], bi[base+k], ca.derivedIdx)) {
+					m &^= 1 << uint(k)
+				}
+			}
+			acc[w] = m
+		}
+	default: // caFalse
+		acc.Zero()
+	}
+}
+
+// andBlockSym is the symbol-plane block kernel: per pair, the derived
+// symbol of the atom's family, then the shared SymKernel membership
+// test.
+func (ca *compiledAtom) andBlockSym(n int, ai, bi []int, acc bitset.Set) {
+	c := ca.col
+	family := ca.family
+	kern := NewSymKernel(ca.syms, ca.ne)
+	for w, base := 0, 0; base < n; w, base = w+1, base+64 {
+		m := acc[w]
+		if m == 0 {
+			continue
+		}
+		end := min(base+64, n)
+		var selW uint64
+		for k := base; k < end; k++ {
+			var s uint64
+			switch family {
+			case features.IsSame:
+				s = features.IsSameSym(c, ai[k], bi[k])
+			case features.Compare:
+				s = features.CompareSym(c, ai[k], bi[k])
+			case features.Diff:
+				s = features.DiffSymOf(c, ai[k], bi[k])
+			default: // features.Base, nominal plane
+				s = features.BaseSymFast(c, ai[k], bi[k])
+			}
+			selW |= kern.Bit(s) << uint(k-base)
+		}
+		acc[w] = m & selW
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"math"
 	"testing"
 
+	"perfxplain/internal/bitset"
 	"perfxplain/internal/features"
 	"perfxplain/internal/joblog"
 	"perfxplain/internal/stats"
@@ -71,23 +72,72 @@ func fuzzLog(seed uint64) *joblog.Log {
 	return log
 }
 
-// checkCompiledAgainstInterpreted asserts the two evaluators agree on
-// every ordered pair of the log.
+// checkCompiledAgainstInterpreted asserts that the interpreted, compiled
+// per-pair and bitmap block evaluators agree on every ordered pair of
+// the log, including a block split at an arbitrary boundary (so partial
+// tail words are exercised) and the seeded AndBlock pushdown form.
 func checkCompiledAgainstInterpreted(t *testing.T, p Predicate, log *joblog.Log) {
 	t.Helper()
 	d := features.NewDeriver(log.Schema, features.Level3)
 	cols := log.Columns()
 	cp := p.Compile(d, cols)
+	var ai, bi []int
+	var want []bool
 	for i, ra := range log.Records {
 		for j, rb := range log.Records {
-			want := p.EvalPair(d, ra, rb)
+			w := p.EvalPair(d, ra, rb)
 			got := cp.EvalPair(i, j)
-			if got != want {
+			if got != w {
 				t.Fatalf("compiled=%v interpreted=%v for %q on pair (%s=%v, %s=%v)",
-					got, want, p, ra.ID, ra.Values, rb.ID, rb.Values)
+					got, w, p, ra.ID, ra.Values, rb.ID, rb.Values)
+			}
+			ai, bi = append(ai, i), append(bi, j)
+			want = append(want, w)
+		}
+	}
+	// Whole-block bitmap vs the per-pair truth.
+	sel := bitset.Make(len(ai))
+	cp.EvalBlock(ai, bi, sel)
+	for k := range ai {
+		if sel.Get(k) != want[k] {
+			t.Fatalf("EvalBlock bit %d = %v, per-pair = %v for %q on pair (%d, %d)",
+				k, sel.Get(k), want[k], p, ai[k], bi[k])
+		}
+	}
+	if got, wantN := sel.Count(), countTrue(want); got != wantN {
+		t.Fatalf("EvalBlock popcount = %d, want %d (tail bits must stay clear)", got, wantN)
+	}
+	// Split blocks (odd boundary) composed by AndBlock over an all-ones
+	// seed must agree too.
+	cut := len(ai)/2 + 1
+	if cut > len(ai) {
+		cut = len(ai)
+	}
+	for _, blk := range [][2]int{{0, cut}, {cut, len(ai)}} {
+		lo, hi := blk[0], blk[1]
+		if hi <= lo {
+			continue
+		}
+		part := bitset.Make(hi - lo)
+		part.Ones(hi - lo)
+		cp.AndBlock(ai[lo:hi], bi[lo:hi], part)
+		for k := lo; k < hi; k++ {
+			if part.Get(k-lo) != want[k] {
+				t.Fatalf("AndBlock[%d:%d] bit %d = %v, per-pair = %v for %q",
+					lo, hi, k-lo, part.Get(k-lo), want[k], p)
 			}
 		}
 	}
+}
+
+func countTrue(bs []bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
 }
 
 func FuzzCompiledPredicate(f *testing.F) {

@@ -64,8 +64,22 @@ type attrStats struct {
 	sqSum     float64   // sum of squared frequencies
 }
 
+// statsMemoKey keys the attrStats memo in the columnar view.
+type statsMemoKey struct{}
+
+// computeStats returns the per-attribute statistics of the log, memoized
+// on its columnar view: both estimators (and RuleOfThumb, which calls
+// them repeatedly over one log) recompute nothing until the record count
+// changes, the same invalidation rule as joblog.Columns itself — the
+// memo lives in the view and is rebuilt with it.
 func computeStats(log *joblog.Log) []attrStats {
 	cols := log.Columns()
+	return cols.Memo(statsMemoKey{}, func() any {
+		return buildStats(log, cols)
+	}).([]attrStats)
+}
+
+func buildStats(log *joblog.Log, cols *joblog.Columns) []attrStats {
 	out := make([]attrStats, log.Schema.Len())
 	for i := 0; i < log.Schema.Len(); i++ {
 		f := log.Schema.Field(i)
@@ -139,7 +153,8 @@ func (st *attrStats) diff(r1, r2 int) float64 {
 }
 
 // distance is the sum of per-attribute diffs, optionally skipping one
-// attribute index (the regression target).
+// attribute index (the regression target). It is the per-pair reference
+// the blocked kernel reproduces exactly.
 func distance(stats []attrStats, a, b int, skip int) float64 {
 	var d float64
 	for i := range stats {
@@ -150,6 +165,78 @@ func distance(stats []attrStats, a, b int, skip int) float64 {
 	}
 	return d
 }
+
+// distBlock is the tile width of the blocked distance kernel: distances
+// from one instance to distBlock others are accumulated attribute-major,
+// so each attribute's plane slice is scanned contiguously while the
+// partial-sum tile stays in cache.
+const distBlock = 1024
+
+// blockDistances fills dst[j-lo] with distance(stats, i, j, skip) for
+// every j in [lo, hi). The accumulation is attribute-major — for each
+// attribute, one contiguous sweep of its column plane over the tile —
+// but per pair the attributes still add in ascending order, so the
+// floating-point sums are bit-identical to the per-pair loop.
+func blockDistances(stats []attrStats, i, lo, hi, skip int, dst []float64) {
+	dst = dst[:hi-lo]
+	for k := range dst {
+		dst[k] = 0
+	}
+	for a := range stats {
+		if a == skip {
+			continue
+		}
+		st := &stats[a]
+		for j := lo; j < hi; j++ {
+			dst[j-lo] += st.diff(i, j)
+		}
+	}
+}
+
+// topK keeps the k nearest candidates by (distance, index), the exact
+// order the full sort this replaces used: on equal distance the smaller
+// index wins. Candidates are pushed in ascending index order, so a
+// strict less-than against the current worst suffices for the tie-break.
+// Selection is O(n·k) worst case with k ≪ n instead of O(n log n), and
+// allocation-free after construction.
+type topK struct {
+	k   int
+	idx []int
+	d   []float64
+}
+
+func newTopK(k int) *topK {
+	return &topK{k: k, idx: make([]int, 0, k), d: make([]float64, 0, k)}
+}
+
+// push offers candidate j at distance dj; indices must arrive in
+// ascending order.
+func (t *topK) push(j int, dj float64) {
+	if len(t.d) == t.k {
+		// Full: strictly closer than the current worst or rejected —
+		// equal distance keeps the earlier (smaller) index.
+		if dj >= t.d[len(t.d)-1] {
+			return
+		}
+		t.d = t.d[:len(t.d)-1]
+		t.idx = t.idx[:len(t.idx)-1]
+	}
+	// Insertion position: after every kept candidate with d <= dj
+	// (stability on ties = ascending index order within equal distance).
+	p := len(t.d)
+	for p > 0 && t.d[p-1] > dj {
+		p--
+	}
+	t.d = append(t.d, 0)
+	t.idx = append(t.idx, 0)
+	copy(t.d[p+1:], t.d[p:])
+	copy(t.idx[p+1:], t.idx[p:])
+	t.d[p] = dj
+	t.idx[p] = j
+}
+
+// take returns the selected indices in (distance, index) order.
+func (t *topK) take() []int { return append([]int(nil), t.idx...) }
 
 // Weights runs Relief-F over boolean-labeled records and returns one
 // weight per schema field (higher = more relevant to the label).
@@ -263,71 +350,48 @@ func sampleOrder(n int, cfg Config) []int {
 }
 
 // nearestByClass returns up to k nearest same-class (hits) and
-// different-class (misses) neighbour indices of instance i.
+// different-class (misses) neighbour indices of instance i. Distances
+// are computed in blocked attribute-major tiles and selected with two
+// bounded top-K heaps instead of sorting all n candidates; order and
+// tie-breaks match the full sort exactly.
 func nearestByClass(log *joblog.Log, labels []bool, stats []attrStats, i, k int) (hits, misses []int) {
-	type cand struct {
-		idx int
-		d   float64
-	}
-	var hc, mc []cand
-	for j := 0; j < log.Len(); j++ {
-		if j == i {
-			continue
-		}
-		c := cand{j, distance(stats, i, j, -1)}
-		if labels[j] == labels[i] {
-			hc = append(hc, c)
-		} else {
-			mc = append(mc, c)
-		}
-	}
-	take := func(cs []cand) []int {
-		sort.Slice(cs, func(a, b int) bool {
-			if cs[a].d != cs[b].d {
-				return cs[a].d < cs[b].d
+	n := log.Len()
+	hc, mc := newTopK(k), newTopK(k)
+	var dist [distBlock]float64
+	for lo := 0; lo < n; lo += distBlock {
+		hi := min(lo+distBlock, n)
+		blockDistances(stats, i, lo, hi, -1, dist[:])
+		for j := lo; j < hi; j++ {
+			if j == i {
+				continue
 			}
-			return cs[a].idx < cs[b].idx
-		})
-		if len(cs) > k {
-			cs = cs[:k]
+			if labels[j] == labels[i] {
+				hc.push(j, dist[j-lo])
+			} else {
+				mc.push(j, dist[j-lo])
+			}
 		}
-		out := make([]int, len(cs))
-		for x, c := range cs {
-			out[x] = c.idx
-		}
-		return out
 	}
-	return take(hc), take(mc)
+	return hc.take(), mc.take()
 }
 
 // nearest returns up to k nearest neighbours of instance i by attribute
-// distance, excluding the target attribute from the metric.
+// distance, excluding the target attribute from the metric. Blocked and
+// bounded like nearestByClass.
 func nearest(log *joblog.Log, stats []attrStats, i, targetIdx, k int) []int {
-	type cand struct {
-		idx int
-		d   float64
-	}
-	cs := make([]cand, 0, log.Len()-1)
-	for j := 0; j < log.Len(); j++ {
-		if j == i {
-			continue
+	n := log.Len()
+	tk := newTopK(k)
+	var dist [distBlock]float64
+	for lo := 0; lo < n; lo += distBlock {
+		hi := min(lo+distBlock, n)
+		blockDistances(stats, i, lo, hi, targetIdx, dist[:])
+		for j := lo; j < hi; j++ {
+			if j != i {
+				tk.push(j, dist[j-lo])
+			}
 		}
-		cs = append(cs, cand{j, distance(stats, i, j, targetIdx)})
 	}
-	sort.Slice(cs, func(a, b int) bool {
-		if cs[a].d != cs[b].d {
-			return cs[a].d < cs[b].d
-		}
-		return cs[a].idx < cs[b].idx
-	})
-	if len(cs) > k {
-		cs = cs[:k]
-	}
-	out := make([]int, len(cs))
-	for x, c := range cs {
-		out[x] = c.idx
-	}
-	return out
+	return tk.take()
 }
 
 // Ranking returns the schema's field names sorted by decreasing weight,

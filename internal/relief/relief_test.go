@@ -2,6 +2,7 @@ package relief
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 
 	"perfxplain/internal/joblog"
@@ -207,5 +208,192 @@ func TestSampleSizeM(t *testing.T) {
 	}
 	if w[log.Schema.MustIndex("important")] <= w[log.Schema.MustIndex("irrelevant")] {
 		t.Error("subsampled run should still rank the signal first")
+	}
+}
+
+// mixedLog builds a log with numeric and nominal attributes, missing
+// cells, and deliberately duplicated rows so neighbour distances tie —
+// the case the bounded top-K selection must break exactly like the full
+// sort it replaced.
+func mixedLog(n int, rng *rand.Rand) *joblog.Log {
+	schema := joblog.NewSchema([]joblog.Field{
+		{Name: "x", Kind: joblog.Numeric},
+		{Name: "y", Kind: joblog.Numeric},
+		{Name: "c", Kind: joblog.Nominal},
+		{Name: "duration", Kind: joblog.Numeric},
+	})
+	log := joblog.NewLog(schema)
+	cats := []string{"a", "b", "c"}
+	for i := 0; i < n; i++ {
+		var xv, yv, cv joblog.Value
+		// Coarse quantisation forces many exact distance ties.
+		xv = joblog.Num(float64(rng.Intn(3)))
+		if rng.Float64() < 0.2 {
+			yv = joblog.None()
+		} else {
+			yv = joblog.Num(float64(rng.Intn(2)))
+		}
+		if rng.Float64() < 0.2 {
+			cv = joblog.None()
+		} else {
+			cv = joblog.Str(cats[rng.Intn(len(cats))])
+		}
+		log.MustAppend(&joblog.Record{ID: "r", Values: []joblog.Value{
+			xv, yv, cv, joblog.Num(float64(rng.Intn(4))),
+		}})
+	}
+	return log
+}
+
+// refNearest is the pre-blocked implementation: full sort by (distance,
+// index), truncate to k.
+func refNearest(log *joblog.Log, stats []attrStats, i, targetIdx, k int) []int {
+	type cand struct {
+		idx int
+		d   float64
+	}
+	var cs []cand
+	for j := 0; j < log.Len(); j++ {
+		if j == i {
+			continue
+		}
+		cs = append(cs, cand{j, distance(stats, i, j, targetIdx)})
+	}
+	sort.Slice(cs, func(a, b int) bool {
+		if cs[a].d != cs[b].d {
+			return cs[a].d < cs[b].d
+		}
+		return cs[a].idx < cs[b].idx
+	})
+	if len(cs) > k {
+		cs = cs[:k]
+	}
+	out := make([]int, len(cs))
+	for x, c := range cs {
+		out[x] = c.idx
+	}
+	return out
+}
+
+func TestBlockedNearestMatchesFullSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{3, 17, 64, 200} {
+		log := mixedLog(n, rng)
+		stats := computeStats(log)
+		labels := make([]bool, n)
+		for i := range labels {
+			labels[i] = rng.Intn(2) == 0
+		}
+		for _, k := range []int{1, 3, 10, n + 5} {
+			for i := 0; i < n; i += 1 + n/7 {
+				got := nearest(log, stats, i, 3, k)
+				want := refNearest(log, stats, i, 3, k)
+				if !sameInts(got, want) {
+					t.Fatalf("n=%d k=%d i=%d: nearest = %v, full sort = %v", n, k, i, got, want)
+				}
+				hits, misses := nearestByClass(log, labels, stats, i, k)
+				wantH, wantM := refNearestByClass(log, labels, stats, i, k)
+				if !sameInts(hits, wantH) || !sameInts(misses, wantM) {
+					t.Fatalf("n=%d k=%d i=%d: nearestByClass = %v/%v, want %v/%v",
+						n, k, i, hits, misses, wantH, wantM)
+				}
+			}
+		}
+	}
+}
+
+func refNearestByClass(log *joblog.Log, labels []bool, stats []attrStats, i, k int) (hits, misses []int) {
+	type cand struct {
+		idx int
+		d   float64
+	}
+	var hc, mc []cand
+	for j := 0; j < log.Len(); j++ {
+		if j == i {
+			continue
+		}
+		c := cand{j, distance(stats, i, j, -1)}
+		if labels[j] == labels[i] {
+			hc = append(hc, c)
+		} else {
+			mc = append(mc, c)
+		}
+	}
+	take := func(cs []cand) []int {
+		sort.Slice(cs, func(a, b int) bool {
+			if cs[a].d != cs[b].d {
+				return cs[a].d < cs[b].d
+			}
+			return cs[a].idx < cs[b].idx
+		})
+		if len(cs) > k {
+			cs = cs[:k]
+		}
+		out := make([]int, len(cs))
+		for x, c := range cs {
+			out[x] = c.idx
+		}
+		return out
+	}
+	return take(hc), take(mc)
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBlockDistancesMatchPerPair pins the attribute-major tile kernel
+// bit-for-bit against the per-pair sum (same operands, same order).
+func TestBlockDistancesMatchPerPair(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	log := mixedLog(150, rng)
+	stats := computeStats(log)
+	dst := make([]float64, distBlock)
+	for _, span := range [][2]int{{0, 150}, {7, 70}, {149, 150}} {
+		lo, hi := span[0], span[1]
+		blockDistances(stats, 5, lo, hi, 3, dst)
+		for j := lo; j < hi; j++ {
+			if want := distance(stats, 5, j, 3); dst[j-lo] != want {
+				t.Fatalf("blockDistances[%d] = %v, distance = %v", j, dst[j-lo], want)
+			}
+		}
+	}
+}
+
+// TestComputeStatsMemoized verifies the attrStats memo: same slice back
+// while the record count is unchanged, fresh stats (new frequencies)
+// after an append — the joblog.Columns count-invalidation scheme.
+func TestComputeStatsMemoized(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	log := mixedLog(40, rng)
+	a := computeStats(log)
+	b := computeStats(log)
+	if &a[0] != &b[0] {
+		t.Fatal("computeStats rebuilt despite unchanged record count")
+	}
+	log.MustAppend(log.Records[0].Clone())
+	c := computeStats(log)
+	if &a[0] == &c[0] {
+		t.Fatal("computeStats not invalidated by append")
+	}
+	if got := len(c); got != log.Schema.Len() {
+		t.Fatalf("stats len = %d", got)
+	}
+	// The rebuilt stats must reflect the grown log: frequencies are
+	// normalised over the new count, so recompute once more and compare
+	// against a from-scratch build.
+	fresh := buildStats(log, log.Columns())
+	for i := range fresh {
+		if c[i].sqSum != fresh[i].sqSum || c[i].min != fresh[i].min || c[i].max != fresh[i].max {
+			t.Fatalf("memoized stats[%d] differ from fresh build", i)
+		}
 	}
 }
