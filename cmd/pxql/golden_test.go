@@ -11,9 +11,28 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"perfxplain"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestMain doubles as the shard worker: with -shard-workers the CLI
+// spawns os.Executable() -shard-worker, which under `go test` is this
+// test binary — route those children into the protocol loop exactly as
+// the real binary's flag does.
+func TestMain(m *testing.M) {
+	for _, a := range os.Args[1:] {
+		if a == "-shard-worker" {
+			if err := perfxplain.ShardWorker(os.Stdin, os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "pxql test shard worker:", err)
+				os.Exit(1)
+			}
+			os.Exit(0)
+		}
+	}
+	os.Exit(m.Run())
+}
 
 // captureStdout runs fn with os.Stdout redirected and returns what it
 // printed.
@@ -69,7 +88,7 @@ func TestGoldenCLI(t *testing.T) {
 		for _, p := range []int{1, 4, 0} {
 			p := p
 			out := captureStdout(t, func() error {
-				return run(log, testQuery, "", "", true, 3, 3, 1, p, tech, false, log)
+				return run(log, testQuery, "", "", true, 3, 3, 1, p, 0, 0, tech, false, log)
 			})
 			outputs = append(outputs, out)
 		}
@@ -82,11 +101,32 @@ func TestGoldenCLI(t *testing.T) {
 	}
 }
 
+// TestGoldenCLISharded pins `pxql -shards N -shard-workers K` to the
+// exact bytes of the serial CLI run, for in-process shard execution and
+// for subprocess workers (spawned from this test binary via TestMain).
+func TestGoldenCLISharded(t *testing.T) {
+	log := writeSmallLog(t)
+	want := captureStdout(t, func() error {
+		return run(log, testQuery, "", "", true, 3, 3, 1, 0, 0, 0, "perfxplain", false, log)
+	})
+	for _, tc := range []struct{ shards, workers int }{
+		{2, 0}, {7, 0}, {2, 3}, {7, 3},
+	} {
+		got := captureStdout(t, func() error {
+			return run(log, testQuery, "", "", true, 3, 3, 1, 0, tc.shards, tc.workers, "perfxplain", false, log)
+		})
+		if got != want {
+			t.Errorf("-shards %d -shard-workers %d diverges from the serial CLI:\n--- sharded ---\n%s--- serial ---\n%s",
+				tc.shards, tc.workers, got, want)
+		}
+	}
+}
+
 func TestGoldenCLIGenDespite(t *testing.T) {
 	log := writeSmallLog(t)
 	out := captureStdout(t, func() error {
 		return run(log, "OBSERVED duration_compare = GT\nEXPECTED duration_compare = SIM",
-			"", "", true, 3, 3, 1, 0, "perfxplain", true, log)
+			"", "", true, 3, 3, 1, 0, 0, 0, "perfxplain", true, log)
 	})
 	checkGolden(t, "cli_gendespite", out)
 }

@@ -33,23 +33,37 @@ func main() {
 	level := flag.Int("level", 3, "feature level 1-3")
 	seed := flag.Int64("seed", 1, "sampling seed")
 	parallelism := flag.Int("parallelism", 0, "worker goroutines for the explanation pipeline (0 = all cores); the answer is identical at every setting")
+	shards := flag.Int("shards", 0, "shard the pair pipeline into N self-contained specs (0 = off); the answer is identical at every setting")
+	shardWorkers := flag.Int("shard-workers", 0, "execute shards on K worker subprocesses instead of in-process (requires -shards)")
+	shardWorker := flag.Bool("shard-worker", false, "serve shard tasks on stdin/stdout and exit (internal: spawned by -shard-workers)")
 	technique := flag.String("technique", "perfxplain", "perfxplain | ruleofthumb | simbutdiff")
 	genDespite := flag.Bool("gen-despite", false, "generate a despite extension before explaining (perfxplain only)")
 	evalPath := flag.String("eval", "", "optional second log CSV to evaluate the explanation against")
 	flag.Parse()
 
+	if *shardWorker {
+		if err := perfxplain.ShardWorker(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "pxql: shard worker:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if err := run(*logPath, *querySrc, *queryFile, *pair, *find, *width, *level,
-		*seed, *parallelism, *technique, *genDespite, *evalPath); err != nil {
+		*seed, *parallelism, *shards, *shardWorkers, *technique, *genDespite, *evalPath); err != nil {
 		fmt.Fprintln(os.Stderr, "pxql:", err)
 		os.Exit(1)
 	}
 }
 
 func run(logPath, querySrc, queryFile, pair string, find bool, width, level int,
-	seed int64, parallelism int, technique string, genDespite bool, evalPath string) error {
+	seed int64, parallelism, shards, shardWorkers int, technique string, genDespite bool, evalPath string) error {
 
 	if logPath == "" {
 		return fmt.Errorf("-log is required")
+	}
+	if shardWorkers > 0 && shards <= 0 {
+		return fmt.Errorf("-shard-workers requires -shards")
 	}
 	log, err := readLog(logPath)
 	if err != nil {
@@ -83,7 +97,8 @@ func run(logPath, querySrc, queryFile, pair string, find bool, width, level int,
 		fmt.Printf("pair of interest: %s, %s\n", id1, id2)
 	}
 
-	opt := perfxplain.Options{Width: width, DespiteWidth: width, FeatureLevel: level, Seed: seed, Parallelism: parallelism}
+	opt := perfxplain.Options{Width: width, DespiteWidth: width, FeatureLevel: level,
+		Seed: seed, Parallelism: parallelism, Shards: shards, ShardWorkers: shardWorkers}
 	var x *perfxplain.Explanation
 	switch strings.ToLower(technique) {
 	case "perfxplain":
@@ -91,6 +106,7 @@ func run(logPath, querySrc, queryFile, pair string, find bool, width, level int,
 		if err != nil {
 			return err
 		}
+		defer ex.Close()
 		if genDespite {
 			x, err = ex.ExplainWithDespite(q)
 		} else {

@@ -18,7 +18,9 @@ import (
 	"time"
 
 	"perfxplain/internal/collect"
+	"perfxplain/internal/core"
 	"perfxplain/internal/eval"
+	"perfxplain/internal/shard"
 )
 
 func main() {
@@ -27,15 +29,29 @@ func main() {
 	reps := flag.Int("reps", 10, "cross-validation repetitions")
 	small := flag.Bool("small", false, "use the reduced 32-job grid (faster, noisier)")
 	parallelism := flag.Int("parallelism", 0, "worker goroutines for repetitions and cells (0 = all cores); tables are identical at every setting")
+	shards := flag.Int("shards", 0, "shard the pair pipeline into N self-contained specs (0 = off); tables are identical at every setting")
+	shardWorkers := flag.Int("shard-workers", 0, "execute shards on K worker subprocesses instead of in-process (requires -shards)")
+	shardWorker := flag.Bool("shard-worker", false, "serve shard tasks on stdin/stdout and exit (internal: spawned by -shard-workers)")
 	flag.Parse()
 
-	if err := run(*exp, *seed, *reps, *small, *parallelism); err != nil {
+	if *shardWorker {
+		if err := shard.Worker(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "pxqlexperiments: shard worker:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if err := run(*exp, *seed, *reps, *small, *parallelism, *shards, *shardWorkers); err != nil {
 		fmt.Fprintln(os.Stderr, "pxqlexperiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, seed int64, reps int, small bool, parallelism int) error {
+func run(exp string, seed int64, reps int, small bool, parallelism, shards, shardWorkers int) error {
+	if shardWorkers > 0 && shards <= 0 {
+		return fmt.Errorf("-shard-workers requires -shards")
+	}
 	sweep := collect.DefaultSweep(seed)
 	if small {
 		sweep = collect.SmallSweep(seed)
@@ -52,6 +68,20 @@ func run(exp string, seed int64, reps int, small bool, parallelism int) error {
 	h := eval.NewHarness(res.Jobs, res.Tasks, seed)
 	h.Reps = reps
 	h.Parallelism = parallelism
+	if shards > 0 {
+		h.Shards = shards
+		var runner core.ShardRunner = shard.InProc{Workers: parallelism}
+		if shardWorkers > 0 {
+			exe, err := os.Executable()
+			if err != nil {
+				return fmt.Errorf("resolve shard worker command: %w", err)
+			}
+			pool := &shard.Pool{Command: []string{exe, "-shard-worker"}, Workers: shardWorkers}
+			defer pool.Close()
+			runner = pool
+		}
+		h.Runner = runner
+	}
 
 	type runner func() error
 	table := func(f func() (*eval.Table, error)) runner {

@@ -4,8 +4,11 @@ package perfxplain
 // refactor from row-oriented records to interned columns is required to be
 // behaviour-preserving, so these tests pin the exact bytes of every
 // user-visible artifact — explanation clauses, per-atom training
-// diagnostics, training and held-out metrics — across feature levels 1-3
-// and parallelism 1, 4 and GOMAXPROCS. The files under testdata/golden
+// diagnostics, training and held-out metrics — across feature levels 1-3,
+// parallelism 1, 4 and GOMAXPROCS, and sharded execution through the
+// in-process shard runner (the subprocess mode is pinned equal in
+// internal/shard's equivalence suite and the pxql CLI golden test). The
+// files under testdata/golden
 // were captured from the pre-columnar implementation; regenerate with
 //
 //	go test -run TestGolden -update
@@ -123,15 +126,30 @@ func TestGoldenExplanations(t *testing.T) {
 		}
 		q.Bind(id1, id2)
 		for level := 1; level <= 3; level++ {
-			outputs := make([]string, len(goldenParallelisms))
-			for pi, p := range goldenParallelisms {
+			// One body over execution variants: the direct path at every
+			// parallelism level, then sharded execution (in-process
+			// runner) at several shard counts — 64 far exceeds the pair
+			// space, so empty shards are pinned too. All must produce the
+			// same bytes.
+			type variant struct {
+				name        string
+				parallelism int
+				shards      int
+			}
+			variants := make([]variant, 0, len(goldenParallelisms)+2)
+			for _, p := range goldenParallelisms {
+				variants = append(variants, variant{fmt.Sprintf("parallelism=%d", p), p, 0})
+			}
+			variants = append(variants, variant{"shards=3", 0, 3}, variant{"shards=64", 0, 64})
+			outputs := make([]string, len(variants))
+			for vi, v := range variants {
 				var b strings.Builder
 				fmt.Fprintf(&b, "query %s level %d pair (%s, %s)\n", gc.name, level, id1, id2)
 				opt := Options{Width: 3, DespiteWidth: 3, FeatureLevel: level,
-					Seed: 7, Target: gc.target, Parallelism: p}
+					Seed: 7, Target: gc.target, Parallelism: v.parallelism, Shards: v.shards}
 				ex, err := NewExplainer(log, opt)
 				if err != nil {
-					t.Fatalf("%s L%d: %v", gc.name, level, err)
+					t.Fatalf("%s L%d %s: %v", gc.name, level, v.name, err)
 				}
 				var x *Explanation
 				if gc.genDespite {
@@ -140,22 +158,22 @@ func TestGoldenExplanations(t *testing.T) {
 					x, err = ex.Explain(q)
 				}
 				if err != nil {
-					t.Fatalf("%s L%d p%d: %v", gc.name, level, p, err)
+					t.Fatalf("%s L%d %s: %v", gc.name, level, v.name, err)
 				}
 				renderExplanation(&b, x)
-				m, err := Evaluate(log, q, x, Options{Seed: 7, Parallelism: p})
+				m, err := Evaluate(log, q, x, Options{Seed: 7, Parallelism: v.parallelism})
 				if err != nil {
-					t.Fatalf("%s L%d p%d evaluate: %v", gc.name, level, p, err)
+					t.Fatalf("%s L%d %s evaluate: %v", gc.name, level, v.name, err)
 				}
 				fmt.Fprintf(&b, "heldout: precision=%v generality=%v relevance=%v\n",
 					m.Precision, m.Generality, m.Relevance)
-				outputs[pi] = b.String()
+				outputs[vi] = b.String()
 			}
-			for pi := 1; pi < len(outputs); pi++ {
-				if outputs[pi] != outputs[0] {
-					t.Errorf("%s L%d: parallelism %d diverges from parallelism %d\n--- p%d ---\n%s--- p%d ---\n%s",
-						gc.name, level, goldenParallelisms[pi], goldenParallelisms[0],
-						goldenParallelisms[pi], outputs[pi], goldenParallelisms[0], outputs[0])
+			for vi := 1; vi < len(outputs); vi++ {
+				if outputs[vi] != outputs[0] {
+					t.Errorf("%s L%d: %s diverges from %s\n--- %s ---\n%s--- %s ---\n%s",
+						gc.name, level, variants[vi].name, variants[0].name,
+						variants[vi].name, outputs[vi], variants[0].name, outputs[0])
 				}
 			}
 			checkGolden(t, fmt.Sprintf("%s_L%d", gc.name, level), outputs[0])

@@ -56,6 +56,14 @@ type Config struct {
 	// materialization and predicate scoring. Values <= 0 mean
 	// runtime.GOMAXPROCS(0). Output is byte-identical at every setting.
 	Parallelism int
+	// Shards is the number of self-contained shard specs the planner cuts
+	// the pair pipeline into when Runner is set; <= 0 means one per
+	// Parallelism worker. Output is byte-identical at every shard count.
+	Shards int
+	// Runner executes planned shard specs — in-process or on worker
+	// subprocesses (see internal/shard). nil selects the direct
+	// single-process path.
+	Runner ShardRunner
 }
 
 // DefaultConfig returns the paper's settings.
@@ -93,6 +101,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxPairs == 0 {
 		c.MaxPairs = d.MaxPairs
+	}
+	if c.Runner != nil && c.Shards <= 0 {
+		c.Shards = par.Resolve(c.Parallelism)
 	}
 	return c
 }
@@ -220,8 +231,10 @@ func (e *Explainer) explain(q *pxql.Query, genDespite bool) (*Explanation, error
 		despite = q.Despite.And(des)
 	}
 
-	related := enumerateRelated(e.log, e.d, q, despite, e.cfg.MaxPairs,
-		stats.DeriveSeed(e.cfg.Seed, "because-pairs"), e.cfg.Parallelism)
+	related, err := e.enumeratePairs(q, despite, stats.DeriveSeed(e.cfg.Seed, "because-pairs"))
+	if err != nil {
+		return nil, err
+	}
 	x.RelatedPairs = len(related.refs)
 	if len(related.refs) == 0 {
 		return nil, fmt.Errorf("core: no related pairs in the log for this query")
@@ -234,11 +247,17 @@ func (e *Explainer) explain(q *pxql.Query, genDespite bool) (*Explanation, error
 	// it reproducible.
 	sample := e.sample(related, stats.DeriveRand(e.cfg.Seed, "because-sample"))
 	x.SampleSize = len(sample.refs)
-	m := materialize(e.log, e.d, sample, e.cfg.Parallelism)
+	m, err := e.materializePairs(sample)
+	if err != nil {
+		return nil, err
+	}
 	pairVec := e.d.Vector(a, b)
 
 	bc := newBitmapCache(m, e.cfg.Parallelism)
-	bec := e.grow(bc, sample.labels, pairVec, e.cfg.Width)
+	bec, err := e.grow(bc, sample, sample.labels, pairVec, e.cfg.Width)
+	if err != nil {
+		return nil, err
+	}
 	x.Because = bec
 
 	// Training diagnostics over the sample, per clause prefix: each
@@ -296,13 +315,18 @@ func (e *Explainer) GenerateDespite(q *pxql.Query) (pxql.Predicate, error) {
 }
 
 func (e *Explainer) generateDespite(q *pxql.Query, a, b *joblog.Record) (pxql.Predicate, error) {
-	related := enumerateRelated(e.log, e.d, q, q.Despite, e.cfg.MaxPairs,
-		stats.DeriveSeed(e.cfg.Seed, "despite-pairs"), e.cfg.Parallelism)
+	related, err := e.enumeratePairs(q, q.Despite, stats.DeriveSeed(e.cfg.Seed, "despite-pairs"))
+	if err != nil {
+		return nil, err
+	}
 	if len(related.refs) == 0 {
 		return nil, fmt.Errorf("core: no related pairs in the log for this query")
 	}
 	sample := e.sample(related, stats.DeriveRand(e.cfg.Seed, "despite-sample"))
-	m := materialize(e.log, e.d, sample, e.cfg.Parallelism)
+	m, err := e.materializePairs(sample)
+	if err != nil {
+		return nil, err
+	}
 	pairVec := e.d.Vector(a, b)
 
 	// Positive class for despite generation is "performed as expected":
@@ -311,7 +335,7 @@ func (e *Explainer) generateDespite(q *pxql.Query, a, b *joblog.Record) (pxql.Pr
 	for i, l := range sample.labels {
 		flipped[i] = !l
 	}
-	return e.grow(newBitmapCache(m, e.cfg.Parallelism), flipped, pairVec, e.cfg.DespiteWidth), nil
+	return e.grow(newBitmapCache(m, e.cfg.Parallelism), sample, flipped, pairVec, e.cfg.DespiteWidth)
 }
 
 func (e *Explainer) sample(ps *pairSet, rng *rand.Rand) *pairSet {
@@ -338,8 +362,8 @@ func (e *Explainer) sample(ps *pairSet, rng *rand.Rand) *pairSet {
 // label bitmaps, and the winner restricts the working set with one
 // word-AND. The counts — and therefore the clause — are identical to
 // the per-pair loops this replaces.
-func (e *Explainer) grow(bc *bitmapCache, labels []bool,
-	pairVec []joblog.Value, width int) pxql.Predicate {
+func (e *Explainer) grow(bc *bitmapCache, sample *pairSet, labels []bool,
+	pairVec []joblog.Value, width int) (pxql.Predicate, error) {
 
 	m := bc.m
 	var clause pxql.Predicate
@@ -361,7 +385,10 @@ func (e *Explainer) grow(bc *bitmapCache, labels []bool,
 			break
 		}
 
-		cands := e.candidates(m, labels, cur, pairVec, clause)
+		cands, err := e.candidatesFor(m, sample, labels, cur, pairVec, clause)
+		if err != nil {
+			return nil, err
+		}
 		if len(cands) == 0 {
 			break
 		}
@@ -404,7 +431,19 @@ func (e *Explainer) grow(bc *bitmapCache, labels []bool,
 		cur = cur[:0]
 		curBits.ForEach(func(i int) { cur = append(cur, i) })
 	}
-	return clause
+	return clause, nil
+}
+
+// candidatesFor dispatches one candidate-scoring round to the shard
+// runner when one is configured, and to the in-process per-feature loop
+// otherwise. Both paths yield the same candidates in the same order.
+func (e *Explainer) candidatesFor(m *features.PairMatrix, sample *pairSet, labels []bool,
+	cur []int, pairVec []joblog.Value, clause pxql.Predicate) ([]candidate, error) {
+
+	if e.cfg.Runner != nil {
+		return e.candidatesSharded(sample, labels, cur, pairVec, clause)
+	}
+	return e.candidates(m, labels, cur, pairVec, clause), nil
 }
 
 type candidate struct {
@@ -437,55 +476,8 @@ func (e *Explainer) candidates(m *features.PairMatrix, labels []bool,
 
 	found := make([]*candidate, schema.Len())
 	par.Do(schema.Len(), e.cfg.Parallelism, func(f int) {
-		rawIdx, kind := e.d.RawOf(f)
-		if e.d.RawSchema().Field(rawIdx).Name == e.cfg.Target {
-			return
-		}
-		// Honour the configured feature level (Section 6.8): level 1 may
-		// use only isSame features; level 2 adds compare and diff; level 3
-		// adds base features.
-		if e.cfg.Level == features.Level1 && kind != features.IsSame {
-			return
-		}
-		if e.cfg.Level == features.Level2 && kind == features.Base {
-			return
-		}
-		v0 := pairVec[f]
-		if v0.IsMissing() {
-			return // no predicate over f can hold on the pair of interest
-		}
-		var atom pxql.Atom
-		var gain float64
-		if numOff := e.d.NumOffset(f); numOff >= 0 {
-			col := make([]float64, len(cur))
-			for k, i := range cur {
-				col[k] = m.NumAt(i, numOff)
-			}
-			thr, g, ok := dtree.BestThresholdF(col, subLabels)
-			if !ok {
-				return
-			}
-			op := pxql.OpLe
-			if v0.Num > thr {
-				op = pxql.OpGt
-			}
-			atom = pxql.Atom{Feature: schema.Field(f).Name, Op: op, Value: joblog.Num(thr)}
-			gain = g
-		} else {
-			val, g, ok := bestNominalSyms(e.d, in, f, m, cur, subLabels)
-			if !ok {
-				return
-			}
-			// The split on value v* has the same gain whichever side the
-			// predicate asserts; applicability picks the direction.
-			op := pxql.OpEq
-			if v0.Str != val {
-				op = pxql.OpNe
-			}
-			atom = pxql.Atom{Feature: schema.Field(f).Name, Op: op, Value: joblog.Str(val)}
-			gain = g
-		}
-		if containsAtom(clause, atom) {
+		atom, gain, ok := scoreFeature(e.d, in, m, cur, subLabels, pairVec, clause, e.cfg.Target, e.cfg.Level, f)
+		if !ok {
 			return
 		}
 		found[f] = &candidate{featIdx: f, atom: atom, ma: newMatrixAtom(e.d, in, f, atom), gain: gain}
@@ -498,6 +490,73 @@ func (e *Explainer) candidates(m *features.PairMatrix, labels []bool,
 		}
 	}
 	return out
+}
+
+// scoreFeature computes the best applicable predicate over one derived
+// feature f for one scoring round — the per-feature body of Algorithm 1
+// line 5, shared verbatim by the in-process candidates loop and the
+// shard-scoring executor (ScoreSpec.Run) so the two can never drift. cur
+// addresses the working-set rows of m; subLabels is parallel to cur. ok
+// is false when the feature is excluded (target-derived, above the
+// clause feature level, inapplicable to the pair of interest, already in
+// the clause) or admits no split.
+func scoreFeature(d *features.Deriver, in *joblog.Intern, m *features.PairMatrix,
+	cur []int, subLabels []bool, pairVec []joblog.Value, clause pxql.Predicate,
+	target string, candLevel features.Level, f int) (pxql.Atom, float64, bool) {
+
+	schema := d.Schema()
+	rawIdx, kind := d.RawOf(f)
+	if d.RawSchema().Field(rawIdx).Name == target {
+		return pxql.Atom{}, 0, false
+	}
+	// Honour the configured feature level (Section 6.8): level 1 may
+	// use only isSame features; level 2 adds compare and diff; level 3
+	// adds base features.
+	if candLevel == features.Level1 && kind != features.IsSame {
+		return pxql.Atom{}, 0, false
+	}
+	if candLevel == features.Level2 && kind == features.Base {
+		return pxql.Atom{}, 0, false
+	}
+	v0 := pairVec[f]
+	if v0.IsMissing() {
+		return pxql.Atom{}, 0, false // no predicate over f can hold on the pair of interest
+	}
+	var atom pxql.Atom
+	var gain float64
+	if numOff := d.NumOffset(f); numOff >= 0 {
+		col := make([]float64, len(cur))
+		for k, i := range cur {
+			col[k] = m.NumAt(i, numOff)
+		}
+		thr, g, ok := dtree.BestThresholdF(col, subLabels)
+		if !ok {
+			return pxql.Atom{}, 0, false
+		}
+		op := pxql.OpLe
+		if v0.Num > thr {
+			op = pxql.OpGt
+		}
+		atom = pxql.Atom{Feature: schema.Field(f).Name, Op: op, Value: joblog.Num(thr)}
+		gain = g
+	} else {
+		val, g, ok := bestNominalSyms(d, in, f, m, cur, subLabels)
+		if !ok {
+			return pxql.Atom{}, 0, false
+		}
+		// The split on value v* has the same gain whichever side the
+		// predicate asserts; applicability picks the direction.
+		op := pxql.OpEq
+		if v0.Str != val {
+			op = pxql.OpNe
+		}
+		atom = pxql.Atom{Feature: schema.Field(f).Name, Op: op, Value: joblog.Str(val)}
+		gain = g
+	}
+	if containsAtom(clause, atom) {
+		return pxql.Atom{}, 0, false
+	}
+	return atom, gain, true
 }
 
 // bestNominalSyms is BestNominalValue over a symbol-plane matrix column:

@@ -46,7 +46,10 @@ func (e *Explainer) DespiteToThreshold(q *pxql.Query, r float64) (des pxql.Predi
 	pairSeed := stats.DeriveSeed(e.cfg.Seed, "despite-threshold")
 	for w := 0; w <= len(full); w++ {
 		prefix := full[:w]
-		rel := e.trainRelevance(q, q.Despite.And(prefix), pairSeed)
+		rel, err := e.trainRelevance(q, q.Despite.And(prefix), pairSeed)
+		if err != nil {
+			return nil, 0, false, err
+		}
 		if rel >= r {
 			return prefix, rel, true, nil
 		}
@@ -57,13 +60,16 @@ func (e *Explainer) DespiteToThreshold(q *pxql.Query, r float64) (des pxql.Predi
 }
 
 // trainRelevance measures P(exp | despite) over the log's related pairs.
-func (e *Explainer) trainRelevance(q *pxql.Query, despite pxql.Predicate, pairSeed uint64) float64 {
-	related := enumerateRelated(e.log, e.d, q, despite, e.cfg.MaxPairs, pairSeed, e.cfg.Parallelism)
+func (e *Explainer) trainRelevance(q *pxql.Query, despite pxql.Predicate, pairSeed uint64) (float64, error) {
+	related, err := e.enumeratePairs(q, despite, pairSeed)
+	if err != nil {
+		return 0, err
+	}
 	if len(related.refs) == 0 {
-		return 0
+		return 0, nil
 	}
 	nObs, _ := related.counts()
-	return 1 - float64(nObs)/float64(len(related.refs))
+	return 1 - float64(nObs)/float64(len(related.refs)), nil
 }
 
 // diverseSample balances classes like balancedSample and additionally

@@ -81,36 +81,55 @@ func blockIndexes(log *joblog.Log, despite pxql.Predicate) []int {
 	return blockIdx
 }
 
-// buildPairSpace blocks the candidate records into groups and cuts the
-// iteration space into shards sized for the worker count. Group order is
-// deterministic (first-appearance order over the record list) and shard
-// boundaries only affect scheduling, never output order.
-func buildPairSpace(log *joblog.Log, despite pxql.Predicate, maxPairs, workers int) pairSpace {
+// blockedGroups blocks the candidate records of (log, despite) into
+// groups — the single definition of the blocked pair space shared by the
+// in-process pair walk (buildPairSpace) and the cross-process shard
+// planner (PlanEnumShards), so the two can never drift on blocking,
+// group order or the subsampling probability. Groups are returned in
+// first-appearance order over the record list; keepP is the Bernoulli
+// keep probability implied by maxPairs over the candidate ordered-pair
+// count. The construction reads only boxed record values, never the
+// memoized columnar view, so it is invariant under cache invalidation.
+func blockedGroups(log *joblog.Log, despite pxql.Predicate, maxPairs int) (groups [][]int, keepP float64) {
 	recs := candidateRecords(log, despite)
 	blockIdx := blockIndexes(log, despite)
 
-	groups := make(map[string][]int)
-	var order []string
+	byKey := make(map[string]int) // key -> index into groups
 	for _, ri := range recs {
 		key := blockKey(log.Records[ri], blockIdx)
 		if key == "" && len(blockIdx) > 0 {
 			continue // missing blocking value can never satisfy isSame = T
 		}
-		if _, seen := groups[key]; !seen {
-			order = append(order, key)
+		gi, seen := byKey[key]
+		if !seen {
+			gi = len(groups)
+			byKey[key] = gi
+			groups = append(groups, nil)
 		}
-		groups[key] = append(groups[key], ri)
+		groups[gi] = append(groups[gi], ri)
 	}
 
 	// Candidate ordered pair count, for the subsampling probability.
-	var total, units int
+	total := 0
 	for _, g := range groups {
 		total += len(g) * (len(g) - 1)
-		units += len(g)
 	}
-	keepP := 1.0
+	keepP = 1.0
 	if maxPairs > 0 && total > maxPairs {
 		keepP = float64(maxPairs) / float64(total)
+	}
+	return groups, keepP
+}
+
+// buildPairSpace blocks the candidate records into groups and cuts the
+// iteration space into shards sized for the worker count. Group order is
+// deterministic (first-appearance order over the record list) and shard
+// boundaries only affect scheduling, never output order.
+func buildPairSpace(log *joblog.Log, despite pxql.Predicate, maxPairs, workers int) pairSpace {
+	groups, keepP := blockedGroups(log, despite, maxPairs)
+	units := 0
+	for _, g := range groups {
+		units += len(g)
 	}
 
 	// Aim for several shards per worker so uneven groups still balance.
@@ -119,8 +138,7 @@ func buildPairSpace(log *joblog.Log, despite pxql.Predicate, maxPairs, workers i
 		chunk = 1
 	}
 	sp := pairSpace{keepP: keepP}
-	for _, key := range order {
-		g := groups[key]
+	for _, g := range groups {
 		for lo := 0; lo < len(g); lo += chunk {
 			hi := lo + chunk
 			if hi > len(g) {

@@ -1,0 +1,627 @@
+package core
+
+// Multi-process shard execution for the pair pipeline. The quadratic
+// stages of explanation generation — pair enumeration, training-sample
+// materialization and per-feature candidate scoring — are cut into
+// self-contained shard specs that carry everything a worker needs: the
+// slice of the execution log the shard's pairs touch, the coordinator's
+// interned symbol table, the predicates in wire form, and the splitmix
+// counter ranges of the subsampling decision (the seed plus the global
+// record indices it keys on). A spec can be executed in this process
+// (Run) or shipped over a pipe to a `pxql -shard-worker` subprocess —
+// the gob protocol lives in internal/shard — and results merge in spec
+// order, so the output is byte-identical to the serial path at every
+// shard count and in every execution mode.
+//
+// Layering: this package defines the specs, the planner and the
+// executors; the ShardRunner interface below is the seam internal/shard
+// plugs its in-process and subprocess runtimes into (core cannot import
+// internal/shard — the worker runtime imports core to execute specs).
+
+import (
+	"fmt"
+
+	"perfxplain/internal/bitset"
+	"perfxplain/internal/features"
+	"perfxplain/internal/joblog"
+	"perfxplain/internal/pxql"
+)
+
+// ShardRunner executes batches of planned shard specs and returns one
+// result per spec, in spec order. Implementations may run specs in any
+// order and on any mix of goroutines or worker processes; the specs and
+// their results are designed so that only the batch's order — which the
+// caller fixes — affects the merged output.
+type ShardRunner interface {
+	RunEnum(specs []EnumSpec) ([]EnumResult, error)
+	RunMat(specs []MatSpec) ([]MatResult, error)
+	RunScore(specs []ScoreSpec) ([]ScoreResult, error)
+}
+
+// EnumGroup is one blocking group's contribution to an enumeration
+// shard: the group's full membership (the inner loop needs every member)
+// plus the outer-member positions [Lo, Hi) this shard owns. A group
+// larger than a shard's unit budget straddles shard boundaries by
+// appearing in several specs with disjoint outer ranges.
+type EnumGroup struct {
+	Members []int `json:"members"` // local record indices, group order
+	Lo      int   `json:"lo"`
+	Hi      int   `json:"hi"`
+}
+
+// EnumSpec is a self-contained unit of pair enumeration: a worker given
+// only this value reproduces exactly the related pairs the serial walk
+// visits in the spec's slice of the iteration space.
+type EnumSpec struct {
+	Log      joblog.WireLog     `json:"log"`    // records of this shard's groups
+	Global   []int              `json:"global"` // global record index per local record
+	Groups   []EnumGroup        `json:"groups,omitempty"`
+	KeepP    float64            `json:"keep_p"` // global Bernoulli keep probability
+	Seed     uint64             `json:"seed"`   // splitmix seed; counters key on Global
+	Level    features.Level     `json:"level"`
+	Despite  pxql.PredicateSpec `json:"despite"`
+	Observed pxql.PredicateSpec `json:"observed"`
+	Expected pxql.PredicateSpec `json:"expected"`
+}
+
+// EnumResult lists a shard's related pairs in iteration order, addressed
+// by global record index.
+type EnumResult struct {
+	RefA   []int  `json:"ref_a,omitempty"`
+	RefB   []int  `json:"ref_b,omitempty"`
+	Labels []bool `json:"labels,omitempty"` // true = performed as observed
+}
+
+// MatSpec is a self-contained unit of pair-matrix materialization: the
+// rows [Row0, Row0+len(PairA)) of the coordinator's matrix. Intern is
+// the coordinator's symbol table; seeding the worker's columnar view
+// with it makes the returned symbol planes (packed diff symbols
+// included) bit-equal to a local fill.
+type MatSpec struct {
+	Log    joblog.WireLog `json:"log"`
+	Intern []string       `json:"intern"`
+	Level  features.Level `json:"level"`
+	PairA  []int          `json:"pair_a"` // local record index per row
+	PairB  []int          `json:"pair_b"`
+	Row0   int            `json:"row0"`
+}
+
+// MatResult carries the materialized plane rows of one shard.
+type MatResult struct {
+	Row0 int       `json:"row0"`
+	N    int       `json:"n"`
+	Num  []float64 `json:"num,omitempty"`
+	Sym  []uint64  `json:"sym,omitempty"`
+}
+
+// ScoreSpec is a self-contained unit of candidate scoring: one round of
+// Algorithm 1's per-feature best-predicate search, restricted to the
+// derived features [FeatLo, FeatHi). The worker re-materializes the
+// working set's pair rows from the log slice (seeded with the
+// coordinator's intern table) and scores its feature range exactly as
+// the in-process loop does.
+type ScoreSpec struct {
+	Log       joblog.WireLog     `json:"log"`
+	Intern    []string           `json:"intern"`
+	Level     features.Level     `json:"level"`      // deriver level (the full Table 1 set)
+	CandLevel features.Level     `json:"cand_level"` // Section 6.8 clause-feature restriction
+	Target    string             `json:"target"`
+	PairA     []int              `json:"pair_a"` // local record indices per working-set row
+	PairB     []int              `json:"pair_b"`
+	Labels    []bool             `json:"labels"` // per working-set row
+	PairVec   []joblog.WireValue `json:"pair_vec"`
+	Clause    pxql.PredicateSpec `json:"clause"`
+	FeatLo    int                `json:"feat_lo"`
+	FeatHi    int                `json:"feat_hi"`
+}
+
+// CandSpec is the wire form of one scored candidate.
+type CandSpec struct {
+	FeatIdx int           `json:"feat_idx"`
+	Atom    pxql.AtomSpec `json:"atom"`
+	Gain    float64       `json:"gain"`
+}
+
+// ScoreResult lists a shard's candidates in ascending feature order.
+type ScoreResult struct {
+	Cands []CandSpec `json:"cands,omitempty"`
+}
+
+// cutPoint returns the start of shard s's slice of n units under an
+// nShards-way proportional cut — contiguous, deterministic, and balanced
+// to within one unit.
+func cutPoint(n, nShards, s int) int { return s * n / nShards }
+
+// localIndexer assigns compact local record indices in first-appearance
+// order while collecting the referenced records — the single definition
+// of how every shard spec lays out its log slice.
+type localIndexer struct {
+	log    *joblog.Log
+	local  map[int]int
+	recs   []*joblog.Record
+	global []int // global index per local record
+}
+
+func newLocalIndexer(log *joblog.Log) *localIndexer {
+	return &localIndexer{log: log, local: make(map[int]int)}
+}
+
+func (x *localIndexer) of(global int) int {
+	li, ok := x.local[global]
+	if !ok {
+		li = len(x.recs)
+		x.local[global] = li
+		x.recs = append(x.recs, x.log.Records[global])
+		x.global = append(x.global, global)
+	}
+	return li
+}
+
+func (x *localIndexer) wire() joblog.WireLog {
+	return joblog.WireSlice(x.log.Schema, x.recs)
+}
+
+// PlanEnumShards partitions the blocked pair space of (log, despite)
+// into nShards self-contained enumeration specs. The flattened (group,
+// outer-member) sequence is cut proportionally, so shard boundaries may
+// fall inside a blocking group; concatenating shard results in spec
+// order reproduces the serial iteration order exactly. When nShards
+// exceeds the outer-member count, trailing specs are empty (no groups) —
+// they execute to empty results.
+//
+// The plan is a pure function of (records, despite, query outcome
+// clauses, maxPairs, nShards, seed): it reads only boxed record values,
+// so rebuilding the log's memoized columnar view never changes it.
+func PlanEnumShards(log *joblog.Log, level features.Level, q *pxql.Query,
+	despite pxql.Predicate, maxPairs, nShards int, seed uint64) []EnumSpec {
+
+	if nShards < 1 {
+		nShards = 1
+	}
+	groups, keepP := blockedGroups(log, despite, maxPairs)
+	units := 0
+	for _, g := range groups {
+		units += len(g)
+	}
+
+	specs := make([]EnumSpec, nShards)
+	for s := 0; s < nShards; s++ {
+		lo, hi := cutPoint(units, nShards, s), cutPoint(units, nShards, s+1)
+		spec := EnumSpec{
+			KeepP:    keepP,
+			Seed:     seed,
+			Level:    level,
+			Despite:  despite.Spec(),
+			Observed: q.Observed.Spec(),
+			Expected: q.Expected.Spec(),
+		}
+		idx := newLocalIndexer(log)
+		off := 0
+		for _, g := range groups {
+			gLo, gHi := lo-off, hi-off
+			off += len(g)
+			if gLo < 0 {
+				gLo = 0
+			}
+			if gHi > len(g) {
+				gHi = len(g)
+			}
+			if gLo >= gHi {
+				continue
+			}
+			eg := EnumGroup{Members: make([]int, len(g)), Lo: gLo, Hi: gHi}
+			for k, ri := range g {
+				eg.Members[k] = idx.of(ri)
+			}
+			spec.Groups = append(spec.Groups, eg)
+		}
+		spec.Log = idx.wire()
+		spec.Global = idx.global
+		specs[s] = spec
+	}
+	return specs
+}
+
+// Run executes the enumeration spec in this process — the shared
+// executor behind both the in-process runner and subprocess workers.
+// Predicates are compiled against the shard's own columnar view;
+// compiled evaluation is intern-independent (it matches the interpreted
+// semantics exactly), so the labels and the globally addressed refs are
+// identical to the coordinator's serial walk.
+func (s *EnumSpec) Run() (*EnumResult, error) {
+	log, err := s.Log.Log()
+	if err != nil {
+		return nil, err
+	}
+	if len(s.Global) != log.Len() {
+		return nil, fmt.Errorf("core: enum spec has %d global indices for %d records", len(s.Global), log.Len())
+	}
+	if s.Level < features.Level1 || s.Level > features.Level3 {
+		return nil, fmt.Errorf("core: enum spec has invalid feature level %d", s.Level)
+	}
+	for gi, g := range s.Groups {
+		if g.Lo < 0 || g.Hi < g.Lo || g.Hi > len(g.Members) {
+			return nil, fmt.Errorf("core: enum spec group %d has invalid outer range [%d, %d)", gi, g.Lo, g.Hi)
+		}
+		for _, li := range g.Members {
+			if li < 0 || li >= log.Len() {
+				return nil, fmt.Errorf("core: enum spec group %d references record %d of %d", gi, li, log.Len())
+			}
+		}
+	}
+	despite, err := s.Despite.Predicate()
+	if err != nil {
+		return nil, err
+	}
+	obs, err := s.Observed.Predicate()
+	if err != nil {
+		return nil, err
+	}
+	exp, err := s.Expected.Predicate()
+	if err != nil {
+		return nil, err
+	}
+
+	d := features.NewDeriver(log.Schema, s.Level)
+	cols := log.Columns()
+	cDes := despite.Compile(d, cols)
+	cObs := obs.Compile(d, cols)
+	cExp := exp.Compile(d, cols)
+
+	res := &EnumResult{}
+	des := bitset.Make(pairBlock)
+	obsSel := bitset.Make(pairBlock)
+	expSel := bitset.Make(pairBlock)
+	aiL := make([]int, 0, pairBlock) // local indices: predicate evaluation
+	biL := make([]int, 0, pairBlock)
+	aiG := make([]int, 0, pairBlock) // global indices: keep decision + refs
+	biG := make([]int, 0, pairBlock)
+	flush := func() {
+		if len(aiL) == 0 {
+			return
+		}
+		nw := bitset.Words(len(aiL))
+		dS, oS, eS := des[:nw], obsSel[:nw], expSel[:nw]
+		cDes.EvalBlock(aiL, biL, dS)
+		oS.CopyFrom(dS)
+		cObs.AndBlock(aiL, biL, oS)
+		eS.CopyFrom(dS)
+		cExp.AndBlock(aiL, biL, eS)
+		// Related = (obs ∪ exp) within the despite selection, classified
+		// exactly like enumerateRelated.
+		eS.OrWith(oS)
+		eS.ForEach(func(k int) {
+			res.RefA = append(res.RefA, aiG[k])
+			res.RefB = append(res.RefB, biG[k])
+			res.Labels = append(res.Labels, oS.Get(k))
+		})
+		aiL, biL, aiG, biG = aiL[:0], biL[:0], aiG[:0], biG[:0]
+	}
+	for _, g := range s.Groups {
+		for _, li := range g.Members[g.Lo:g.Hi] {
+			gi := s.Global[li]
+			for _, lj := range g.Members {
+				gj := s.Global[lj]
+				if gi == gj {
+					continue
+				}
+				if !keepPair(s.Seed, gi, gj, s.KeepP) {
+					continue
+				}
+				aiL = append(aiL, li)
+				biL = append(biL, lj)
+				aiG = append(aiG, gi)
+				biG = append(biG, gj)
+				if len(aiL) == pairBlock {
+					flush()
+				}
+			}
+		}
+	}
+	flush()
+	return res, nil
+}
+
+// pairSlice builds the wire form of the records a pair list touches,
+// in first-appearance order over (a0, b0, a1, b1, ...), plus the pairs
+// re-addressed by local index.
+func pairSlice(log *joblog.Log, refs []pairRef) (wire joblog.WireLog, pa, pb []int) {
+	idx := newLocalIndexer(log)
+	pa = make([]int, len(refs))
+	pb = make([]int, len(refs))
+	for i, ref := range refs {
+		pa[i] = idx.of(ref.a)
+		pb[i] = idx.of(ref.b)
+	}
+	return idx.wire(), pa, pb
+}
+
+// planMatShards cuts the sample's rows into nShards contiguous
+// materialization specs.
+func planMatShards(log *joblog.Log, level features.Level, ps *pairSet, nShards int) []MatSpec {
+	if nShards < 1 {
+		nShards = 1
+	}
+	intern := log.Columns().Intern().Strings()
+	n := len(ps.refs)
+	// More specs than rows would only replicate the intern table into
+	// empty shards.
+	if nShards > n && n > 0 {
+		nShards = n
+	}
+	specs := make([]MatSpec, nShards)
+	for s := 0; s < nShards; s++ {
+		lo, hi := cutPoint(n, nShards, s), cutPoint(n, nShards, s+1)
+		wire, pa, pb := pairSlice(log, ps.refs[lo:hi])
+		specs[s] = MatSpec{Log: wire, Intern: intern, Level: level, PairA: pa, PairB: pb, Row0: lo}
+	}
+	return specs
+}
+
+// Run executes the materialization spec in this process.
+func (s *MatSpec) Run() (*MatResult, error) {
+	log, err := s.Log.Log()
+	if err != nil {
+		return nil, err
+	}
+	if s.Level < features.Level1 || s.Level > features.Level3 {
+		return nil, fmt.Errorf("core: mat spec has invalid feature level %d", s.Level)
+	}
+	if len(s.PairA) != len(s.PairB) {
+		return nil, fmt.Errorf("core: mat spec has %d/%d pair sides", len(s.PairA), len(s.PairB))
+	}
+	for i := range s.PairA {
+		if s.PairA[i] < 0 || s.PairA[i] >= log.Len() || s.PairB[i] < 0 || s.PairB[i] >= log.Len() {
+			return nil, fmt.Errorf("core: mat spec pair %d references record outside the %d-record slice", i, log.Len())
+		}
+	}
+	cols, err := log.ColumnsSeeded(s.Intern)
+	if err != nil {
+		return nil, err
+	}
+	d := features.NewDeriver(log.Schema, s.Level)
+	m := d.NewPairMatrix(len(s.PairA))
+	for i := range s.PairA {
+		m.Fill(cols, i, s.PairA[i], s.PairB[i])
+	}
+	return &MatResult{Row0: s.Row0, N: m.N, Num: m.Num, Sym: m.Sym}, nil
+}
+
+// planScoreShards cuts one candidate-scoring round into nShards
+// contiguous feature-range specs over the current working set.
+func (e *Explainer) planScoreShards(sample *pairSet, labels []bool, cur []int,
+	pairVec []joblog.Value, clause pxql.Predicate) []ScoreSpec {
+
+	nFeat := e.d.Schema().Len()
+	nShards := e.cfg.Shards
+	if nShards < 1 {
+		nShards = 1
+	}
+	// More specs than features would only duplicate the shared payload
+	// (each spec ships the log slice and intern table) to do nothing.
+	if nShards > nFeat && nFeat > 0 {
+		nShards = nFeat
+	}
+	refs := make([]pairRef, len(cur))
+	subLabels := make([]bool, len(cur))
+	for k, i := range cur {
+		refs[k] = sample.refs[i]
+		subLabels[k] = labels[i]
+	}
+	wire, pa, pb := pairSlice(e.log, refs)
+	intern := e.log.Columns().Intern().Strings()
+	vec := make([]joblog.WireValue, len(pairVec))
+	for i, v := range pairVec {
+		vec[i] = joblog.WireValue{Kind: v.Kind.String(), Num: v.Num, Str: v.Str}
+	}
+	specs := make([]ScoreSpec, nShards)
+	for s := 0; s < nShards; s++ {
+		specs[s] = ScoreSpec{
+			Log:       wire,
+			Intern:    intern,
+			Level:     e.d.Level(),
+			CandLevel: e.cfg.Level,
+			Target:    e.cfg.Target,
+			PairA:     pa,
+			PairB:     pb,
+			Labels:    subLabels,
+			PairVec:   vec,
+			Clause:    clause.Spec(),
+			FeatLo:    cutPoint(nFeat, nShards, s),
+			FeatHi:    cutPoint(nFeat, nShards, s+1),
+		}
+	}
+	return specs
+}
+
+// Run executes the scoring spec in this process: it rebuilds the
+// working set's pair matrix from the log slice (intern-seeded, so the
+// planes are bit-equal to the coordinator's) and scores its feature
+// range with the same per-feature search the in-process candidates loop
+// uses.
+func (s *ScoreSpec) Run() (*ScoreResult, error) {
+	log, err := s.Log.Log()
+	if err != nil {
+		return nil, err
+	}
+	if s.Level < features.Level1 || s.Level > features.Level3 ||
+		s.CandLevel < features.Level1 || s.CandLevel > features.Level3 {
+		return nil, fmt.Errorf("core: score spec has invalid levels %d/%d", s.Level, s.CandLevel)
+	}
+	if len(s.PairA) != len(s.PairB) || len(s.PairA) != len(s.Labels) {
+		return nil, fmt.Errorf("core: score spec has %d/%d/%d pair sides and labels",
+			len(s.PairA), len(s.PairB), len(s.Labels))
+	}
+	for i := range s.PairA {
+		if s.PairA[i] < 0 || s.PairA[i] >= log.Len() || s.PairB[i] < 0 || s.PairB[i] >= log.Len() {
+			return nil, fmt.Errorf("core: score spec pair %d references record outside the %d-record slice", i, log.Len())
+		}
+	}
+	clause, err := s.Clause.Predicate()
+	if err != nil {
+		return nil, err
+	}
+	d := features.NewDeriver(log.Schema, s.Level)
+	if s.FeatLo < 0 || s.FeatHi < s.FeatLo || s.FeatHi > d.Schema().Len() {
+		return nil, fmt.Errorf("core: score spec has invalid feature range [%d, %d) of %d", s.FeatLo, s.FeatHi, d.Schema().Len())
+	}
+	if len(s.PairVec) != d.Schema().Len() {
+		return nil, fmt.Errorf("core: score spec pair vector has %d features, schema has %d", len(s.PairVec), d.Schema().Len())
+	}
+	if s.FeatLo == s.FeatHi {
+		return &ScoreResult{}, nil
+	}
+	pairVec := make([]joblog.Value, len(s.PairVec))
+	for i, wv := range s.PairVec {
+		switch wv.Kind {
+		case joblog.Missing.String():
+			pairVec[i] = joblog.None()
+		case joblog.Numeric.String():
+			pairVec[i] = joblog.Num(wv.Num)
+		case joblog.Nominal.String():
+			pairVec[i] = joblog.Str(wv.Str)
+		default:
+			return nil, fmt.Errorf("core: score spec pair vector value %d has unknown kind %q", i, wv.Kind)
+		}
+	}
+	cols, err := log.ColumnsSeeded(s.Intern)
+	if err != nil {
+		return nil, err
+	}
+
+	// Materialize only this spec's feature columns: DeriveNum/DeriveSym
+	// compute exactly the cells MaterializeInto would have written (the
+	// plane split means numOff >= 0 iff the feature is a numeric base),
+	// so across all specs of a round the matrix work totals one full
+	// fill instead of one per spec. Untouched columns stay zero;
+	// scoreFeature reads only its own feature's column.
+	m := d.NewPairMatrix(len(s.PairA))
+	for f := s.FeatLo; f < s.FeatHi; f++ {
+		if numOff := d.NumOffset(f); numOff >= 0 {
+			for i := range s.PairA {
+				m.Num[i*m.NumStride()+numOff] = d.DeriveNum(cols, s.PairA[i], s.PairB[i], f)
+			}
+		} else {
+			symOff := d.SymOffset(f)
+			for i := range s.PairA {
+				m.Sym[i*m.SymStride()+symOff] = d.DeriveSym(cols, s.PairA[i], s.PairB[i], f)
+			}
+		}
+	}
+	cur := make([]int, m.N)
+	for i := range cur {
+		cur[i] = i
+	}
+	in := cols.Intern()
+	res := &ScoreResult{}
+	for f := s.FeatLo; f < s.FeatHi; f++ {
+		atom, gain, ok := scoreFeature(d, in, m, cur, s.Labels, pairVec, clause, s.Target, s.CandLevel, f)
+		if !ok {
+			continue
+		}
+		res.Cands = append(res.Cands, CandSpec{FeatIdx: f, Atom: atom.Spec(), Gain: gain})
+	}
+	return res, nil
+}
+
+// enumeratePairs enumerates the related pairs of (q, despite), routing
+// through the configured shard runner when one is set and the direct
+// in-process walk otherwise. Both paths produce byte-identical pair
+// sets.
+func (e *Explainer) enumeratePairs(q *pxql.Query, despite pxql.Predicate, seed uint64) (*pairSet, error) {
+	if e.cfg.Runner == nil {
+		return enumerateRelated(e.log, e.d, q, despite, e.cfg.MaxPairs, seed, e.cfg.Parallelism), nil
+	}
+	specs := PlanEnumShards(e.log, e.d.Level(), q, despite, e.cfg.MaxPairs, e.cfg.Shards, seed)
+	results, err := e.cfg.Runner.RunEnum(specs)
+	if err != nil {
+		return nil, fmt.Errorf("core: shard enumeration: %w", err)
+	}
+	if len(results) != len(specs) {
+		return nil, fmt.Errorf("core: shard enumeration returned %d results for %d specs", len(results), len(specs))
+	}
+	ps := &pairSet{}
+	for si := range results {
+		r := &results[si]
+		if len(r.RefA) != len(r.RefB) || len(r.RefA) != len(r.Labels) {
+			return nil, fmt.Errorf("core: shard %d returned ragged enumeration result", si)
+		}
+		for k := range r.RefA {
+			if r.RefA[k] < 0 || r.RefA[k] >= e.log.Len() || r.RefB[k] < 0 || r.RefB[k] >= e.log.Len() {
+				return nil, fmt.Errorf("core: shard %d returned pair outside the %d-record log", si, e.log.Len())
+			}
+			ps.refs = append(ps.refs, pairRef{r.RefA[k], r.RefB[k]})
+		}
+		ps.labels = append(ps.labels, r.Labels...)
+	}
+	return ps, nil
+}
+
+// materializePairs materializes the sample's pair matrix, through the
+// shard runner when one is configured. Shard results are copied into
+// row-disjoint ranges, so the merged matrix equals a local fill bit for
+// bit.
+func (e *Explainer) materializePairs(sample *pairSet) (*features.PairMatrix, error) {
+	if e.cfg.Runner == nil {
+		return materialize(e.log, e.d, sample, e.cfg.Parallelism), nil
+	}
+	specs := planMatShards(e.log, e.d.Level(), sample, e.cfg.Shards)
+	results, err := e.cfg.Runner.RunMat(specs)
+	if err != nil {
+		return nil, fmt.Errorf("core: shard materialization: %w", err)
+	}
+	if len(results) != len(specs) {
+		return nil, fmt.Errorf("core: shard materialization returned %d results for %d specs", len(results), len(specs))
+	}
+	m := e.d.NewPairMatrix(len(sample.refs))
+	numW, symW := e.d.NumWidth(), e.d.SymWidth()
+	for si := range results {
+		r := &results[si]
+		want := len(specs[si].PairA)
+		if r.Row0 != specs[si].Row0 || r.N != want ||
+			len(r.Num) != want*numW || len(r.Sym) != want*symW {
+			return nil, fmt.Errorf("core: shard %d returned mismatched matrix rows", si)
+		}
+		copy(m.Num[r.Row0*numW:], r.Num)
+		copy(m.Sym[r.Row0*symW:], r.Sym)
+	}
+	return m, nil
+}
+
+// candidatesSharded is the runner-backed counterpart of candidates():
+// one scoring round fanned out over contiguous feature ranges. Results
+// concatenate in spec order, i.e. ascending feature order — exactly the
+// compaction order of the in-process loop.
+func (e *Explainer) candidatesSharded(sample *pairSet, labels []bool, cur []int,
+	pairVec []joblog.Value, clause pxql.Predicate) ([]candidate, error) {
+
+	specs := e.planScoreShards(sample, labels, cur, pairVec, clause)
+	results, err := e.cfg.Runner.RunScore(specs)
+	if err != nil {
+		return nil, fmt.Errorf("core: shard scoring: %w", err)
+	}
+	if len(results) != len(specs) {
+		return nil, fmt.Errorf("core: shard scoring returned %d results for %d specs", len(results), len(specs))
+	}
+	in := e.log.Columns().Intern()
+	var out []candidate
+	for si := range results {
+		for _, c := range results[si].Cands {
+			if c.FeatIdx < specs[si].FeatLo || c.FeatIdx >= specs[si].FeatHi {
+				return nil, fmt.Errorf("core: shard %d returned candidate for feature %d outside [%d, %d)",
+					si, c.FeatIdx, specs[si].FeatLo, specs[si].FeatHi)
+			}
+			atom, err := c.Atom.Atom()
+			if err != nil {
+				return nil, fmt.Errorf("core: shard %d: %w", si, err)
+			}
+			out = append(out, candidate{
+				featIdx: c.FeatIdx,
+				atom:    atom,
+				ma:      newMatrixAtom(e.d, in, c.FeatIdx, atom),
+				gain:    c.Gain,
+			})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,210 @@
+package core
+
+// Metamorphic and property tests for the shard planner: whatever the
+// shard count, the plan must partition the serial pair walk exactly —
+// every related pair in exactly one shard, shard union equal to the
+// serial pair set in serial order — and planning must be a pure function
+// of the records, invariant under memo (columnar view) rebuilds and
+// unaffected by later log appends.
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"perfxplain/internal/features"
+	"perfxplain/internal/joblog"
+	"perfxplain/internal/pxql"
+	"perfxplain/internal/stats"
+)
+
+// groupedLog builds a log with a nominal blocking feature whose group
+// sizes are deliberately lopsided, so proportional cuts straddle group
+// boundaries.
+func groupedLog(n int, rng *rand.Rand) *joblog.Log {
+	schema := joblog.NewSchema([]joblog.Field{
+		{Name: "script", Kind: joblog.Nominal},
+		{Name: "x", Kind: joblog.Numeric},
+		{Name: "duration", Kind: joblog.Numeric},
+	})
+	log := joblog.NewLog(schema)
+	for i := 0; i < n; i++ {
+		script := "big"
+		if i%4 == 1 {
+			script = "small-" + fmt.Sprint(i%3)
+		}
+		x := 10 + rng.Float64()*1000
+		values := []joblog.Value{joblog.Str(script), joblog.Num(x), joblog.Num(x)}
+		if i%13 == 5 {
+			values[0] = joblog.None() // unblockable under script_issame = T
+		}
+		log.MustAppend(&joblog.Record{ID: fmt.Sprintf("j%03d", i), Values: values})
+	}
+	return log
+}
+
+func blockedQuery() *pxql.Query {
+	return &pxql.Query{
+		Despite:  pxql.Predicate{{Feature: "script_issame", Op: pxql.OpEq, Value: features.ValT}},
+		Observed: pxql.Predicate{{Feature: "duration_compare", Op: pxql.OpEq, Value: joblog.Str("GT")}},
+		Expected: pxql.Predicate{{Feature: "duration_compare", Op: pxql.OpEq, Value: joblog.Str("SIM")}},
+	}
+}
+
+// runPlan executes every spec of a plan in order and returns the merged
+// refs and labels.
+func runPlan(t *testing.T, specs []EnumSpec) (refs []pairRef, labels []bool) {
+	t.Helper()
+	for si := range specs {
+		res, err := specs[si].Run()
+		if err != nil {
+			t.Fatalf("spec %d: %v", si, err)
+		}
+		for k := range res.RefA {
+			refs = append(refs, pairRef{res.RefA[k], res.RefB[k]})
+		}
+		labels = append(labels, res.Labels...)
+	}
+	return refs, labels
+}
+
+func TestPlanEnumShardsPartitionsSerialWalk(t *testing.T) {
+	log := groupedLog(90, rand.New(rand.NewSource(3)))
+	q := blockedQuery()
+	d := features.NewDeriver(log.Schema, features.Level3)
+
+	for _, tc := range []struct {
+		maxPairs int
+		seed     int64
+	}{
+		{0, 1},      // full pair space
+		{500, 1},    // Bernoulli-capped: keep decisions must agree across shards
+		{500, 42},   // a different splitmix stream
+		{100000, 7}, // cap above the space: keepP == 1
+	} {
+		pairSeed := stats.DeriveSeed(tc.seed, "plan-test")
+		serial := enumerateRelated(log, d, q, q.Despite, tc.maxPairs, pairSeed, 1)
+		for _, nShards := range []int{1, 2, 3, 7, 16, 64} {
+			name := fmt.Sprintf("maxPairs=%d seed=%d shards=%d", tc.maxPairs, tc.seed, nShards)
+			specs := PlanEnumShards(log, features.Level3, q, q.Despite, tc.maxPairs, nShards, pairSeed)
+			if len(specs) != nShards {
+				t.Fatalf("%s: planned %d specs", name, len(specs))
+			}
+			refs, labels := runPlan(t, specs)
+
+			// Union equals the serial pair set, in serial order, with
+			// identical labels — which also implies every serial pair
+			// appears at least once.
+			if !reflect.DeepEqual(refs, serial.refs) || !reflect.DeepEqual(labels, serial.labels) {
+				t.Errorf("%s: merged shard output differs from the serial walk (%d pairs vs %d)",
+					name, len(refs), len(serial.refs))
+				continue
+			}
+			// Exactly once: no pair is owned by two shards.
+			seen := make(map[pairRef]int, len(refs))
+			for _, r := range refs {
+				seen[r]++
+			}
+			for r, c := range seen {
+				if c != 1 {
+					t.Errorf("%s: pair %v enumerated %d times", name, r, c)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanEnumShardsInvariance pins that planning is a pure function of
+// the record list: rebuilding the memoized columnar view does not change
+// the plan, and a snapshot plan keeps producing the same pairs after the
+// source log grows (specs are self-contained copies).
+func TestPlanEnumShardsInvariance(t *testing.T) {
+	log := groupedLog(60, rand.New(rand.NewSource(5)))
+	q := blockedQuery()
+	seed := stats.DeriveSeed(9, "invariance")
+
+	p1 := PlanEnumShards(log, features.Level3, q, q.Despite, 300, 5, seed)
+	refs1, labels1 := runPlan(t, p1)
+
+	// Force the columnar view (and its intern table) into existence —
+	// count-invalidation state must not leak into plans.
+	log.Columns()
+	p2 := PlanEnumShards(log, features.Level3, q, q.Despite, 300, 5, seed)
+	if !reflect.DeepEqual(p1, p2) {
+		t.Error("plan changed after building the columnar view")
+	}
+
+	// Grow the log: the snapshot plan still runs to the same output
+	// (self-contained specs), and a fresh plan over the grown log still
+	// partitions its serial walk.
+	extra := groupedLog(25, rand.New(rand.NewSource(11)))
+	for i, r := range extra.Records {
+		log.MustAppend(&joblog.Record{ID: fmt.Sprintf("late%03d", i), Values: r.Values})
+	}
+	log.Columns() // rebuild the memo at the new count
+	refsAgain, labelsAgain := runPlan(t, p1)
+	if !reflect.DeepEqual(refsAgain, refs1) || !reflect.DeepEqual(labelsAgain, labels1) {
+		t.Error("snapshot plan output changed after the source log grew")
+	}
+
+	d := features.NewDeriver(log.Schema, features.Level3)
+	serial := enumerateRelated(log, d, q, q.Despite, 300, seed, 1)
+	p3 := PlanEnumShards(log, features.Level3, q, q.Despite, 300, 5, seed)
+	refs3, labels3 := runPlan(t, p3)
+	if !reflect.DeepEqual(refs3, serial.refs) || !reflect.DeepEqual(labels3, serial.labels) {
+		t.Error("plan over the grown log no longer partitions its serial walk")
+	}
+}
+
+// TestPlanEnumShardsEmptyAndStraddling pins the two planner edge cases
+// the equivalence suite relies on: more shards than outer units yields
+// empty specs that execute to empty results, and a group larger than
+// the per-shard unit budget appears in several specs with disjoint,
+// covering outer ranges.
+func TestPlanEnumShardsEmptyAndStraddling(t *testing.T) {
+	log := groupedLog(40, rand.New(rand.NewSource(8)))
+	q := blockedQuery()
+	specs := PlanEnumShards(log, features.Level3, q, q.Despite, 0, 64, 17)
+
+	empties := 0
+	ranges := make(map[string][][2]int) // group fingerprint -> outer ranges
+	sizes := make(map[string]int)
+	for _, s := range specs {
+		if len(s.Groups) == 0 {
+			empties++
+			if res, err := s.Run(); err != nil || len(res.RefA) != 0 {
+				t.Fatalf("empty spec: res=%v err=%v", res, err)
+			}
+		}
+		for _, g := range s.Groups {
+			key := fmt.Sprint(s.Global[g.Members[0]])
+			ranges[key] = append(ranges[key], [2]int{g.Lo, g.Hi})
+			sizes[key] = len(g.Members)
+		}
+	}
+	if empties == 0 {
+		t.Error("expected empty specs at 64 shards")
+	}
+	straddled := false
+	for key, rs := range ranges {
+		if len(rs) > 1 {
+			straddled = true
+			// Disjoint, contiguous, covering [0, len(group)).
+			next := 0
+			for _, r := range rs {
+				if r[0] != next || r[1] <= r[0] {
+					t.Errorf("group %s: outer ranges %v are not a contiguous partition", key, rs)
+					break
+				}
+				next = r[1]
+			}
+			if next != sizes[key] {
+				t.Errorf("group %s: outer ranges %v do not cover %d members", key, rs, sizes[key])
+			}
+		}
+	}
+	if !straddled {
+		t.Error("expected the big group to straddle shard boundaries at 64 shards")
+	}
+}

@@ -207,6 +207,8 @@ func (h *Harness) DespiteRelevance(widths []int) (*Table, error) {
 				MaxPairs:     h.MaxPairs,
 				Seed:         seed,
 				Parallelism:  inner,
+				Shards:       h.Shards,
+				Runner:       h.shardRunner(inner),
 			})
 			if err == nil {
 				des, derr := ex.GenerateDespite(q)
@@ -258,6 +260,8 @@ func (h *Harness) Table3(despiteWidth int) (*Table, error) {
 				MaxPairs:     h.MaxPairs,
 				Seed:         seed,
 				Parallelism:  inner,
+				Shards:       h.Shards,
+				Runner:       h.shardRunner(inner),
 			})
 			if err != nil {
 				return

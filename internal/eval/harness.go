@@ -10,6 +10,7 @@ import (
 	"perfxplain/internal/joblog"
 	"perfxplain/internal/par"
 	"perfxplain/internal/pxql"
+	"perfxplain/internal/shard"
 	"perfxplain/internal/stats"
 )
 
@@ -43,6 +44,24 @@ type Harness struct {
 	// every setting: reps write into rep-indexed slots and aggregation
 	// reads them in rep order.
 	Parallelism int
+	// Shards and Runner thread sharded pair-pipeline execution (see
+	// core.Config) through every PerfXplain explainer the harness builds.
+	// Setting Shards without a Runner selects the in-process shard
+	// runtime. Tables are byte-identical with and without a runner.
+	Shards int
+	Runner core.ShardRunner
+}
+
+// shardRunner resolves the runner the harness's explainers use: the
+// configured one, or the in-process runtime when only Shards was set —
+// Shards must never be silently ignored. workers is the inner
+// parallelism bound of the calling fan-out (see innerParallelism), so
+// concurrent reps don't oversubscribe the cores through their runners.
+func (h *Harness) shardRunner(workers int) core.ShardRunner {
+	if h.Runner == nil && h.Shards > 0 {
+		return shard.InProc{Workers: workers}
+	}
+	return h.Runner
 }
 
 // NewHarness returns a harness with the paper's protocol defaults.
@@ -166,6 +185,8 @@ func (h *Harness) explainFull(tech string, train *joblog.Log, q *pxql.Query,
 			MaxPairs:     h.MaxPairs,
 			Seed:         seed,
 			Parallelism:  workers,
+			Shards:       h.Shards,
+			Runner:       h.shardRunner(workers),
 		})
 		if err != nil {
 			return nil, err

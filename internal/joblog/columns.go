@@ -171,8 +171,15 @@ func (l *Log) Columns() *Columns {
 }
 
 func buildColumns(l *Log) *Columns {
+	return buildColumnsWith(l, newIntern())
+}
+
+// buildColumnsWith builds the view over an existing intern table — empty
+// for the cached Columns path, pre-seeded for ColumnsSeeded (the shard
+// workers' coordinator-aligned views).
+func buildColumnsWith(l *Log, in *Intern) *Columns {
 	n := len(l.Records)
-	c := &Columns{log: l, n: n, intern: newIntern(), cols: make([]Col, l.Schema.Len())}
+	c := &Columns{log: l, n: n, intern: in, cols: make([]Col, l.Schema.Len())}
 	for f := 0; f < l.Schema.Len(); f++ {
 		col := &c.cols[f]
 		col.Kind = l.Schema.Field(f).Kind

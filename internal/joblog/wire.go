@@ -1,0 +1,138 @@
+package joblog
+
+// Wire form of log slices for the shard protocol: a WireLog carries a
+// schema and records in a shape whose fields are all exported (Schema's
+// internals are not), so a shard spec can gob- or JSON-encode the slice
+// of the execution log its pairs touch and a worker process can rebuild
+// an equivalent Log on the other side of the pipe.
+//
+// Decoding validates everything NewSchema and Append would panic on or
+// assume — duplicate and empty field names, unknown kinds, record width
+// mismatches, out-of-range value kinds — and returns errors instead, so
+// corrupt frames from a broken (or fuzzed) peer can never panic a
+// worker. Round-tripping a well-formed log is lossless.
+
+import "fmt"
+
+// WireValue is the wire form of one Value; Kind uses the same names as
+// Kind.String so frames stay readable and version-stable.
+type WireValue struct {
+	Kind string  `json:"kind"`
+	Num  float64 `json:"num,omitempty"`
+	Str  string  `json:"str,omitempty"`
+}
+
+// WireRecord is the wire form of one Record.
+type WireRecord struct {
+	ID     string      `json:"id"`
+	Values []WireValue `json:"values"`
+}
+
+// WireLog is the wire form of a Log (or a slice of one).
+type WireLog struct {
+	Fields  []Field      `json:"fields"`
+	Records []WireRecord `json:"records"`
+}
+
+// Wire converts the log to its wire form.
+func (l *Log) Wire() WireLog {
+	return WireSlice(l.Schema, l.Records)
+}
+
+// WireSlice builds the wire form of a subset of records under a schema —
+// the shape shard specs ship: only the records a shard's pairs touch.
+func WireSlice(schema *Schema, records []*Record) WireLog {
+	w := WireLog{Fields: schema.Fields()}
+	w.Records = make([]WireRecord, len(records))
+	for i, r := range records {
+		wr := WireRecord{ID: r.ID, Values: make([]WireValue, len(r.Values))}
+		for j, v := range r.Values {
+			wr.Values[j] = WireValue{Kind: v.Kind.String(), Num: v.Num, Str: v.Str}
+		}
+		w.Records[i] = wr
+	}
+	return w
+}
+
+// Log rebuilds a Log from the wire form, validating schema and records.
+func (w WireLog) Log() (*Log, error) {
+	seen := make(map[string]bool, len(w.Fields))
+	for i, f := range w.Fields {
+		if f.Name == "" {
+			return nil, fmt.Errorf("joblog: wire field %d has an empty name", i)
+		}
+		if seen[f.Name] {
+			return nil, fmt.Errorf("joblog: duplicate wire field %q", f.Name)
+		}
+		seen[f.Name] = true
+		if f.Kind != Numeric && f.Kind != Nominal {
+			return nil, fmt.Errorf("joblog: wire field %q has invalid kind %v", f.Name, f.Kind)
+		}
+	}
+	l := NewLog(NewSchema(w.Fields))
+	for _, wr := range w.Records {
+		if len(wr.Values) != len(w.Fields) {
+			return nil, fmt.Errorf("joblog: wire record %q has %d values, schema has %d fields",
+				wr.ID, len(wr.Values), len(w.Fields))
+		}
+		rec := &Record{ID: wr.ID, Values: make([]Value, len(wr.Values))}
+		for j, wv := range wr.Values {
+			switch wv.Kind {
+			case Missing.String():
+				rec.Values[j] = None()
+			case Numeric.String():
+				rec.Values[j] = Num(wv.Num)
+			case Nominal.String():
+				rec.Values[j] = Str(wv.Str)
+			default:
+				return nil, fmt.Errorf("joblog: wire record %q value %d has unknown kind %q",
+					wr.ID, j, wv.Kind)
+			}
+		}
+		if err := l.Append(rec); err != nil {
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+// Strings returns the intern table's strings in symbol-ID order — the
+// serializable form a shard spec ships so a worker's columnar view
+// assigns exactly the same IDs as the coordinator's (see ColumnsSeeded).
+// Callers must not mutate the result's backing array semantics; a copy is
+// returned.
+func (in *Intern) Strings() []string {
+	return append([]string(nil), in.strs...)
+}
+
+// internFromStrings rebuilds an intern table from strings in ID order.
+// Duplicate entries (possible only in corrupt input) keep the first ID in
+// the lookup map, so decoding never panics; lossless round-trips only
+// need the duplicate-free tables Strings produces.
+func internFromStrings(strs []string) *Intern {
+	in := newIntern()
+	for _, s := range strs {
+		if _, ok := in.ids[s]; ok {
+			in.strs = append(in.strs, s) // keep ID positions aligned
+			continue
+		}
+		in.ids[s] = uint32(len(in.strs))
+		in.strs = append(in.strs, s)
+	}
+	return in
+}
+
+// ColumnsSeeded builds a standalone columnar view of the log whose intern
+// table is pre-seeded with strs in ID order before any record is
+// interned. When the log is a slice of a larger one and strs is that
+// larger log's intern table, every nominal cell resolves to exactly the
+// ID the full view assigned it — which makes derived symbol planes
+// (including packed diff symbols) computed by a shard worker bit-equal to
+// the coordinator's. The view is not cached on the log and does not
+// interact with Columns' memo.
+func (l *Log) ColumnsSeeded(strs []string) (*Columns, error) {
+	if uint64(len(strs)) >= 1<<31 {
+		return nil, fmt.Errorf("joblog: seeded intern table too large (%d strings)", len(strs))
+	}
+	return buildColumnsWith(l, internFromStrings(strs)), nil
+}

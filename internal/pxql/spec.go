@@ -1,0 +1,117 @@
+package pxql
+
+// Wire form of predicates for the shard protocol (see internal/shard):
+// a PredicateSpec is the serializable, version-stable counterpart of a
+// Predicate, carrying operators and value kinds as surface-syntax strings
+// instead of Go enum ordinals so a frame written by one build decodes
+// under any other that speaks the same protocol version.
+//
+// Decoding validates every field — unknown operators, unknown kinds and
+// malformed values become errors, never panics — which is what lets the
+// shard codec fuzz target feed arbitrary bytes through the full
+// spec→predicate path safely. Round-tripping a valid predicate is
+// lossless: Spec().Predicate() reproduces the atoms exactly, missing
+// constants included.
+
+import (
+	"fmt"
+
+	"perfxplain/internal/joblog"
+)
+
+// AtomSpec is the wire form of one Atom.
+type AtomSpec struct {
+	Feature string  `json:"feature"`
+	Op      string  `json:"op"`   // surface syntax: = != < <= > >=
+	Kind    string  `json:"kind"` // "missing" | "numeric" | "nominal"
+	Num     float64 `json:"num,omitempty"`
+	Str     string  `json:"str,omitempty"`
+}
+
+// PredicateSpec is the wire form of a Predicate (a conjunction of atoms;
+// empty means `true`).
+type PredicateSpec struct {
+	Atoms []AtomSpec `json:"atoms,omitempty"`
+}
+
+// Spec returns the atom's wire form.
+func (a Atom) Spec() AtomSpec {
+	return AtomSpec{
+		Feature: a.Feature,
+		Op:      a.Op.String(),
+		Kind:    a.Value.Kind.String(),
+		Num:     a.Value.Num,
+		Str:     a.Value.Str,
+	}
+}
+
+// Atom decodes the wire form back into an Atom, validating the operator
+// and value kind; corrupt specs return errors, never panic.
+func (s AtomSpec) Atom() (Atom, error) {
+	op, err := ParseOp(s.Op)
+	if err != nil {
+		return Atom{}, err
+	}
+	var v joblog.Value
+	switch s.Kind {
+	case joblog.Missing.String():
+		v = joblog.None()
+	case joblog.Numeric.String():
+		v = joblog.Num(s.Num)
+	case joblog.Nominal.String():
+		v = joblog.Str(s.Str)
+	default:
+		return Atom{}, fmt.Errorf("pxql: unknown value kind %q", s.Kind)
+	}
+	return Atom{Feature: s.Feature, Op: op, Value: v}, nil
+}
+
+// Spec returns the predicate's wire form.
+func (p Predicate) Spec() PredicateSpec {
+	s := PredicateSpec{}
+	if len(p) > 0 {
+		s.Atoms = make([]AtomSpec, len(p))
+	}
+	for i, a := range p {
+		s.Atoms[i] = a.Spec()
+	}
+	return s
+}
+
+// ParseOp parses an operator's surface syntax — the inverse of
+// Op.String.
+func ParseOp(s string) (Op, error) {
+	switch s {
+	case "=":
+		return OpEq, nil
+	case "!=":
+		return OpNe, nil
+	case "<":
+		return OpLt, nil
+	case "<=":
+		return OpLe, nil
+	case ">":
+		return OpGt, nil
+	case ">=":
+		return OpGe, nil
+	default:
+		return 0, fmt.Errorf("pxql: unknown operator %q", s)
+	}
+}
+
+// Predicate decodes the spec back into a Predicate, validating every
+// atom. Decoding never panics: corrupt specs return errors.
+func (s PredicateSpec) Predicate() (Predicate, error) {
+	if len(s.Atoms) == 0 {
+		return nil, nil
+	}
+	p := make(Predicate, len(s.Atoms))
+	for i, as := range s.Atoms {
+		a, err := as.Atom()
+		if err != nil {
+			return nil, fmt.Errorf("pxql: atom %d: %w", i, err)
+		}
+		p[i] = a
+	}
+	return p, nil
+}

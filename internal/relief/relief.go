@@ -21,6 +21,7 @@ import (
 	"sort"
 
 	"perfxplain/internal/joblog"
+	"perfxplain/internal/par"
 )
 
 // Config tunes the estimators.
@@ -38,6 +39,12 @@ type Config struct {
 	// Rand supplies determinism. Required when M > 0 or sampling order
 	// matters; defaults to a fixed-seed generator.
 	Rand *rand.Rand
+	// Parallelism bounds the worker goroutines running the per-instance
+	// neighbour searches (<= 0 means GOMAXPROCS). Weights are
+	// bit-identical at every setting: searches are independent per
+	// instance and land in instance-indexed slots, while the weight
+	// accumulation walks instances in sample order on one goroutine.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -252,10 +259,21 @@ func Weights(log *joblog.Log, labels []bool, cfg Config) ([]float64, error) {
 	n := log.Schema.Len()
 	w := make([]float64, n)
 
+	// Neighbour searches — the O(instances × records × attributes) bulk of
+	// Relief-F — run on the worker pool, one instance per unit, into
+	// instance-indexed slots; the floating-point accumulation below stays
+	// serial in sample order, so the weights are bit-identical at every
+	// worker count.
 	order := sampleOrder(log.Len(), cfg)
+	type hitsMisses struct{ hits, misses []int }
+	neigh := make([]hitsMisses, len(order))
+	par.Do(len(order), cfg.Parallelism, func(k int) {
+		h, ms := nearestByClass(log, labels, stats, order[k], cfg.K)
+		neigh[k] = hitsMisses{hits: h, misses: ms}
+	})
 	m := float64(len(order))
-	for _, i := range order {
-		hits, misses := nearestByClass(log, labels, stats, i, cfg.K)
+	for k, i := range order {
+		hits, misses := neigh[k].hits, neigh[k].misses
 		for a := 0; a < n; a++ {
 			for _, h := range hits {
 				w[a] -= stats[a].diff(i, h) / (m * float64(len(hits)))
@@ -301,12 +319,21 @@ func RegressionWeights(log *joblog.Log, target string, cfg Config) ([]float64, e
 	nDCDA := make([]float64, n)
 	order := sampleOrder(log.Len(), cfg)
 	missT := log.Columns().Col(ti).Miss
+	// Neighbour searches on the worker pool, accumulation serial in
+	// sample order — same split as Weights, same bit-identity argument.
+	neighbours := make([][]int, len(order))
+	par.Do(len(order), cfg.Parallelism, func(k int) {
+		if missT.Get(order[k]) {
+			return
+		}
+		neighbours[k] = nearest(log, stats, order[k], ti, cfg.K)
+	})
 	mUsed := 0.0
-	for _, i := range order {
+	for k, i := range order {
 		if missT.Get(i) {
 			continue
 		}
-		neigh := nearest(log, stats, i, ti, cfg.K)
+		neigh := neighbours[k]
 		if len(neigh) == 0 {
 			continue
 		}

@@ -1,0 +1,290 @@
+package shard
+
+// Pool runs shard specs on worker subprocesses — `pxql -shard-worker`
+// children wired up over stdin/stdout pipes. Workers are spawned lazily
+// on first use and persist across batches (an Explain makes several
+// runner calls: enumeration, materialization, one scoring round per
+// clause atom); Close terminates them. Specs are pulled off a shared
+// counter, so scheduling is dynamic, but results land in spec-indexed
+// slots — output never depends on which worker ran what.
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+	"sync/atomic"
+
+	"perfxplain/internal/core"
+)
+
+// Pool is a core.ShardRunner backed by worker subprocesses.
+type Pool struct {
+	// Command is the worker argv, e.g. ["pxql", "-shard-worker"]. The
+	// process must speak the shard protocol on stdin/stdout.
+	Command []string
+	// Env is appended to the parent environment of every worker.
+	Env []string
+	// Workers is the number of subprocesses (<= 0 means 1).
+	Workers int
+
+	mu    sync.Mutex
+	procs []*workerProc
+}
+
+type workerProc struct {
+	mu       sync.Mutex // one in-flight round-trip per worker
+	cmd      *exec.Cmd
+	stdin    io.WriteCloser
+	enc      *gob.Encoder
+	dec      *gob.Decoder
+	stderr   *tailBuffer
+	killOnce sync.Once
+}
+
+// tailBuffer keeps the last max bytes written — enough worker stderr to
+// diagnose a death without unbounded growth.
+type tailBuffer struct {
+	mu  sync.Mutex
+	max int
+	buf []byte
+}
+
+func (t *tailBuffer) Write(p []byte) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.buf = append(t.buf, p...)
+	if len(t.buf) > t.max {
+		t.buf = append(t.buf[:0], t.buf[len(t.buf)-t.max:]...)
+	}
+	return len(p), nil
+}
+
+func (t *tailBuffer) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return string(t.buf)
+}
+
+// lease tops the pool up to its configured worker count (first use
+// spawns the whole fleet; discarded workers are replaced here) and
+// returns a snapshot of the live list — a copy, because discard may
+// compact the pool's own slice while a batch is still iterating its
+// lease.
+func (p *Pool) lease() ([]*workerProc, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.Command) == 0 {
+		return nil, errors.New("shard: pool has no worker command")
+	}
+	n := p.Workers
+	if n <= 0 {
+		n = 1
+	}
+	for len(p.procs) < n {
+		wp, err := p.spawn()
+		if err != nil {
+			return nil, err
+		}
+		p.procs = append(p.procs, wp)
+	}
+	return append([]*workerProc(nil), p.procs...), nil
+}
+
+func (p *Pool) spawn() (*workerProc, error) {
+	cmd := exec.Command(p.Command[0], p.Command[1:]...)
+	cmd.Env = append(os.Environ(), p.Env...)
+	stderr := &tailBuffer{max: 4096}
+	cmd.Stderr = stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, fmt.Errorf("shard: worker stdin: %w", err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, fmt.Errorf("shard: worker stdout: %w", err)
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("shard: start worker %q: %w", p.Command[0], err)
+	}
+	return &workerProc{
+		cmd:    cmd,
+		stdin:  stdin,
+		enc:    gob.NewEncoder(stdin),
+		dec:    gob.NewDecoder(stdout),
+		stderr: stderr,
+	}, nil
+}
+
+func (w *workerProc) kill() {
+	w.killOnce.Do(func() {
+		w.stdin.Close()
+		if w.cmd.Process != nil {
+			w.cmd.Process.Kill()
+		}
+		w.cmd.Wait()
+	})
+}
+
+// discard removes a failed worker from the pool and reaps it. Only the
+// dead worker dies: concurrent batches keep their round-trips on the
+// surviving workers, so a crash fails the queries that used it, not the
+// pool — the next lease spawns a replacement.
+func (p *Pool) discard(w *workerProc) {
+	p.mu.Lock()
+	for i, pw := range p.procs {
+		if pw == w {
+			p.procs = append(p.procs[:i], p.procs[i+1:]...)
+			break
+		}
+	}
+	p.mu.Unlock()
+	w.kill()
+}
+
+// roundTrip sends one task and reads its result. A transport failure is
+// fatal for the worker; the caller tears the pool down.
+func (w *workerProc) roundTrip(t *Task) (*Result, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.enc.Encode(t); err != nil {
+		return nil, fmt.Errorf("shard: send task: %w (worker stderr: %s)", err, w.stderr.String())
+	}
+	var res Result
+	if err := w.dec.Decode(&res); err != nil {
+		return nil, fmt.Errorf("shard: read result: %w (worker stderr: %s)", err, w.stderr.String())
+	}
+	if res.Seq != t.Seq {
+		return nil, fmt.Errorf("shard: result seq %d for task %d", res.Seq, t.Seq)
+	}
+	return &res, nil
+}
+
+// Close terminates every worker. The pool respawns on next use, so
+// Close is safe between batches; it is the owner's responsibility once
+// the pipeline is done.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	procs := p.procs
+	p.procs = nil
+	p.mu.Unlock()
+	for _, w := range procs {
+		w.kill()
+	}
+}
+
+// do ships the task batch across the pool and returns results in task
+// order. A transport failure discards the failed worker (only it — see
+// discard) and fails this batch; in-band task errors fail the batch
+// without killing anything.
+func (p *Pool) do(tasks []Task) ([]Result, error) {
+	if len(tasks) == 0 {
+		return nil, nil
+	}
+	procs, err := p.lease()
+	if err != nil {
+		return nil, err
+	}
+	results := make([]Result, len(tasks))
+	var next atomic.Int64
+	var fe firstErr
+	var wg sync.WaitGroup
+	nw := len(procs)
+	if nw > len(tasks) {
+		nw = len(tasks)
+	}
+	wg.Add(nw)
+	for wi := 0; wi < nw; wi++ {
+		wp := procs[wi]
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(tasks) {
+					return
+				}
+				res, err := wp.roundTrip(&tasks[i])
+				if err != nil {
+					fe.set(err)
+					p.discard(wp)
+					next.Store(int64(len(tasks))) // drain so siblings exit
+					return
+				}
+				results[i] = *res
+			}
+		}()
+	}
+	wg.Wait()
+	if err := fe.get(); err != nil {
+		return nil, err
+	}
+	for i := range results {
+		if results[i].Err != "" {
+			return nil, fmt.Errorf("shard: worker task %d: %s", i, results[i].Err)
+		}
+	}
+	return results, nil
+}
+
+// RunEnum implements core.ShardRunner.
+func (p *Pool) RunEnum(specs []core.EnumSpec) ([]core.EnumResult, error) {
+	tasks := make([]Task, len(specs))
+	for i := range specs {
+		tasks[i] = Task{Version: Version, Seq: i, Enum: &specs[i]}
+	}
+	results, err := p.do(tasks)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.EnumResult, len(specs))
+	for i := range results {
+		if results[i].Enum == nil {
+			return nil, fmt.Errorf("shard: worker returned no enumeration result for spec %d", i)
+		}
+		out[i] = *results[i].Enum
+	}
+	return out, nil
+}
+
+// RunMat implements core.ShardRunner.
+func (p *Pool) RunMat(specs []core.MatSpec) ([]core.MatResult, error) {
+	tasks := make([]Task, len(specs))
+	for i := range specs {
+		tasks[i] = Task{Version: Version, Seq: i, Mat: &specs[i]}
+	}
+	results, err := p.do(tasks)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.MatResult, len(specs))
+	for i := range results {
+		if results[i].Mat == nil {
+			return nil, fmt.Errorf("shard: worker returned no materialization result for spec %d", i)
+		}
+		out[i] = *results[i].Mat
+	}
+	return out, nil
+}
+
+// RunScore implements core.ShardRunner.
+func (p *Pool) RunScore(specs []core.ScoreSpec) ([]core.ScoreResult, error) {
+	tasks := make([]Task, len(specs))
+	for i := range specs {
+		tasks[i] = Task{Version: Version, Seq: i, Score: &specs[i]}
+	}
+	results, err := p.do(tasks)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.ScoreResult, len(specs))
+	for i := range results {
+		if results[i].Score == nil {
+			return nil, fmt.Errorf("shard: worker returned no scoring result for spec %d", i)
+		}
+		out[i] = *results[i].Score
+	}
+	return out, nil
+}

@@ -1,0 +1,72 @@
+package shard
+
+// The wire protocol between a shard coordinator and its worker
+// subprocesses: a stream of gob-encoded Task frames on the worker's
+// stdin, answered one-for-one by gob-encoded Result frames on its
+// stdout. Every frame carries the protocol version; a worker refuses
+// mismatched frames with an error result instead of guessing. The
+// payloads themselves (log slices, intern tables, predicate specs,
+// splitmix counter ranges) are the core package's shard spec types,
+// whose decode paths validate everything — a corrupt or malicious frame
+// produces an error result, never a panic (FuzzShardCodec pins this).
+//
+// gob rather than JSON is the pipe encoding because the dominant frame
+// payloads are float64/uint64 planes and index slices, which gob moves
+// in binary; the spec types also carry JSON tags, so the same frames can
+// be dumped human-readably for debugging.
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+
+	"perfxplain/internal/core"
+)
+
+// Version is the shard protocol version. Bump it when a spec or frame
+// field changes meaning; workers reject frames from other versions.
+const Version = 1
+
+// Task is one request frame: exactly one spec pointer is set.
+type Task struct {
+	Version int
+	Seq     int
+	Enum    *core.EnumSpec
+	Mat     *core.MatSpec
+	Score   *core.ScoreSpec
+}
+
+// Result is one response frame, answering the Task with the same Seq.
+// Err is the task's error, if any; exactly one result pointer is set on
+// success.
+type Result struct {
+	Version int
+	Seq     int
+	Err     string
+	Enum    *core.EnumResult
+	Mat     *core.MatResult
+	Score   *core.ScoreResult
+}
+
+// Worker serves shard tasks from r until EOF, writing one result per
+// task to w — the body of the `pxql -shard-worker` subprocess mode.
+// Task execution errors (including corrupt specs) are reported in-band
+// as Result.Err; only transport failures (a truncated or undecodable
+// stream) end the loop with an error.
+func Worker(r io.Reader, w io.Writer) error {
+	dec := gob.NewDecoder(r)
+	enc := gob.NewEncoder(w)
+	for {
+		var t Task
+		if err := dec.Decode(&t); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("shard: decode task: %w", err)
+		}
+		if err := enc.Encode(dispatch(&t)); err != nil {
+			return fmt.Errorf("shard: encode result: %w", err)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+// Package shard is the execution runtime for the pair pipeline's shard
+// specs (see internal/core/shard.go): it runs planned enumeration,
+// materialization and candidate-scoring shards either on this process's
+// worker pool (InProc — the default) or on a pool of worker subprocesses
+// speaking a versioned gob protocol over stdin/stdout pipes (Pool,
+// paired with the `pxql -shard-worker` mode).
+//
+// Both runtimes implement core.ShardRunner and return results in spec
+// order, so the merged output is byte-identical to the serial path —
+// the property the equivalence test suite pins for every mode and shard
+// count. The subprocess protocol is the first step toward the ROADMAP's
+// "logs that exceed one box": specs are self-contained (log slice,
+// intern table, predicate specs, splitmix counter ranges), so the same
+// frames that cross a pipe today can cross a socket to another machine.
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"perfxplain/internal/core"
+	"perfxplain/internal/par"
+)
+
+// InProc executes shard specs on this process's worker pool. It is the
+// default runtime: no serialization, no processes — par.Do over the
+// specs, results in spec order.
+type InProc struct {
+	// Workers bounds the concurrent specs (<= 0 means GOMAXPROCS).
+	Workers int
+}
+
+// runAll executes n units on the pool, capturing the first error.
+func (r InProc) runAll(n int, exec func(i int) error) error {
+	errs := make([]error, n)
+	par.Do(n, r.Workers, func(i int) { errs[i] = exec(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunEnum implements core.ShardRunner.
+func (r InProc) RunEnum(specs []core.EnumSpec) ([]core.EnumResult, error) {
+	out := make([]core.EnumResult, len(specs))
+	err := r.runAll(len(specs), func(i int) error {
+		res, err := specs[i].Run()
+		if err != nil {
+			return err
+		}
+		out[i] = *res
+		return nil
+	})
+	return out, err
+}
+
+// RunMat implements core.ShardRunner.
+func (r InProc) RunMat(specs []core.MatSpec) ([]core.MatResult, error) {
+	out := make([]core.MatResult, len(specs))
+	err := r.runAll(len(specs), func(i int) error {
+		res, err := specs[i].Run()
+		if err != nil {
+			return err
+		}
+		out[i] = *res
+		return nil
+	})
+	return out, err
+}
+
+// RunScore implements core.ShardRunner.
+func (r InProc) RunScore(specs []core.ScoreSpec) ([]core.ScoreResult, error) {
+	out := make([]core.ScoreResult, len(specs))
+	err := r.runAll(len(specs), func(i int) error {
+		res, err := specs[i].Run()
+		if err != nil {
+			return err
+		}
+		out[i] = *res
+		return nil
+	})
+	return out, err
+}
+
+// dispatch hands one decoded task to its executor — shared by the
+// subprocess worker loop and the Pool's frame round-trip checks.
+func dispatch(t *Task) *Result {
+	res := &Result{Version: Version, Seq: t.Seq}
+	defer func() {
+		// A panic must never kill a worker serving other shards: corrupt
+		// frames that slip past spec validation surface as task errors.
+		if r := recover(); r != nil {
+			res.Enum, res.Mat, res.Score = nil, nil, nil
+			res.Err = fmt.Sprintf("shard: task panicked: %v", r)
+		}
+	}()
+	switch {
+	case t.Version != Version:
+		res.Err = fmt.Sprintf("shard: protocol version %d, want %d", t.Version, Version)
+	case t.Enum != nil:
+		r, err := t.Enum.Run()
+		if err != nil {
+			res.Err = err.Error()
+		} else {
+			res.Enum = r
+		}
+	case t.Mat != nil:
+		r, err := t.Mat.Run()
+		if err != nil {
+			res.Err = err.Error()
+		} else {
+			res.Mat = r
+		}
+	case t.Score != nil:
+		r, err := t.Score.Run()
+		if err != nil {
+			res.Err = err.Error()
+		} else {
+			res.Score = r
+		}
+	default:
+		res.Err = "shard: task carries no spec"
+	}
+	return res
+}
+
+// firstErr collects the first error across concurrent workers.
+type firstErr struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (f *firstErr) set(err error) {
+	if err == nil {
+		return
+	}
+	f.mu.Lock()
+	if f.err == nil {
+		f.err = err
+	}
+	f.mu.Unlock()
+}
+
+func (f *firstErr) get() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}

@@ -30,6 +30,7 @@ package perfxplain
 import (
 	"fmt"
 	"io"
+	"os"
 
 	"perfxplain/internal/baselines"
 	"perfxplain/internal/collect"
@@ -38,6 +39,7 @@ import (
 	"perfxplain/internal/hadooplog"
 	"perfxplain/internal/joblog"
 	"perfxplain/internal/pxql"
+	"perfxplain/internal/shard"
 )
 
 // Log is an execution log: one record per job or task with its raw
@@ -222,9 +224,25 @@ type Options struct {
 	// all available cores. Explanations are byte-identical at every
 	// setting: same seed, same answer, whatever the hardware.
 	Parallelism int
+	// Shards enables sharded execution of the pair pipeline: the
+	// quadratic stages (enumeration, materialization, candidate scoring)
+	// are planned into this many self-contained shard specs and executed
+	// by a shard runtime — in-process by default, on worker subprocesses
+	// when ShardWorkers is set. 0 disables sharding (the direct path).
+	// Explanations are byte-identical at every shard count and in every
+	// execution mode.
+	Shards int
+	// ShardWorkers, when > 0 alongside Shards, executes shards on that
+	// many worker subprocesses speaking the shard protocol over pipes.
+	// Call Explainer.Close to terminate them when done.
+	ShardWorkers int
+	// ShardWorkerCommand is the argv spawned per worker (default: this
+	// executable with the -shard-worker flag appended, which is what the
+	// pxql and pxqlexperiments binaries implement).
+	ShardWorkerCommand []string
 }
 
-func (o Options) coreConfig() core.Config {
+func (o Options) coreConfig() (core.Config, *shard.Pool, error) {
 	cfg := core.Config{
 		Width:         o.Width,
 		DespiteWidth:  o.DespiteWidth,
@@ -234,26 +252,61 @@ func (o Options) coreConfig() core.Config {
 		Target:        o.Target,
 		DiverseSample: o.DiverseSample,
 		Parallelism:   o.Parallelism,
+		Shards:        o.Shards,
 	}
 	if o.FeatureLevel != 0 {
 		cfg.Level = features.Level(o.FeatureLevel)
 	}
-	return cfg
+	if o.ShardWorkers > 0 && o.Shards <= 0 {
+		return core.Config{}, nil, fmt.Errorf("perfxplain: Options.ShardWorkers requires Options.Shards")
+	}
+	var pool *shard.Pool
+	if o.Shards > 0 {
+		if o.ShardWorkers > 0 {
+			cmd := o.ShardWorkerCommand
+			if len(cmd) == 0 {
+				exe, err := os.Executable()
+				if err != nil {
+					return core.Config{}, nil, fmt.Errorf("perfxplain: resolve shard worker command: %w", err)
+				}
+				cmd = []string{exe, "-shard-worker"}
+			}
+			pool = &shard.Pool{Command: cmd, Workers: o.ShardWorkers}
+			cfg.Runner = pool
+		} else {
+			cfg.Runner = shard.InProc{Workers: o.Parallelism}
+		}
+	}
+	return cfg, pool, nil
 }
 
 // Explainer answers PXQL queries over one log.
 type Explainer struct {
-	ex  *core.Explainer
-	log *Log
+	ex   *core.Explainer
+	log  *Log
+	pool *shard.Pool
 }
 
 // NewExplainer builds an explainer over a job or task log.
 func NewExplainer(log *Log, opt Options) (*Explainer, error) {
-	ex, err := core.NewExplainer(log.l, opt.coreConfig())
+	cfg, pool, err := opt.coreConfig()
 	if err != nil {
 		return nil, err
 	}
-	return &Explainer{ex: ex, log: log}, nil
+	ex, err := core.NewExplainer(log.l, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Explainer{ex: ex, log: log, pool: pool}, nil
+}
+
+// Close releases the explainer's resources: with Options.ShardWorkers
+// set it terminates the worker subprocesses. It is a no-op otherwise
+// and always safe to defer.
+func (e *Explainer) Close() {
+	if e.pool != nil {
+		e.pool.Close()
+	}
 }
 
 // Explanation is a generated (despite, because) answer plus its quality
@@ -371,6 +424,15 @@ func NewTargetQuery(target, obsCode, expCode string) (*Query, error) {
 	return &Query{q}, nil
 }
 
+// ShardWorker serves shard tasks from r until EOF, writing results to w
+// — the loop behind the pxql binaries' -shard-worker mode. Programs
+// embedding this package can expose the same mode (reading stdin,
+// writing stdout) and name themselves in Options.ShardWorkerCommand to
+// run explanation shards on their own subprocesses.
+func ShardWorker(r io.Reader, w io.Writer) error {
+	return shard.Worker(r, w)
+}
+
 // Metrics are the paper's explanation-quality measures evaluated on a
 // log (Definitions 4-6).
 type Metrics struct {
@@ -420,7 +482,9 @@ func SimButDiffExplain(log *Log, q *Query, width int, seed int64) (*Explanation,
 // SimButDiffExplainP is SimButDiffExplain with an explicit worker bound
 // for pair enumeration (<= 0 means GOMAXPROCS); the explanation is
 // identical at every setting. RuleOfThumb has no such variant: its
-// RReliefF weighting is inherently sequential.
+// RReliefF neighbour searches already run on all cores (bit-identically
+// — see relief.Config.Parallelism), and the weight accumulation itself
+// is sequential.
 func SimButDiffExplainP(log *Log, q *Query, width int, seed int64, parallelism int) (*Explanation, error) {
 	if width <= 0 {
 		width = 3
