@@ -88,7 +88,7 @@ func TestGoldenCLI(t *testing.T) {
 		for _, p := range []int{1, 4, 0} {
 			p := p
 			out := captureStdout(t, func() error {
-				return run(log, testQuery, "", "", true, 3, 3, 1, p, 0, 0, tech, false, log)
+				return run(cliOpts{logPath: log, querySrc: testQuery, find: true, width: 3, level: 3, seed: 1, parallelism: p, technique: tech, evalPath: log})
 			})
 			outputs = append(outputs, out)
 		}
@@ -107,13 +107,13 @@ func TestGoldenCLI(t *testing.T) {
 func TestGoldenCLISharded(t *testing.T) {
 	log := writeSmallLog(t)
 	want := captureStdout(t, func() error {
-		return run(log, testQuery, "", "", true, 3, 3, 1, 0, 0, 0, "perfxplain", false, log)
+		return run(cliOpts{logPath: log, querySrc: testQuery, find: true, width: 3, level: 3, seed: 1, technique: "perfxplain", evalPath: log})
 	})
 	for _, tc := range []struct{ shards, workers int }{
 		{2, 0}, {7, 0}, {2, 3}, {7, 3},
 	} {
 		got := captureStdout(t, func() error {
-			return run(log, testQuery, "", "", true, 3, 3, 1, 0, tc.shards, tc.workers, "perfxplain", false, log)
+			return run(cliOpts{logPath: log, querySrc: testQuery, find: true, width: 3, level: 3, seed: 1, shards: tc.shards, shardWorkers: tc.workers, technique: "perfxplain", evalPath: log})
 		})
 		if got != want {
 			t.Errorf("-shards %d -shard-workers %d diverges from the serial CLI:\n--- sharded ---\n%s--- serial ---\n%s",
@@ -125,8 +125,7 @@ func TestGoldenCLISharded(t *testing.T) {
 func TestGoldenCLIGenDespite(t *testing.T) {
 	log := writeSmallLog(t)
 	out := captureStdout(t, func() error {
-		return run(log, "OBSERVED duration_compare = GT\nEXPECTED duration_compare = SIM",
-			"", "", true, 3, 3, 1, 0, 0, 0, "perfxplain", true, log)
+		return run(cliOpts{logPath: log, querySrc: "OBSERVED duration_compare = GT\nEXPECTED duration_compare = SIM", find: true, width: 3, level: 3, seed: 1, technique: "perfxplain", genDespite: true, evalPath: log})
 	})
 	checkGolden(t, "cli_gendespite", out)
 }

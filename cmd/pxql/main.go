@@ -11,6 +11,13 @@
 // interest, or -find picks one automatically. -technique selects the
 // explanation generator (perfxplain, ruleofthumb, simbutdiff), and
 // -gen-despite asks PerfXplain to generate a despite extension first.
+//
+// The pair pipeline can run distributed: -shards plans self-contained
+// shard specs, executed in-process by default, on subprocess workers
+// with -shard-workers, or on remote machines with -shard-remote — each
+// remote runs `pxql -shard-worker -listen :9071` with a matching
+// -shard-token (or PXQL_SHARD_TOKEN). Output is byte-identical in every
+// mode; -verbose reports frames, bytes shipped and slice-cache counters.
 package main
 
 import (
@@ -35,35 +42,102 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "worker goroutines for the explanation pipeline (0 = all cores); the answer is identical at every setting")
 	shards := flag.Int("shards", 0, "shard the pair pipeline into N self-contained specs (0 = off); the answer is identical at every setting")
 	shardWorkers := flag.Int("shard-workers", 0, "execute shards on K worker subprocesses instead of in-process (requires -shards)")
-	shardWorker := flag.Bool("shard-worker", false, "serve shard tasks on stdin/stdout and exit (internal: spawned by -shard-workers)")
+	shardWorker := flag.Bool("shard-worker", false, "serve shard tasks on stdin/stdout and exit (internal: spawned by -shard-workers), or on a TCP listener with -listen")
+	listen := flag.String("listen", "", "with -shard-worker: listen on this TCP address (e.g. :9071) and serve remote coordinators (requires a token)")
+	shardRemote := flag.String("shard-remote", "", "execute shards on remote socket workers at these comma-separated host:port addresses (requires -shards and a token)")
+	shardToken := flag.String("shard-token", "", "shared auth token for remote shard workers (or set "+perfxplain.ShardTokenEnv+")")
+	verbose := flag.Bool("verbose", false, "print shard-runtime counters (frames, bytes shipped, slice-cache hits/misses) to stderr")
 	technique := flag.String("technique", "perfxplain", "perfxplain | ruleofthumb | simbutdiff")
 	genDespite := flag.Bool("gen-despite", false, "generate a despite extension before explaining (perfxplain only)")
 	evalPath := flag.String("eval", "", "optional second log CSV to evaluate the explanation against")
 	flag.Parse()
 
+	token := *shardToken
+	if token == "" {
+		token = os.Getenv(perfxplain.ShardTokenEnv)
+	}
+
 	if *shardWorker {
-		if err := perfxplain.ShardWorker(os.Stdin, os.Stdout); err != nil {
+		var err error
+		if *listen != "" {
+			fmt.Fprintf(os.Stderr, "pxql: serving shard workers on %s\n", *listen)
+			err = perfxplain.ListenAndServeShardWorkers(*listen, token)
+		} else {
+			err = perfxplain.ShardWorker(os.Stdin, os.Stdout)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "pxql: shard worker:", err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	if err := run(*logPath, *querySrc, *queryFile, *pair, *find, *width, *level,
-		*seed, *parallelism, *shards, *shardWorkers, *technique, *genDespite, *evalPath); err != nil {
+	if err := run(cliOpts{
+		logPath:      *logPath,
+		querySrc:     *querySrc,
+		queryFile:    *queryFile,
+		pair:         *pair,
+		find:         *find,
+		width:        *width,
+		level:        *level,
+		seed:         *seed,
+		parallelism:  *parallelism,
+		shards:       *shards,
+		shardWorkers: *shardWorkers,
+		shardRemote:  *shardRemote,
+		shardToken:   token,
+		verbose:      *verbose,
+		technique:    *technique,
+		genDespite:   *genDespite,
+		evalPath:     *evalPath,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "pxql:", err)
 		os.Exit(1)
 	}
 }
 
-func run(logPath, querySrc, queryFile, pair string, find bool, width, level int,
-	seed int64, parallelism, shards, shardWorkers int, technique string, genDespite bool, evalPath string) error {
+// cliOpts carries the resolved coordinator flags; a struct rather than
+// positional parameters so adjacent same-typed flags cannot be swapped
+// silently at a call site.
+type cliOpts struct {
+	logPath, querySrc, queryFile, pair string
+	find                               bool
+	width, level                       int
+	seed                               int64
+	parallelism, shards, shardWorkers  int
+	shardRemote, shardToken            string
+	verbose                            bool
+	technique                          string
+	genDespite                         bool
+	evalPath                           string
+}
+
+func run(o cliOpts) error {
+	logPath, querySrc, queryFile, pair := o.logPath, o.querySrc, o.queryFile, o.pair
+	find, width, level, seed := o.find, o.width, o.level, o.seed
+	parallelism, shards, shardWorkers := o.parallelism, o.shards, o.shardWorkers
+	shardRemote, shardToken, verbose := o.shardRemote, o.shardToken, o.verbose
+	technique, genDespite, evalPath := o.technique, o.genDespite, o.evalPath
 
 	if logPath == "" {
 		return fmt.Errorf("-log is required")
 	}
 	if shardWorkers > 0 && shards <= 0 {
 		return fmt.Errorf("-shard-workers requires -shards")
+	}
+	var shardAddrs []string
+	if shardRemote != "" {
+		if shards <= 0 {
+			return fmt.Errorf("-shard-remote requires -shards")
+		}
+		if shardToken == "" {
+			return fmt.Errorf("-shard-remote requires -shard-token (or %s)", perfxplain.ShardTokenEnv)
+		}
+		for _, a := range strings.Split(shardRemote, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				shardAddrs = append(shardAddrs, a)
+			}
+		}
 	}
 	log, err := readLog(logPath)
 	if err != nil {
@@ -98,8 +172,16 @@ func run(logPath, querySrc, queryFile, pair string, find bool, width, level int,
 	}
 
 	opt := perfxplain.Options{Width: width, DespiteWidth: width, FeatureLevel: level,
-		Seed: seed, Parallelism: parallelism, Shards: shards, ShardWorkers: shardWorkers}
+		Seed: seed, Parallelism: parallelism, Shards: shards, ShardWorkers: shardWorkers,
+		ShardAddrs: shardAddrs, ShardToken: shardToken}
 	var x *perfxplain.Explanation
+	// evaluate routes held-out evaluation through the PerfXplain
+	// explainer when one exists, so the quadratic walk shares its shard
+	// runner — and the workers' cached log slices.
+	evaluate := func(evalLog *perfxplain.Log) (perfxplain.Metrics, error) {
+		return perfxplain.Evaluate(evalLog, q, x, perfxplain.Options{Seed: seed, Parallelism: parallelism})
+	}
+	shardStats := func() (perfxplain.ShardStats, bool) { return perfxplain.ShardStats{}, false }
 	switch strings.ToLower(technique) {
 	case "perfxplain":
 		ex, err := perfxplain.NewExplainer(log, opt)
@@ -115,6 +197,10 @@ func run(logPath, querySrc, queryFile, pair string, find bool, width, level int,
 		if err != nil {
 			return err
 		}
+		evaluate = func(evalLog *perfxplain.Log) (perfxplain.Metrics, error) {
+			return ex.Evaluate(evalLog, q, x)
+		}
+		shardStats = ex.ShardStats
 	case "ruleofthumb":
 		x, err = perfxplain.RuleOfThumbExplain(log, q, width, seed)
 		if err != nil {
@@ -141,12 +227,17 @@ func run(logPath, querySrc, queryFile, pair string, find bool, width, level int,
 		if err != nil {
 			return err
 		}
-		m, err := perfxplain.Evaluate(evalLog, q, x, perfxplain.Options{Seed: seed, Parallelism: parallelism})
+		m, err := evaluate(evalLog)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("held-out:  precision %.3f, generality %.3f, relevance %.3f\n",
 			m.Precision, m.Generality, m.Relevance)
+	}
+	if verbose {
+		if s, ok := shardStats(); ok {
+			fmt.Fprintln(os.Stderr, "shard runtime:", s)
+		}
 	}
 	return nil
 }

@@ -37,7 +37,7 @@ EXPECTED duration_compare = SIM`
 func TestRunFindsAndExplains(t *testing.T) {
 	log := writeSmallLog(t)
 	for _, tech := range []string{"perfxplain", "ruleofthumb", "simbutdiff"} {
-		err := run(log, testQuery, "", "", true, 3, 3, 1, 0, 0, 0, tech, false, "")
+		err := run(cliOpts{logPath: log, querySrc: testQuery, find: true, width: 3, level: 3, seed: 1, technique: tech})
 		if err != nil {
 			t.Errorf("%s: %v", tech, err)
 		}
@@ -46,7 +46,7 @@ func TestRunFindsAndExplains(t *testing.T) {
 
 func TestRunWithGeneratedDespiteAndEval(t *testing.T) {
 	log := writeSmallLog(t)
-	if err := run(log, testQuery, "", "", true, 2, 3, 1, 0, 0, 0, "perfxplain", true, log); err != nil {
+	if err := run(cliOpts{logPath: log, querySrc: testQuery, find: true, width: 2, level: 3, seed: 1, technique: "perfxplain", genDespite: true, evalPath: log}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -71,7 +71,7 @@ func TestRunExplicitPair(t *testing.T) {
 	if !ok {
 		t.Fatal("no pair")
 	}
-	if err := run(log, testQuery, "", id1+","+id2, false, 3, 3, 1, 0, 0, 0, "perfxplain", false, ""); err != nil {
+	if err := run(cliOpts{logPath: log, querySrc: testQuery, pair: id1 + "," + id2, width: 3, level: 3, seed: 1, technique: "perfxplain"}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -82,7 +82,7 @@ func TestRunQueryFromFile(t *testing.T) {
 	if err := os.WriteFile(qf, []byte(testQuery), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(log, "", qf, "", true, 3, 3, 1, 0, 0, 0, "perfxplain", false, ""); err != nil {
+	if err := run(cliOpts{logPath: log, queryFile: qf, find: true, width: 3, level: 3, seed: 1, technique: "perfxplain"}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -91,28 +91,28 @@ func TestRunErrors(t *testing.T) {
 	log := writeSmallLog(t)
 	cases := map[string]func() error{
 		"no log": func() error {
-			return run("", testQuery, "", "", true, 3, 3, 1, 0, 0, 0, "perfxplain", false, "")
+			return run(cliOpts{querySrc: testQuery, find: true, width: 3, level: 3, seed: 1, technique: "perfxplain"})
 		},
 		"missing log file": func() error {
-			return run("/nonexistent/jobs.csv", testQuery, "", "", true, 3, 3, 1, 0, 0, 0, "perfxplain", false, "")
+			return run(cliOpts{logPath: "/nonexistent/jobs.csv", querySrc: testQuery, find: true, width: 3, level: 3, seed: 1, technique: "perfxplain"})
 		},
 		"both query and file": func() error {
-			return run(log, testQuery, "somefile", "", true, 3, 3, 1, 0, 0, 0, "perfxplain", false, "")
+			return run(cliOpts{logPath: log, querySrc: testQuery, queryFile: "somefile", find: true, width: 3, level: 3, seed: 1, technique: "perfxplain"})
 		},
 		"bad technique": func() error {
-			return run(log, testQuery, "", "", true, 3, 3, 1, 0, 0, 0, "oracle", false, "")
+			return run(cliOpts{logPath: log, querySrc: testQuery, find: true, width: 3, level: 3, seed: 1, technique: "oracle"})
 		},
 		"bad pair syntax": func() error {
-			return run(log, testQuery, "", "justoneid", false, 3, 3, 1, 0, 0, 0, "perfxplain", false, "")
+			return run(cliOpts{logPath: log, querySrc: testQuery, pair: "justoneid", width: 3, level: 3, seed: 1, technique: "perfxplain"})
 		},
 		"no pair and no find": func() error {
-			return run(log, testQuery, "", "", false, 3, 3, 1, 0, 0, 0, "perfxplain", false, "")
+			return run(cliOpts{logPath: log, querySrc: testQuery, width: 3, level: 3, seed: 1, technique: "perfxplain"})
 		},
 		"bad query": func() error {
-			return run(log, "NOT A QUERY", "", "", true, 3, 3, 1, 0, 0, 0, "perfxplain", false, "")
+			return run(cliOpts{logPath: log, querySrc: "NOT A QUERY", find: true, width: 3, level: 3, seed: 1, technique: "perfxplain"})
 		},
 		"bad eval path": func() error {
-			return run(log, testQuery, "", "", true, 3, 3, 1, 0, 0, 0, "perfxplain", false, "/nonexistent.csv")
+			return run(cliOpts{logPath: log, querySrc: testQuery, find: true, width: 3, level: 3, seed: 1, technique: "perfxplain", evalPath: "/nonexistent.csv"})
 		},
 	}
 	for name, fn := range cases {

@@ -31,26 +31,52 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "worker goroutines for repetitions and cells (0 = all cores); tables are identical at every setting")
 	shards := flag.Int("shards", 0, "shard the pair pipeline into N self-contained specs (0 = off); tables are identical at every setting")
 	shardWorkers := flag.Int("shard-workers", 0, "execute shards on K worker subprocesses instead of in-process (requires -shards)")
-	shardWorker := flag.Bool("shard-worker", false, "serve shard tasks on stdin/stdout and exit (internal: spawned by -shard-workers)")
+	shardWorker := flag.Bool("shard-worker", false, "serve shard tasks on stdin/stdout and exit (internal: spawned by -shard-workers), or on a TCP listener with -listen")
+	listen := flag.String("listen", "", "with -shard-worker: listen on this TCP address and serve remote coordinators (requires a token)")
+	shardRemote := flag.String("shard-remote", "", "execute shards on remote socket workers at these comma-separated host:port addresses (requires -shards and a token)")
+	shardToken := flag.String("shard-token", "", "shared auth token for remote shard workers (or set PXQL_SHARD_TOKEN)")
+	verbose := flag.Bool("verbose", false, "print shard-runtime counters (frames, bytes shipped, slice-cache hits/misses) to stderr after each experiment run")
 	flag.Parse()
 
+	token := *shardToken
+	if token == "" {
+		token = os.Getenv("PXQL_SHARD_TOKEN")
+	}
+
 	if *shardWorker {
-		if err := shard.Worker(os.Stdin, os.Stdout); err != nil {
+		var err error
+		if *listen != "" {
+			fmt.Fprintf(os.Stderr, "pxqlexperiments: serving shard workers on %s\n", *listen)
+			err = shard.ListenAndServe(*listen, token)
+		} else {
+			err = shard.Worker(os.Stdin, os.Stdout)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "pxqlexperiments: shard worker:", err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	if err := run(*exp, *seed, *reps, *small, *parallelism, *shards, *shardWorkers); err != nil {
+	if err := run(*exp, *seed, *reps, *small, *parallelism, *shards, *shardWorkers, *shardRemote, token, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "pxqlexperiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, seed int64, reps int, small bool, parallelism, shards, shardWorkers int) error {
+func run(exp string, seed int64, reps int, small bool, parallelism, shards, shardWorkers int,
+	shardRemote, shardToken string, verbose bool) error {
+
 	if shardWorkers > 0 && shards <= 0 {
 		return fmt.Errorf("-shard-workers requires -shards")
+	}
+	if shardRemote != "" && shards <= 0 {
+		return fmt.Errorf("-shard-remote requires -shards")
+	}
+	// Validate the token up front: the sweep below can take minutes, and
+	// a missing token should fail before it, not after.
+	if shardRemote != "" && shardToken == "" {
+		return fmt.Errorf("-shard-remote requires -shard-token (or PXQL_SHARD_TOKEN)")
 	}
 	sweep := collect.DefaultSweep(seed)
 	if small {
@@ -68,19 +94,41 @@ func run(exp string, seed int64, reps int, small bool, parallelism, shards, shar
 	h := eval.NewHarness(res.Jobs, res.Tasks, seed)
 	h.Reps = reps
 	h.Parallelism = parallelism
+	// One worker pool serves every repetition and experiment cell of the
+	// whole run — its workers (and their cached log slices) survive from
+	// one explainer and one evaluation to the next.
+	var pool *shard.Pool
 	if shards > 0 {
 		h.Shards = shards
 		var runner core.ShardRunner = shard.InProc{Workers: parallelism}
-		if shardWorkers > 0 {
+		switch {
+		case shardRemote != "":
+			var addrs []string
+			for _, a := range strings.Split(shardRemote, ",") {
+				if a = strings.TrimSpace(a); a != "" {
+					addrs = append(addrs, a)
+				}
+			}
+			workers := shardWorkers
+			if workers <= 0 {
+				workers = len(addrs)
+			}
+			pool = &shard.Pool{Dialer: &shard.SocketDialer{Addrs: addrs, Token: shardToken}, Workers: workers}
+		case shardWorkers > 0:
 			exe, err := os.Executable()
 			if err != nil {
 				return fmt.Errorf("resolve shard worker command: %w", err)
 			}
-			pool := &shard.Pool{Command: []string{exe, "-shard-worker"}, Workers: shardWorkers}
+			pool = &shard.Pool{Command: []string{exe, "-shard-worker"}, Workers: shardWorkers}
+		}
+		if pool != nil {
 			defer pool.Close()
 			runner = pool
 		}
 		h.Runner = runner
+	}
+	if verbose && pool != nil {
+		defer func() { fmt.Fprintln(os.Stderr, "shard runtime:", pool.Stats()) }()
 	}
 
 	type runner func() error

@@ -247,14 +247,15 @@ func (e *Explainer) explain(q *pxql.Query, genDespite bool) (*Explanation, error
 	// it reproducible.
 	sample := e.sample(related, stats.DeriveRand(e.cfg.Seed, "because-sample"))
 	x.SampleSize = len(sample.refs)
-	m, err := e.materializePairs(sample)
+	plan := e.planSample(sample)
+	m, err := e.materializePairs(sample, plan)
 	if err != nil {
 		return nil, err
 	}
 	pairVec := e.d.Vector(a, b)
 
 	bc := newBitmapCache(m, e.cfg.Parallelism)
-	bec, err := e.grow(bc, sample, sample.labels, pairVec, e.cfg.Width)
+	bec, err := e.grow(bc, plan, sample.labels, pairVec, e.cfg.Width)
 	if err != nil {
 		return nil, err
 	}
@@ -323,7 +324,8 @@ func (e *Explainer) generateDespite(q *pxql.Query, a, b *joblog.Record) (pxql.Pr
 		return nil, fmt.Errorf("core: no related pairs in the log for this query")
 	}
 	sample := e.sample(related, stats.DeriveRand(e.cfg.Seed, "despite-sample"))
-	m, err := e.materializePairs(sample)
+	plan := e.planSample(sample)
+	m, err := e.materializePairs(sample, plan)
 	if err != nil {
 		return nil, err
 	}
@@ -335,7 +337,7 @@ func (e *Explainer) generateDespite(q *pxql.Query, a, b *joblog.Record) (pxql.Pr
 	for i, l := range sample.labels {
 		flipped[i] = !l
 	}
-	return e.grow(newBitmapCache(m, e.cfg.Parallelism), sample, flipped, pairVec, e.cfg.DespiteWidth)
+	return e.grow(newBitmapCache(m, e.cfg.Parallelism), plan, flipped, pairVec, e.cfg.DespiteWidth)
 }
 
 func (e *Explainer) sample(ps *pairSet, rng *rand.Rand) *pairSet {
@@ -362,7 +364,7 @@ func (e *Explainer) sample(ps *pairSet, rng *rand.Rand) *pairSet {
 // label bitmaps, and the winner restricts the working set with one
 // word-AND. The counts — and therefore the clause — are identical to
 // the per-pair loops this replaces.
-func (e *Explainer) grow(bc *bitmapCache, sample *pairSet, labels []bool,
+func (e *Explainer) grow(bc *bitmapCache, plan *plannedSample, labels []bool,
 	pairVec []joblog.Value, width int) (pxql.Predicate, error) {
 
 	m := bc.m
@@ -385,7 +387,7 @@ func (e *Explainer) grow(bc *bitmapCache, sample *pairSet, labels []bool,
 			break
 		}
 
-		cands, err := e.candidatesFor(m, sample, labels, cur, pairVec, clause)
+		cands, err := e.candidatesFor(m, plan, labels, cur, pairVec, clause)
 		if err != nil {
 			return nil, err
 		}
@@ -437,11 +439,11 @@ func (e *Explainer) grow(bc *bitmapCache, sample *pairSet, labels []bool,
 // candidatesFor dispatches one candidate-scoring round to the shard
 // runner when one is configured, and to the in-process per-feature loop
 // otherwise. Both paths yield the same candidates in the same order.
-func (e *Explainer) candidatesFor(m *features.PairMatrix, sample *pairSet, labels []bool,
+func (e *Explainer) candidatesFor(m *features.PairMatrix, plan *plannedSample, labels []bool,
 	cur []int, pairVec []joblog.Value, clause pxql.Predicate) ([]candidate, error) {
 
 	if e.cfg.Runner != nil {
-		return e.candidatesSharded(sample, labels, cur, pairVec, clause)
+		return e.candidatesSharded(plan, labels, cur, pairVec, clause)
 	}
 	return e.candidates(m, labels, cur, pairVec, clause), nil
 }

@@ -53,15 +53,10 @@ func EvaluateExplanation(log *joblog.Log, level features.Level,
 func EvaluateExplanationP(log *joblog.Log, level features.Level,
 	q *pxql.Query, x *Explanation, maxPairs int, seed int64, parallelism int) (Metrics, error) {
 
-	if log == nil || log.Len() == 0 {
-		return Metrics{}, fmt.Errorf("core: empty evaluation log")
+	if err := validateEvaluation(log, level, q, x); err != nil {
+		return Metrics{}, err
 	}
 	d := features.NewDeriver(log.Schema, level)
-	for _, p := range []pxql.Predicate{q.Despite, q.Observed, q.Expected, x.Despite, x.Because} {
-		if err := p.Validate(d.Schema()); err != nil {
-			return Metrics{}, err
-		}
-	}
 	despite := q.Despite.And(x.Despite)
 	pairSeed := stats.DeriveSeed(seed, "evaluate")
 	sp := buildPairSpace(log, despite, maxPairs, parallelism)
@@ -104,13 +99,79 @@ func EvaluateExplanationP(log *joblog.Log, level features.Level,
 		m.BecausePairs += c.bec
 		nObsGivenBec += c.obsGivenBec
 	}
+	return metricsFromCounts(m.ContextPairs, nExp, m.BecausePairs, nObsGivenBec)
+}
+
+// validateEvaluation checks the evaluation inputs once, shared by the
+// in-process and sharded walks so both reject exactly the same queries.
+func validateEvaluation(log *joblog.Log, level features.Level, q *pxql.Query, x *Explanation) error {
+	if log == nil || log.Len() == 0 {
+		return fmt.Errorf("core: empty evaluation log")
+	}
+	d := features.NewDeriver(log.Schema, level)
+	for _, p := range []pxql.Predicate{q.Despite, q.Observed, q.Expected, x.Despite, x.Because} {
+		if err := p.Validate(d.Schema()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// metricsFromCounts turns the four merged counts into the paper's
+// measures — the single definition of the ratios, shared by every
+// execution mode.
+func metricsFromCounts(context, exp, bec, obsGivenBec int) (Metrics, error) {
+	m := Metrics{ContextPairs: context, BecausePairs: bec}
 	if m.ContextPairs == 0 {
 		return m, fmt.Errorf("core: no pairs satisfy the despite context in the evaluation log")
 	}
-	m.Relevance = float64(nExp) / float64(m.ContextPairs)
+	m.Relevance = float64(exp) / float64(m.ContextPairs)
 	m.Generality = float64(m.BecausePairs) / float64(m.ContextPairs)
 	if m.BecausePairs > 0 {
-		m.Precision = float64(nObsGivenBec) / float64(m.BecausePairs)
+		m.Precision = float64(obsGivenBec) / float64(m.BecausePairs)
 	}
 	return m, nil
+}
+
+// EvaluateExplanationSharded is EvaluateExplanationP with the quadratic
+// pair walk cut into self-contained shard specs executed by runner —
+// the distributed counterpart for evaluation logs that exceed one box.
+// Shard results are integer counts summed in spec order, so the metrics
+// are exactly those of the serial walk at every shard count, transport
+// and cache state. A nil runner falls back to the in-process walk;
+// shards <= 0 plans one spec per core.
+func EvaluateExplanationSharded(log *joblog.Log, level features.Level,
+	q *pxql.Query, x *Explanation, maxPairs int, seed int64,
+	shards int, runner ShardRunner) (Metrics, error) {
+
+	if runner == nil {
+		return EvaluateExplanationP(log, level, q, x, maxPairs, seed, 0)
+	}
+	if err := validateEvaluation(log, level, q, x); err != nil {
+		return Metrics{}, err
+	}
+	if shards <= 0 {
+		shards = par.Resolve(0)
+	}
+	specs := PlanEvalShards(log, level, q, x, maxPairs, shards, stats.DeriveSeed(seed, "evaluate"))
+	results, err := runner.RunEval(specs)
+	if err != nil {
+		return Metrics{}, fmt.Errorf("core: shard evaluation: %w", err)
+	}
+	if len(results) != len(specs) {
+		return Metrics{}, fmt.Errorf("core: shard evaluation returned %d results for %d specs", len(results), len(specs))
+	}
+	var context, nExp, bec, obsGivenBec int
+	for si := range results {
+		r := &results[si]
+		if r.Context < 0 || r.Exp < 0 || r.Bec < 0 || r.ObsGivenBec < 0 ||
+			r.Exp > r.Context || r.Bec > r.Context || r.ObsGivenBec > r.Bec {
+			return Metrics{}, fmt.Errorf("core: shard %d returned inconsistent evaluation counts %+v", si, *r)
+		}
+		context += r.Context
+		nExp += r.Exp
+		bec += r.Bec
+		obsGivenBec += r.ObsGivenBec
+	}
+	return metricsFromCounts(context, nExp, bec, obsGivenBec)
 }

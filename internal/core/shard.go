@@ -36,6 +36,82 @@ type ShardRunner interface {
 	RunEnum(specs []EnumSpec) ([]EnumResult, error)
 	RunMat(specs []MatSpec) ([]MatResult, error)
 	RunScore(specs []ScoreSpec) ([]ScoreResult, error)
+	RunEval(specs []EvalSpec) ([]EvalResult, error)
+}
+
+// LogSlice is the shippable unit of execution-log data: a wire-form
+// record slice plus the coordinator's intern table, content-addressed by
+// joblog.HashSlice. The hash makes slice shipping cacheable: a runtime
+// that has already shipped a slice to a worker may send a reference
+// (Ref true, payload empty) instead, and the worker resolves it from its
+// decoded-columns cache — or reports a miss, in which case the full
+// payload is resent. Execution is byte-identical either way: the hash
+// covers every bit of the payload, so a hit decodes to exactly what a
+// fresh ship would have.
+type LogSlice struct {
+	// Hash is the content address (joblog.HashSlice of Log and Intern);
+	// empty disables caching for this slice.
+	Hash string `json:"hash,omitempty"`
+	// Ref marks a frame that carries only the hash: the payload was
+	// already shipped on this connection and should be resolved from the
+	// worker's cache.
+	Ref    bool           `json:"ref,omitempty"`
+	Log    joblog.WireLog `json:"log"`
+	Intern []string       `json:"intern,omitempty"`
+}
+
+// NewLogSlice builds a content-addressed slice from wire parts.
+func NewLogSlice(w joblog.WireLog, intern []string) LogSlice {
+	return LogSlice{Hash: joblog.HashSlice(w, intern), Log: w, Intern: intern}
+}
+
+// AsRef returns the hash-only form of the slice, for shipping to a
+// worker that already holds the payload.
+func (s LogSlice) AsRef() LogSlice { return LogSlice{Hash: s.Hash, Ref: true} }
+
+// SizeEstimate approximates the payload's in-memory footprint — the
+// accounting unit of worker-side cache eviction and the runtime's
+// bytes-saved counter.
+func (s *LogSlice) SizeEstimate() int {
+	n := 0
+	for _, f := range s.Log.Fields {
+		n += len(f.Name) + 16
+	}
+	for _, r := range s.Log.Records {
+		n += len(r.ID) + 16
+		for _, v := range r.Values {
+			n += len(v.Str) + 24
+		}
+	}
+	for _, str := range s.Intern {
+		n += len(str) + 16
+	}
+	return n
+}
+
+// SliceData is a decoded slice: the rebuilt log plus its columnar view,
+// seeded with the shipped intern table so symbol planes derived from it
+// are bit-equal to the coordinator's. This is what workers cache.
+type SliceData struct {
+	Log  *joblog.Log
+	Cols *joblog.Columns
+}
+
+// Data decodes the slice, validating everything. A reference slice
+// cannot be decoded — the caller must resolve it from a cache first.
+func (s *LogSlice) Data() (*SliceData, error) {
+	if s.Ref {
+		return nil, fmt.Errorf("core: slice %.12s shipped as a cache reference but no cached payload is available", s.Hash)
+	}
+	log, err := s.Log.Log()
+	if err != nil {
+		return nil, err
+	}
+	cols, err := log.ColumnsSeeded(s.Intern)
+	if err != nil {
+		return nil, err
+	}
+	return &SliceData{Log: log, Cols: cols}, nil
 }
 
 // EnumGroup is one blocking group's contribution to an enumeration
@@ -73,17 +149,18 @@ type EnumResult struct {
 }
 
 // MatSpec is a self-contained unit of pair-matrix materialization: the
-// rows [Row0, Row0+len(PairA)) of the coordinator's matrix. Intern is
-// the coordinator's symbol table; seeding the worker's columnar view
-// with it makes the returned symbol planes (packed diff symbols
-// included) bit-equal to a local fill.
+// rows [Row0, Row0+len(PairA)) of the coordinator's matrix. The slice is
+// the whole training sample's record set (shared — and therefore
+// content-cacheable — across every materialization and scoring spec of
+// one explanation); seeding the worker's columnar view with its intern
+// table makes the returned symbol planes (packed diff symbols included)
+// bit-equal to a local fill.
 type MatSpec struct {
-	Log    joblog.WireLog `json:"log"`
-	Intern []string       `json:"intern"`
-	Level  features.Level `json:"level"`
-	PairA  []int          `json:"pair_a"` // local record index per row
-	PairB  []int          `json:"pair_b"`
-	Row0   int            `json:"row0"`
+	Slice LogSlice       `json:"slice"`
+	Level features.Level `json:"level"`
+	PairA []int          `json:"pair_a"` // slice-local record index per row
+	PairB []int          `json:"pair_b"`
+	Row0  int            `json:"row0"`
 }
 
 // MatResult carries the materialized plane rows of one shard.
@@ -97,16 +174,18 @@ type MatResult struct {
 // ScoreSpec is a self-contained unit of candidate scoring: one round of
 // Algorithm 1's per-feature best-predicate search, restricted to the
 // derived features [FeatLo, FeatHi). The worker re-materializes the
-// working set's pair rows from the log slice (seeded with the
+// working set's pair rows from the sample slice (seeded with the
 // coordinator's intern table) and scores its feature range exactly as
-// the in-process loop does.
+// the in-process loop does. The slice is the whole sample, not just the
+// round's working set, so every scoring round of a growth loop shares
+// one content hash — after the first ship, rounds reference the cached
+// slice instead of re-shipping shrinking subsets.
 type ScoreSpec struct {
-	Log       joblog.WireLog     `json:"log"`
-	Intern    []string           `json:"intern"`
+	Slice     LogSlice           `json:"slice"`
 	Level     features.Level     `json:"level"`      // deriver level (the full Table 1 set)
 	CandLevel features.Level     `json:"cand_level"` // Section 6.8 clause-feature restriction
 	Target    string             `json:"target"`
-	PairA     []int              `json:"pair_a"` // local record indices per working-set row
+	PairA     []int              `json:"pair_a"` // slice-local record indices per working-set row
 	PairB     []int              `json:"pair_b"`
 	Labels    []bool             `json:"labels"` // per working-set row
 	PairVec   []joblog.WireValue `json:"pair_vec"`
@@ -125,6 +204,36 @@ type CandSpec struct {
 // ScoreResult lists a shard's candidates in ascending feature order.
 type ScoreResult struct {
 	Cands []CandSpec `json:"cands,omitempty"`
+}
+
+// EvalSpec is a self-contained unit of explanation evaluation: the
+// shard's slice of the quadratic obs/exp walk EvaluateExplanation
+// performs over the despite context (the query's despite clause
+// conjoined with the explanation's generated extension). Like EnumSpec
+// it carries blocking groups with outer ranges and the splitmix counter
+// ranges of the subsampling decision; unlike EnumSpec it returns only
+// four integer counts, accumulated worker-side by fused popcounts, so
+// merged metrics are exact and identical to the serial walk at every
+// shard count.
+type EvalSpec struct {
+	Slice    LogSlice           `json:"slice"`
+	Global   []int              `json:"global"` // global record index per local record
+	Groups   []EnumGroup        `json:"groups,omitempty"`
+	KeepP    float64            `json:"keep_p"`
+	Seed     uint64             `json:"seed"`
+	Level    features.Level     `json:"level"`
+	Despite  pxql.PredicateSpec `json:"despite"` // query despite ∧ generated extension
+	Observed pxql.PredicateSpec `json:"observed"`
+	Expected pxql.PredicateSpec `json:"expected"`
+	Because  pxql.PredicateSpec `json:"because"`
+}
+
+// EvalResult carries one shard's contribution to the metric counts.
+type EvalResult struct {
+	Context     int `json:"context"`       // pairs satisfying the despite context
+	Exp         int `json:"exp"`           // … additionally satisfying expected
+	Bec         int `json:"bec"`           // … additionally satisfying because
+	ObsGivenBec int `json:"obs_given_bec"` // … satisfying because and observed
 }
 
 // cutPoint returns the start of shard s's slice of n units under an
@@ -161,6 +270,58 @@ func (x *localIndexer) wire() joblog.WireLog {
 	return joblog.WireSlice(x.log.Schema, x.recs)
 }
 
+// groupCut is one shard's slice of a blocked pair walk: the wire form of
+// the records its groups touch, the global index per local record, and
+// the groups with the outer-member ranges this shard owns.
+type groupCut struct {
+	Log    joblog.WireLog
+	Global []int
+	Groups []EnumGroup
+}
+
+// cutGroupShards cuts the flattened (group, outer-member) sequence of a
+// blocked pair space into nShards proportional, contiguous slices —
+// the single definition of how both the enumeration and the evaluation
+// planner partition a quadratic pair walk. Shard boundaries may fall
+// inside a blocking group (it then appears in several cuts with disjoint
+// outer ranges); when nShards exceeds the outer-member count, trailing
+// cuts are empty.
+func cutGroupShards(log *joblog.Log, groups [][]int, nShards int) []groupCut {
+	units := 0
+	for _, g := range groups {
+		units += len(g)
+	}
+	cuts := make([]groupCut, nShards)
+	for s := 0; s < nShards; s++ {
+		lo, hi := cutPoint(units, nShards, s), cutPoint(units, nShards, s+1)
+		idx := newLocalIndexer(log)
+		var cut groupCut
+		off := 0
+		for _, g := range groups {
+			gLo, gHi := lo-off, hi-off
+			off += len(g)
+			if gLo < 0 {
+				gLo = 0
+			}
+			if gHi > len(g) {
+				gHi = len(g)
+			}
+			if gLo >= gHi {
+				continue
+			}
+			eg := EnumGroup{Members: make([]int, len(g)), Lo: gLo, Hi: gHi}
+			for k, ri := range g {
+				eg.Members[k] = idx.of(ri)
+			}
+			cut.Groups = append(cut.Groups, eg)
+		}
+		cut.Log = idx.wire()
+		cut.Global = idx.global
+		cuts[s] = cut
+	}
+	return cuts
+}
+
 // PlanEnumShards partitions the blocked pair space of (log, despite)
 // into nShards self-contained enumeration specs. The flattened (group,
 // outer-member) sequence is cut proportionally, so shard boundaries may
@@ -179,15 +340,12 @@ func PlanEnumShards(log *joblog.Log, level features.Level, q *pxql.Query,
 		nShards = 1
 	}
 	groups, keepP := blockedGroups(log, despite, maxPairs)
-	units := 0
-	for _, g := range groups {
-		units += len(g)
-	}
-
 	specs := make([]EnumSpec, nShards)
-	for s := 0; s < nShards; s++ {
-		lo, hi := cutPoint(units, nShards, s), cutPoint(units, nShards, s+1)
-		spec := EnumSpec{
+	for s, cut := range cutGroupShards(log, groups, nShards) {
+		specs[s] = EnumSpec{
+			Log:      cut.Log,
+			Global:   cut.Global,
+			Groups:   cut.Groups,
 			KeepP:    keepP,
 			Seed:     seed,
 			Level:    level,
@@ -195,29 +353,39 @@ func PlanEnumShards(log *joblog.Log, level features.Level, q *pxql.Query,
 			Observed: q.Observed.Spec(),
 			Expected: q.Expected.Spec(),
 		}
-		idx := newLocalIndexer(log)
-		off := 0
-		for _, g := range groups {
-			gLo, gHi := lo-off, hi-off
-			off += len(g)
-			if gLo < 0 {
-				gLo = 0
-			}
-			if gHi > len(g) {
-				gHi = len(g)
-			}
-			if gLo >= gHi {
-				continue
-			}
-			eg := EnumGroup{Members: make([]int, len(g)), Lo: gLo, Hi: gHi}
-			for k, ri := range g {
-				eg.Members[k] = idx.of(ri)
-			}
-			spec.Groups = append(spec.Groups, eg)
+	}
+	return specs
+}
+
+// PlanEvalShards partitions the quadratic walk of EvaluateExplanation —
+// the ordered pairs of the despite context des ∧ des' — into nShards
+// self-contained evaluation specs, cut exactly like enumeration shards.
+// Each spec's slice is content-addressed, so repeated evaluations over
+// the same log and despite context (the common case: a harness scoring
+// one explanation at several widths) reference cached slices instead of
+// re-shipping them.
+func PlanEvalShards(log *joblog.Log, level features.Level, q *pxql.Query,
+	x *Explanation, maxPairs, nShards int, seed uint64) []EvalSpec {
+
+	if nShards < 1 {
+		nShards = 1
+	}
+	despite := q.Despite.And(x.Despite)
+	groups, keepP := blockedGroups(log, despite, maxPairs)
+	specs := make([]EvalSpec, nShards)
+	for s, cut := range cutGroupShards(log, groups, nShards) {
+		specs[s] = EvalSpec{
+			Slice:    NewLogSlice(cut.Log, nil),
+			Global:   cut.Global,
+			Groups:   cut.Groups,
+			KeepP:    keepP,
+			Seed:     seed,
+			Level:    level,
+			Despite:  despite.Spec(),
+			Observed: q.Observed.Spec(),
+			Expected: q.Expected.Spec(),
+			Because:  x.Because.Spec(),
 		}
-		spec.Log = idx.wire()
-		spec.Global = idx.global
-		specs[s] = spec
 	}
 	return specs
 }
@@ -322,6 +490,110 @@ func (s *EnumSpec) Run() (*EnumResult, error) {
 	return res, nil
 }
 
+// Run executes the evaluation spec in this process, decoding its slice.
+func (s *EvalSpec) Run() (*EvalResult, error) {
+	data, err := s.Slice.Data()
+	if err != nil {
+		return nil, err
+	}
+	return s.RunWith(data)
+}
+
+// RunWith executes the evaluation spec against an already-decoded slice
+// (the worker cache's hit path). The walk mirrors EvaluateExplanation's
+// batched inner loop bit for bit: the despite context fills a selection
+// bitmap per tile, expected and because push down over copies, observed
+// pushes down over the because selection, and all four counts are
+// popcounts — integers, so summing shard results in any grouping equals
+// the serial totals exactly.
+func (s *EvalSpec) RunWith(data *SliceData) (*EvalResult, error) {
+	log := data.Log
+	if len(s.Global) != log.Len() {
+		return nil, fmt.Errorf("core: eval spec has %d global indices for %d records", len(s.Global), log.Len())
+	}
+	if s.Level < features.Level1 || s.Level > features.Level3 {
+		return nil, fmt.Errorf("core: eval spec has invalid feature level %d", s.Level)
+	}
+	for gi, g := range s.Groups {
+		if g.Lo < 0 || g.Hi < g.Lo || g.Hi > len(g.Members) {
+			return nil, fmt.Errorf("core: eval spec group %d has invalid outer range [%d, %d)", gi, g.Lo, g.Hi)
+		}
+		for _, li := range g.Members {
+			if li < 0 || li >= log.Len() {
+				return nil, fmt.Errorf("core: eval spec group %d references record %d of %d", gi, li, log.Len())
+			}
+		}
+	}
+	despite, err := s.Despite.Predicate()
+	if err != nil {
+		return nil, err
+	}
+	obs, err := s.Observed.Predicate()
+	if err != nil {
+		return nil, err
+	}
+	exp, err := s.Expected.Predicate()
+	if err != nil {
+		return nil, err
+	}
+	bec, err := s.Because.Predicate()
+	if err != nil {
+		return nil, err
+	}
+
+	d := features.NewDeriver(log.Schema, s.Level)
+	cols := data.Cols
+	cDes := despite.Compile(d, cols)
+	cObs := obs.Compile(d, cols)
+	cExp := exp.Compile(d, cols)
+	cBec := bec.Compile(d, cols)
+
+	res := &EvalResult{}
+	des := bitset.Make(pairBlock)
+	scratch := bitset.Make(pairBlock)
+	ai := make([]int, 0, pairBlock)
+	bi := make([]int, 0, pairBlock)
+	flush := func() {
+		if len(ai) == 0 {
+			return
+		}
+		nw := bitset.Words(len(ai))
+		dS, t := des[:nw], scratch[:nw]
+		cDes.EvalBlock(ai, bi, dS)
+		res.Context += dS.Count()
+		t.CopyFrom(dS)
+		cExp.AndBlock(ai, bi, t)
+		res.Exp += t.Count()
+		t.CopyFrom(dS)
+		cBec.AndBlock(ai, bi, t)
+		res.Bec += t.Count()
+		cObs.AndBlock(ai, bi, t)
+		res.ObsGivenBec += t.Count()
+		ai, bi = ai[:0], bi[:0]
+	}
+	for _, g := range s.Groups {
+		for _, li := range g.Members[g.Lo:g.Hi] {
+			gi := s.Global[li]
+			for _, lj := range g.Members {
+				gj := s.Global[lj]
+				if gi == gj {
+					continue
+				}
+				if !keepPair(s.Seed, gi, gj, s.KeepP) {
+					continue
+				}
+				ai = append(ai, li)
+				bi = append(bi, lj)
+				if len(ai) == pairBlock {
+					flush()
+				}
+			}
+		}
+	}
+	flush()
+	return res, nil
+}
+
 // pairSlice builds the wire form of the records a pair list touches,
 // in first-appearance order over (a0, b0, a1, b1, ...), plus the pairs
 // re-addressed by local index.
@@ -336,15 +608,34 @@ func pairSlice(log *joblog.Log, refs []pairRef) (wire joblog.WireLog, pa, pb []i
 	return idx.wire(), pa, pb
 }
 
+// plannedSample is the shard-execution view of one training sample: its
+// record slice in content-addressed wire form (built once per growth
+// loop — the unit every materialization and scoring spec of the
+// explanation shares) plus the slice-local pair indices per sample row.
+type plannedSample struct {
+	slice  LogSlice
+	pa, pb []int // slice-local record indices per sample row
+}
+
+// planSample builds the sample's shared slice. It returns nil when no
+// shard runner is configured — the direct path needs no wire form.
+func (e *Explainer) planSample(sample *pairSet) *plannedSample {
+	if e.cfg.Runner == nil {
+		return nil
+	}
+	wire, pa, pb := pairSlice(e.log, sample.refs)
+	intern := e.log.Columns().Intern().Strings()
+	return &plannedSample{slice: NewLogSlice(wire, intern), pa: pa, pb: pb}
+}
+
 // planMatShards cuts the sample's rows into nShards contiguous
-// materialization specs.
-func planMatShards(log *joblog.Log, level features.Level, ps *pairSet, nShards int) []MatSpec {
+// materialization specs over the shared sample slice.
+func planMatShards(plan *plannedSample, level features.Level, nShards int) []MatSpec {
 	if nShards < 1 {
 		nShards = 1
 	}
-	intern := log.Columns().Intern().Strings()
-	n := len(ps.refs)
-	// More specs than rows would only replicate the intern table into
+	n := len(plan.pa)
+	// More specs than rows would only replicate the shared slice into
 	// empty shards.
 	if nShards > n && n > 0 {
 		nShards = n
@@ -352,18 +643,31 @@ func planMatShards(log *joblog.Log, level features.Level, ps *pairSet, nShards i
 	specs := make([]MatSpec, nShards)
 	for s := 0; s < nShards; s++ {
 		lo, hi := cutPoint(n, nShards, s), cutPoint(n, nShards, s+1)
-		wire, pa, pb := pairSlice(log, ps.refs[lo:hi])
-		specs[s] = MatSpec{Log: wire, Intern: intern, Level: level, PairA: pa, PairB: pb, Row0: lo}
+		specs[s] = MatSpec{
+			Slice: plan.slice,
+			Level: level,
+			PairA: plan.pa[lo:hi],
+			PairB: plan.pb[lo:hi],
+			Row0:  lo,
+		}
 	}
 	return specs
 }
 
-// Run executes the materialization spec in this process.
+// Run executes the materialization spec in this process, decoding its
+// slice.
 func (s *MatSpec) Run() (*MatResult, error) {
-	log, err := s.Log.Log()
+	data, err := s.Slice.Data()
 	if err != nil {
 		return nil, err
 	}
+	return s.RunWith(data)
+}
+
+// RunWith executes the materialization spec against an already-decoded
+// slice (the worker cache's hit path).
+func (s *MatSpec) RunWith(data *SliceData) (*MatResult, error) {
+	log := data.Log
 	if s.Level < features.Level1 || s.Level > features.Level3 {
 		return nil, fmt.Errorf("core: mat spec has invalid feature level %d", s.Level)
 	}
@@ -375,21 +679,19 @@ func (s *MatSpec) Run() (*MatResult, error) {
 			return nil, fmt.Errorf("core: mat spec pair %d references record outside the %d-record slice", i, log.Len())
 		}
 	}
-	cols, err := log.ColumnsSeeded(s.Intern)
-	if err != nil {
-		return nil, err
-	}
 	d := features.NewDeriver(log.Schema, s.Level)
 	m := d.NewPairMatrix(len(s.PairA))
 	for i := range s.PairA {
-		m.Fill(cols, i, s.PairA[i], s.PairB[i])
+		m.Fill(data.Cols, i, s.PairA[i], s.PairB[i])
 	}
 	return &MatResult{Row0: s.Row0, N: m.N, Num: m.Num, Sym: m.Sym}, nil
 }
 
 // planScoreShards cuts one candidate-scoring round into nShards
-// contiguous feature-range specs over the current working set.
-func (e *Explainer) planScoreShards(sample *pairSet, labels []bool, cur []int,
+// contiguous feature-range specs over the current working set. Every
+// spec of every round references the same sample slice, so with a
+// caching runtime only the first frame of the growth loop ships records.
+func (e *Explainer) planScoreShards(plan *plannedSample, labels []bool, cur []int,
 	pairVec []joblog.Value, clause pxql.Predicate) []ScoreSpec {
 
 	nFeat := e.d.Schema().Len()
@@ -398,18 +700,18 @@ func (e *Explainer) planScoreShards(sample *pairSet, labels []bool, cur []int,
 		nShards = 1
 	}
 	// More specs than features would only duplicate the shared payload
-	// (each spec ships the log slice and intern table) to do nothing.
+	// to do nothing.
 	if nShards > nFeat && nFeat > 0 {
 		nShards = nFeat
 	}
-	refs := make([]pairRef, len(cur))
+	pa := make([]int, len(cur))
+	pb := make([]int, len(cur))
 	subLabels := make([]bool, len(cur))
 	for k, i := range cur {
-		refs[k] = sample.refs[i]
+		pa[k] = plan.pa[i]
+		pb[k] = plan.pb[i]
 		subLabels[k] = labels[i]
 	}
-	wire, pa, pb := pairSlice(e.log, refs)
-	intern := e.log.Columns().Intern().Strings()
 	vec := make([]joblog.WireValue, len(pairVec))
 	for i, v := range pairVec {
 		vec[i] = joblog.WireValue{Kind: v.Kind.String(), Num: v.Num, Str: v.Str}
@@ -417,8 +719,7 @@ func (e *Explainer) planScoreShards(sample *pairSet, labels []bool, cur []int,
 	specs := make([]ScoreSpec, nShards)
 	for s := 0; s < nShards; s++ {
 		specs[s] = ScoreSpec{
-			Log:       wire,
-			Intern:    intern,
+			Slice:     plan.slice,
 			Level:     e.d.Level(),
 			CandLevel: e.cfg.Level,
 			Target:    e.cfg.Target,
@@ -434,16 +735,22 @@ func (e *Explainer) planScoreShards(sample *pairSet, labels []bool, cur []int,
 	return specs
 }
 
-// Run executes the scoring spec in this process: it rebuilds the
-// working set's pair matrix from the log slice (intern-seeded, so the
-// planes are bit-equal to the coordinator's) and scores its feature
-// range with the same per-feature search the in-process candidates loop
-// uses.
+// Run executes the scoring spec in this process, decoding its slice.
 func (s *ScoreSpec) Run() (*ScoreResult, error) {
-	log, err := s.Log.Log()
+	data, err := s.Slice.Data()
 	if err != nil {
 		return nil, err
 	}
+	return s.RunWith(data)
+}
+
+// RunWith executes the scoring spec against an already-decoded slice
+// (the worker cache's hit path): it rebuilds the working set's pair
+// matrix from the sample slice (intern-seeded, so the planes are
+// bit-equal to the coordinator's) and scores its feature range with the
+// same per-feature search the in-process candidates loop uses.
+func (s *ScoreSpec) RunWith(data *SliceData) (*ScoreResult, error) {
+	log := data.Log
 	if s.Level < features.Level1 || s.Level > features.Level3 ||
 		s.CandLevel < features.Level1 || s.CandLevel > features.Level3 {
 		return nil, fmt.Errorf("core: score spec has invalid levels %d/%d", s.Level, s.CandLevel)
@@ -484,10 +791,7 @@ func (s *ScoreSpec) Run() (*ScoreResult, error) {
 			return nil, fmt.Errorf("core: score spec pair vector value %d has unknown kind %q", i, wv.Kind)
 		}
 	}
-	cols, err := log.ColumnsSeeded(s.Intern)
-	if err != nil {
-		return nil, err
-	}
+	cols := data.Cols
 
 	// Materialize only this spec's feature columns: DeriveNum/DeriveSym
 	// compute exactly the cells MaterializeInto would have written (the
@@ -558,14 +862,15 @@ func (e *Explainer) enumeratePairs(q *pxql.Query, despite pxql.Predicate, seed u
 }
 
 // materializePairs materializes the sample's pair matrix, through the
-// shard runner when one is configured. Shard results are copied into
+// shard runner when one is configured (plan is the sample's shared
+// slice, nil on the direct path). Shard results are copied into
 // row-disjoint ranges, so the merged matrix equals a local fill bit for
 // bit.
-func (e *Explainer) materializePairs(sample *pairSet) (*features.PairMatrix, error) {
+func (e *Explainer) materializePairs(sample *pairSet, plan *plannedSample) (*features.PairMatrix, error) {
 	if e.cfg.Runner == nil {
 		return materialize(e.log, e.d, sample, e.cfg.Parallelism), nil
 	}
-	specs := planMatShards(e.log, e.d.Level(), sample, e.cfg.Shards)
+	specs := planMatShards(plan, e.d.Level(), e.cfg.Shards)
 	results, err := e.cfg.Runner.RunMat(specs)
 	if err != nil {
 		return nil, fmt.Errorf("core: shard materialization: %w", err)
@@ -592,10 +897,10 @@ func (e *Explainer) materializePairs(sample *pairSet) (*features.PairMatrix, err
 // one scoring round fanned out over contiguous feature ranges. Results
 // concatenate in spec order, i.e. ascending feature order — exactly the
 // compaction order of the in-process loop.
-func (e *Explainer) candidatesSharded(sample *pairSet, labels []bool, cur []int,
+func (e *Explainer) candidatesSharded(plan *plannedSample, labels []bool, cur []int,
 	pairVec []joblog.Value, clause pxql.Predicate) ([]candidate, error) {
 
-	specs := e.planScoreShards(sample, labels, cur, pairVec, clause)
+	specs := e.planScoreShards(plan, labels, cur, pairVec, clause)
 	results, err := e.cfg.Runner.RunScore(specs)
 	if err != nil {
 		return nil, fmt.Errorf("core: shard scoring: %w", err)

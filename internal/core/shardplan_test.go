@@ -157,6 +157,167 @@ func TestPlanEnumShardsInvariance(t *testing.T) {
 	}
 }
 
+// TestPlanEvalShardsMatchesSerial pins the sharded evaluation walk:
+// merged shard counts must reproduce EvaluateExplanationP's metrics
+// exactly — same context/because pair counts, same ratios — at every
+// shard count, with and without the pair cap, for empty and non-trivial
+// explanations.
+func TestPlanEvalShardsMatchesSerial(t *testing.T) {
+	log := groupedLog(90, rand.New(rand.NewSource(4)))
+	q := blockedQuery()
+	explanations := []*Explanation{
+		{},
+		{Because: pxql.Predicate{{Feature: "x_compare", Op: pxql.OpEq, Value: joblog.Str("GT")}}},
+		{
+			Despite: pxql.Predicate{{Feature: "x_issame", Op: pxql.OpEq, Value: features.ValF}},
+			Because: pxql.Predicate{{Feature: "x_diff", Op: pxql.OpNe, Value: joblog.Str("")}},
+		},
+	}
+	for xi, x := range explanations {
+		for _, maxPairs := range []int{0, 500} {
+			serial, serialErr := EvaluateExplanationP(log, features.Level3, q, x, maxPairs, 3, 1)
+			for _, nShards := range []int{1, 2, 3, 7, 16, 64} {
+				name := fmt.Sprintf("x=%d maxPairs=%d shards=%d", xi, maxPairs, nShards)
+				specs := PlanEvalShards(log, features.Level3, q, x, maxPairs, nShards, stats.DeriveSeed(3, "evaluate"))
+				if len(specs) != nShards {
+					t.Fatalf("%s: planned %d specs", name, len(specs))
+				}
+				var context, exp, bec, obsGivenBec int
+				for si := range specs {
+					res, err := specs[si].Run()
+					if err != nil {
+						t.Fatalf("%s: spec %d: %v", name, si, err)
+					}
+					context += res.Context
+					exp += res.Exp
+					bec += res.Bec
+					obsGivenBec += res.ObsGivenBec
+				}
+				merged, mergedErr := metricsFromCounts(context, exp, bec, obsGivenBec)
+				if (serialErr == nil) != (mergedErr == nil) {
+					t.Fatalf("%s: error mismatch: serial=%v merged=%v", name, serialErr, mergedErr)
+				}
+				if serialErr == nil && merged != serial {
+					t.Errorf("%s: merged metrics %+v differ from serial %+v", name, merged, serial)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanEvalShardsSharedRunner pins the public entry point: the
+// sharded evaluation through a runner equals the serial metrics, and a
+// nil runner falls back to the in-process walk.
+func TestPlanEvalShardsSharedRunner(t *testing.T) {
+	log := groupedLog(60, rand.New(rand.NewSource(6)))
+	q := blockedQuery()
+	x := &Explanation{Because: pxql.Predicate{{Feature: "x_compare", Op: pxql.OpEq, Value: joblog.Str("GT")}}}
+	serial, err := EvaluateExplanationP(log, features.Level3, q, x, 400, 9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaNil, err := EvaluateExplanationSharded(log, features.Level3, q, x, 400, 9, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaNil != serial {
+		t.Errorf("nil-runner fallback %+v differs from serial %+v", viaNil, serial)
+	}
+	viaRunner, err := EvaluateExplanationSharded(log, features.Level3, q, x, 400, 9, 4, serialEvalRunner{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaRunner != serial {
+		t.Errorf("runner-backed metrics %+v differ from serial %+v", viaRunner, serial)
+	}
+}
+
+// serialEvalRunner executes specs inline — the minimal ShardRunner for
+// planner tests inside the core package (internal/shard cannot be
+// imported from here).
+type serialEvalRunner struct{}
+
+func (serialEvalRunner) RunEnum(specs []EnumSpec) ([]EnumResult, error) {
+	out := make([]EnumResult, len(specs))
+	for i := range specs {
+		r, err := specs[i].Run()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = *r
+	}
+	return out, nil
+}
+
+func (serialEvalRunner) RunMat(specs []MatSpec) ([]MatResult, error) {
+	out := make([]MatResult, len(specs))
+	for i := range specs {
+		r, err := specs[i].Run()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = *r
+	}
+	return out, nil
+}
+
+func (serialEvalRunner) RunScore(specs []ScoreSpec) ([]ScoreResult, error) {
+	out := make([]ScoreResult, len(specs))
+	for i := range specs {
+		r, err := specs[i].Run()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = *r
+	}
+	return out, nil
+}
+
+func (serialEvalRunner) RunEval(specs []EvalSpec) ([]EvalResult, error) {
+	out := make([]EvalResult, len(specs))
+	for i := range specs {
+		r, err := specs[i].Run()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = *r
+	}
+	return out, nil
+}
+
+// TestLogSliceHashStability pins the content-address: equal content
+// hashes equal, any mutation — record value, intern entry, field name —
+// changes the hash, and the planners actually share one hash across the
+// specs of a round (the property the cache's savings depend on).
+func TestLogSliceHashStability(t *testing.T) {
+	log := groupedLog(30, rand.New(rand.NewSource(12)))
+	intern := log.Columns().Intern().Strings()
+	s1 := NewLogSlice(log.Wire(), intern)
+	s2 := NewLogSlice(log.Wire(), intern)
+	if s1.Hash == "" || s1.Hash != s2.Hash {
+		t.Fatalf("equal content produced hashes %q vs %q", s1.Hash, s2.Hash)
+	}
+	grown := append(append([]string(nil), intern...), "extra")
+	if NewLogSlice(log.Wire(), grown).Hash == s1.Hash {
+		t.Error("intern change did not change the hash")
+	}
+	wire := log.Wire()
+	wire.Records[0].Values[1].Num++
+	if NewLogSlice(wire, intern).Hash == s1.Hash {
+		t.Error("record change did not change the hash")
+	}
+
+	q := blockedQuery()
+	x := &Explanation{}
+	specs := PlanEvalShards(log, features.Level3, q, x, 0, 4, 7)
+	again := PlanEvalShards(log, features.Level3, q, x, 0, 4, 7)
+	for si := range specs {
+		if specs[si].Slice.Hash != again[si].Slice.Hash {
+			t.Errorf("eval spec %d hash unstable across plans", si)
+		}
+	}
+}
+
 // TestPlanEnumShardsEmptyAndStraddling pins the two planner edge cases
 // the equivalence suite relies on: more shards than outer units yields
 // empty specs that execute to empty results, and a group larger than

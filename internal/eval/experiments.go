@@ -17,8 +17,15 @@ import (
 var DefaultWidths = []int{0, 1, 2, 3, 4, 5}
 
 // evaluate measures an explanation on the test log with the harness's
-// protocol settings, on the given worker bound.
+// protocol settings, on the given worker bound. With sharding
+// configured the quadratic walk fans out through the shard runner —
+// the same pool every repetition and experiment cell shares — and is
+// exact: shard counts sum to the serial totals, so tables are
+// byte-identical with and without a runner.
 func (h *Harness) evaluate(test *joblog.Log, q *pxql.Query, x *core.Explanation, seed int64, workers int) (core.Metrics, error) {
+	if runner := h.shardRunner(workers); runner != nil {
+		return core.EvaluateExplanationSharded(test, features.Level3, q, x, h.MaxPairs, seed, h.Shards, runner)
+	}
 	return core.EvaluateExplanationP(test, features.Level3, q, x, h.MaxPairs, seed, workers)
 }
 

@@ -45,9 +45,12 @@ type Harness struct {
 	// reads them in rep order.
 	Parallelism int
 	// Shards and Runner thread sharded pair-pipeline execution (see
-	// core.Config) through every PerfXplain explainer the harness builds.
-	// Setting Shards without a Runner selects the in-process shard
-	// runtime. Tables are byte-identical with and without a runner.
+	// core.Config) through every PerfXplain explainer the harness builds
+	// and through every metric evaluation. One Runner — typically one
+	// worker pool — is shared across all repetitions and experiment
+	// cells, so slices cached worker-side survive from one evaluation to
+	// the next. Setting Shards without a Runner selects the in-process
+	// shard runtime. Tables are byte-identical with and without a runner.
 	Shards int
 	Runner core.ShardRunner
 }

@@ -12,7 +12,14 @@ package joblog
 // corrupt frames from a broken (or fuzzed) peer can never panic a
 // worker. Round-tripping a well-formed log is lossless.
 
-import "fmt"
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"math"
+)
 
 // WireValue is the wire form of one Value; Kind uses the same names as
 // Kind.String so frames stay readable and version-stable.
@@ -94,6 +101,46 @@ func (w WireLog) Log() (*Log, error) {
 		}
 	}
 	return l, nil
+}
+
+// HashSlice returns the content address of a wire log slice and the
+// intern table it ships with: the hex SHA-256 of a canonical byte
+// encoding (every variable-length part is length-prefixed, so distinct
+// slices can never alias). Shard workers key their decoded-columns
+// cache on this hash, which is why it must be a pure function of the
+// shipped content and nothing else — not the process, not the pointer
+// identity, not the encoding library's framing.
+func HashSlice(w WireLog, intern []string) string {
+	h := sha256.New()
+	var scratch [8]byte
+	writeUint := func(n uint64) {
+		binary.LittleEndian.PutUint64(scratch[:], n)
+		h.Write(scratch[:])
+	}
+	writeStr := func(s string) {
+		writeUint(uint64(len(s)))
+		io.WriteString(h, s)
+	}
+	writeUint(uint64(len(w.Fields)))
+	for _, f := range w.Fields {
+		writeStr(f.Name)
+		writeUint(uint64(f.Kind))
+	}
+	writeUint(uint64(len(w.Records)))
+	for _, r := range w.Records {
+		writeStr(r.ID)
+		writeUint(uint64(len(r.Values)))
+		for _, v := range r.Values {
+			writeStr(v.Kind)
+			writeUint(math.Float64bits(v.Num))
+			writeStr(v.Str)
+		}
+	}
+	writeUint(uint64(len(intern)))
+	for _, s := range intern {
+		writeStr(s)
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Strings returns the intern table's strings in symbol-ID order — the

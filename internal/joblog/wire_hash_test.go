@@ -1,0 +1,64 @@
+package joblog
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestHashSliceInjective pins the canonical encoding behind the content
+// address: equal content hashes equal, and the length-prefixing keeps
+// adversarially similar inputs — values shuffled across the
+// record/intern boundary, strings that concatenate identically — from
+// aliasing.
+func TestHashSliceInjective(t *testing.T) {
+	schema := NewSchema([]Field{
+		{Name: "a", Kind: Nominal},
+		{Name: "b", Kind: Numeric},
+	})
+	log := NewLog(schema)
+	log.MustAppend(&Record{ID: "r1", Values: []Value{Str("xy"), Num(1)}})
+	log.MustAppend(&Record{ID: "r2", Values: []Value{None(), Num(2)}})
+
+	base := HashSlice(log.Wire(), []string{"xy", "z"})
+	if base != HashSlice(log.Wire(), []string{"xy", "z"}) {
+		t.Fatal("equal content produced different hashes")
+	}
+	if len(base) != 64 {
+		t.Fatalf("hash %q is not hex sha-256", base)
+	}
+
+	cases := map[string]string{}
+	add := func(name, h string) {
+		if other, dup := cases[h]; dup {
+			t.Errorf("%s aliases %s: %s", name, other, h)
+		}
+		cases[h] = name
+	}
+	add("base", base)
+	add("intern reordered", HashSlice(log.Wire(), []string{"z", "xy"}))
+	add("intern split", HashSlice(log.Wire(), []string{"x", "yz"}))
+	add("intern empty", HashSlice(log.Wire(), nil))
+
+	w := log.Wire()
+	w.Records[0].Values[1].Num = 3
+	add("value changed", HashSlice(w, []string{"xy", "z"}))
+
+	w2 := log.Wire()
+	w2.Records[0].ID = "r1x"
+	add("id changed", HashSlice(w2, []string{"xy", "z"}))
+
+	w3 := log.Wire()
+	w3.Fields[0].Name = "aa"
+	add("field renamed", HashSlice(w3, []string{"xy", "z"}))
+
+	w4 := log.Wire()
+	w4.Records[0].Values[0].Str = "x" + strings.Repeat("y", 1)
+	if h := HashSlice(w4, []string{"xy", "z"}); h != base {
+		t.Errorf("identical content after rebuild hashed differently")
+	}
+
+	// Missing vs empty nominal: same Str payload, different kind.
+	w5 := log.Wire()
+	w5.Records[1].Values[0].Kind = Nominal.String()
+	add("missing→nominal", HashSlice(w5, []string{"xy", "z"}))
+}

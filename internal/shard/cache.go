@@ -1,0 +1,129 @@
+package shard
+
+// The worker-side half of content-addressed slice shipping. Planners
+// hash every log slice they cut (core.LogSlice); a worker that receives
+// a full slice decodes it once — log, columnar view, seeded intern
+// table — and keeps the decoded form keyed by hash. When the
+// coordinator later ships a hash-only reference (it tracks per
+// connection which hashes it has already sent), the worker resolves it
+// from the cache; if eviction has dropped the entry, the worker answers
+// with a CacheMiss result and the coordinator re-ships the payload. The
+// cache can therefore never change output, only bytes on the wire: a
+// hit hands the executor the decoded form of exactly the bytes a full
+// ship would have carried, and a miss degrades to a full ship.
+//
+// One sliceCache belongs to one worker loop (one subprocess, one
+// accepted socket connection, one in-proc worker goroutine) and is
+// accessed serially by it — no locking.
+
+import (
+	"os"
+	"strconv"
+
+	"perfxplain/internal/core"
+)
+
+// DefaultCacheBytes bounds each worker's decoded-slice cache. Workers
+// read the PXQL_SHARD_CACHE_BYTES environment variable at startup to
+// override it (0 disables caching); tests set this variable directly
+// for in-process listeners.
+var DefaultCacheBytes = int64(256 << 20)
+
+// CacheBytesEnv is the environment variable overriding DefaultCacheBytes
+// in worker processes.
+const CacheBytesEnv = "PXQL_SHARD_CACHE_BYTES"
+
+func cacheBudget() int64 {
+	if v := os.Getenv(CacheBytesEnv); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			return n
+		}
+	}
+	return DefaultCacheBytes
+}
+
+type cacheEntry struct {
+	data  *core.SliceData
+	size  int64
+	stamp int64 // last-use tick for LRU eviction
+}
+
+// sliceCache is a byte-budgeted LRU of decoded slices.
+type sliceCache struct {
+	budget  int64
+	used    int64
+	tick    int64
+	entries map[string]*cacheEntry
+}
+
+func newSliceCache(budget int64) *sliceCache {
+	return &sliceCache{budget: budget, entries: make(map[string]*cacheEntry)}
+}
+
+// get returns the cached decoded slice, refreshing its LRU stamp, or
+// nil on a miss.
+func (c *sliceCache) get(hash string) *core.SliceData {
+	e := c.entries[hash]
+	if e == nil {
+		return nil
+	}
+	c.tick++
+	e.stamp = c.tick
+	return e.data
+}
+
+// put caches a decoded slice, evicting least-recently-used entries
+// until the budget holds. A slice bigger than the whole budget is not
+// cached at all — the coordinator's miss-retry path keeps re-shipping
+// it, trading bytes for bounded worker memory.
+func (c *sliceCache) put(hash string, data *core.SliceData, size int64) {
+	if hash == "" || size > c.budget {
+		return
+	}
+	if old := c.entries[hash]; old != nil {
+		c.used -= old.size
+		delete(c.entries, hash)
+	}
+	for c.used+size > c.budget && len(c.entries) > 0 {
+		var oldest string
+		var oldestStamp int64
+		first := true
+		for h, e := range c.entries {
+			if first || e.stamp < oldestStamp {
+				oldest, oldestStamp, first = h, e.stamp, false
+			}
+		}
+		c.used -= c.entries[oldest].size
+		delete(c.entries, oldest)
+	}
+	c.tick++
+	c.entries[hash] = &cacheEntry{data: data, size: size, stamp: c.tick}
+	c.used += size
+}
+
+// workerState is the per-worker-loop protocol state: the slice cache.
+type workerState struct {
+	cache *sliceCache
+}
+
+func newWorkerState() *workerState {
+	return &workerState{cache: newSliceCache(cacheBudget())}
+}
+
+// resolve produces the decoded form of a spec's slice: a reference
+// frame resolves from the cache (miss reports CacheMiss to the
+// coordinator), a payload frame decodes and populates the cache.
+func (ws *workerState) resolve(s *core.LogSlice) (data *core.SliceData, miss bool, err error) {
+	if s.Ref {
+		if d := ws.cache.get(s.Hash); d != nil {
+			return d, false, nil
+		}
+		return nil, true, nil
+	}
+	d, err := s.Data()
+	if err != nil {
+		return nil, false, err
+	}
+	ws.cache.put(s.Hash, d, int64(s.SizeEstimate()))
+	return d, false, nil
+}

@@ -12,12 +12,18 @@ package shard_test
 // PXQL_SHARD_WORKER=1 (see TestMain in worker_main_test.go).
 
 import (
+	"bytes"
+	"encoding/gob"
+	"errors"
 	"fmt"
+	"io"
 	"math/rand"
+	"net"
 	"os"
 	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"perfxplain/internal/core"
 	"perfxplain/internal/features"
@@ -107,8 +113,12 @@ EXPECTED duration_compare = SIM`)
 }
 
 // render dumps every user-visible facet of an explanation plus its
-// held-out metrics with full float precision.
-func render(t *testing.T, log *joblog.Log, q *pxql.Query, x *core.Explanation) string {
+// held-out metrics with full float precision. With a runner, the
+// metrics run through the sharded evaluation walk — so comparing a
+// sharded render against the serial one pins EvaluateExplanation's
+// distributed path too.
+func render(t *testing.T, log *joblog.Log, q *pxql.Query, x *core.Explanation,
+	shards int, runner core.ShardRunner) string {
 	t.Helper()
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s\n", x)
@@ -117,7 +127,13 @@ func render(t *testing.T, log *joblog.Log, q *pxql.Query, x *core.Explanation) s
 	for i, a := range x.Atoms {
 		fmt.Fprintf(&b, "atom[%d]: %s precision=%v generality=%v\n", i, a.Atom, a.Precision, a.Generality)
 	}
-	m, err := core.EvaluateExplanation(log, features.Level3, q, x, 0, 7)
+	var m core.Metrics
+	var err error
+	if runner != nil {
+		m, err = core.EvaluateExplanationSharded(log, features.Level3, q, x, 0, 7, shards, runner)
+	} else {
+		m, err = core.EvaluateExplanation(log, features.Level3, q, x, 0, 7)
+	}
 	if err != nil {
 		t.Fatalf("evaluate: %v", err)
 	}
@@ -145,7 +161,7 @@ func explainWith(t *testing.T, log *joblog.Log, q *pxql.Query, shards int, runne
 	if err != nil {
 		t.Fatal(err)
 	}
-	return render(t, log, q, x)
+	return render(t, log, q, x, shards, runner)
 }
 
 // workerPool returns a subprocess pool backed by this test binary.
@@ -243,6 +259,175 @@ func TestEquivalenceStraddlingGroup(t *testing.T) {
 	want := explainWith(t, log, q, 0, nil)
 	if got := explainWith(t, log, q, 7, shard.InProc{}); got != want {
 		t.Errorf("straddling-group plan diverges:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// socketPool starts an in-process loopback listener serving the shard
+// protocol with token auth and returns a pool of socket transports
+// dialing it — the remote-worker topology, minus the second machine.
+func socketPool(t *testing.T, workers int) *shard.Pool {
+	t.Helper()
+	const token = "equivalence-test-token"
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go shard.Serve(ln, token)
+	t.Cleanup(func() { ln.Close() })
+	p := &shard.Pool{
+		Dialer:  &shard.SocketDialer{Addrs: []string{ln.Addr().String()}, Token: token},
+		Workers: workers,
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+// TestEquivalenceSocket pins the loopback-TCP transport: byte-identical
+// output at every shard count, with the slice cache cold (first pass)
+// and warm (second pass over the same pool — by then every sample and
+// evaluation slice is cached worker-side and ships as a hash).
+func TestEquivalenceSocket(t *testing.T) {
+	log := equivLog(60)
+	q := equivQuery(t, log)
+	want := explainWith(t, log, q, 0, nil)
+	pool := socketPool(t, 2)
+	for pass, label := range []string{"cold", "warm"} {
+		for _, n := range shardCounts() {
+			got := explainWith(t, log, q, n, pool)
+			if got != want {
+				t.Errorf("socket shards=%d (%s cache) diverges from serial:\n--- got ---\n%s--- want ---\n%s",
+					n, label, got, want)
+			}
+		}
+		if pass == 1 {
+			if s := pool.Stats(); s.SliceHits == 0 {
+				t.Errorf("warm pass recorded no slice-cache hits: %+v", s)
+			}
+		}
+	}
+}
+
+// TestEquivalenceChanTransport pins the in-process channel transport —
+// the full frame protocol, slice cache included, without serialization.
+func TestEquivalenceChanTransport(t *testing.T) {
+	log := equivLog(60)
+	q := equivQuery(t, log)
+	want := explainWith(t, log, q, 0, nil)
+	pool := &shard.Pool{Dialer: shard.InProcDialer{}, Workers: 3}
+	t.Cleanup(pool.Close)
+	for _, n := range shardCounts() {
+		got := explainWith(t, log, q, n, pool)
+		if got != want {
+			t.Errorf("chan-transport shards=%d diverges from serial:\n--- got ---\n%s--- want ---\n%s", n, got, want)
+		}
+	}
+}
+
+// TestSocketWorkerDiesMidFrame pins the truncated-frame case on the
+// socket transport: a worker that completes the handshake, accepts a
+// task and then dies halfway through writing its result must surface as
+// a typed *shard.TransportError — never a hang, never a panic, never a
+// silent partial result.
+func TestSocketWorkerDiesMidFrame(t *testing.T) {
+	const token = "mid-frame-token"
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	// A half gob-encoded result frame: enough bytes to look like the
+	// start of a stream, cut before the frame completes.
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&shard.Result{Version: shard.Version, Seq: 0}); err != nil {
+		t.Fatal(err)
+	}
+	half := buf.Bytes()[:buf.Len()/2]
+
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		// Server half of the handshake (the wire format transport.go
+		// documents): 32-byte challenge out, 32-byte HMAC back, OK byte.
+		nonce := make([]byte, 32)
+		if _, err := conn.Write(nonce); err != nil {
+			return
+		}
+		mac := make([]byte, 32)
+		if _, err := io.ReadFull(conn, mac); err != nil {
+			return
+		}
+		if _, err := conn.Write([]byte{0x4f}); err != nil {
+			return
+		}
+		// Read some of the task, answer with a truncated frame, die.
+		io.ReadFull(conn, make([]byte, 16))
+		conn.Write(half)
+	}()
+
+	// The fake server skips HMAC verification, so any token dials.
+	pool := &shard.Pool{
+		Dialer:  &shard.SocketDialer{Addrs: []string{ln.Addr().String()}, Token: token},
+		Workers: 1,
+	}
+	defer pool.Close()
+
+	log := equivLog(20)
+	q := equivQuery(t, log)
+	specs := core.PlanEnumShards(log, features.Level3, q, q.Despite, 0, 2, 1)
+	done := make(chan error, 1)
+	go func() {
+		_, err := pool.RunEnum(specs)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("expected an error from a worker dying mid-frame")
+		}
+		var te *shard.TransportError
+		if !errors.As(err, &te) {
+			t.Fatalf("mid-frame death surfaced as %T (%v), want *shard.TransportError", err, err)
+		}
+		if te.Op != "recv" {
+			t.Errorf("transport error op = %q, want \"recv\"", te.Op)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("truncated frame hung the coordinator")
+	}
+}
+
+// TestSocketBadToken pins authentication: a coordinator with the wrong
+// token is rejected during the handshake with a typed transport error.
+func TestSocketBadToken(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go shard.Serve(ln, "right-token")
+	defer ln.Close()
+
+	pool := &shard.Pool{
+		Dialer:  &shard.SocketDialer{Addrs: []string{ln.Addr().String()}, Token: "wrong-token"},
+		Workers: 1,
+	}
+	defer pool.Close()
+	log := equivLog(20)
+	q := equivQuery(t, log)
+	specs := core.PlanEnumShards(log, features.Level3, q, q.Despite, 0, 2, 1)
+	_, err = pool.RunEnum(specs)
+	if err == nil {
+		t.Fatal("expected a handshake rejection with the wrong token")
+	}
+	var te *shard.TransportError
+	if !errors.As(err, &te) {
+		t.Fatalf("bad token surfaced as %T (%v), want *shard.TransportError", err, err)
+	}
+	if te.Op != "handshake" {
+		t.Errorf("transport error op = %q, want \"handshake\"", te.Op)
 	}
 }
 

@@ -192,6 +192,32 @@ func FuzzShardCodec(f *testing.F) {
 			}
 		}
 
+		// Evaluation shards: gob/JSON-lossless, and the decoded spec
+		// reproduces the original's counts — including through the
+		// reference/cache path a worker would take.
+		x := &core.Explanation{Despite: d.fuzzPredicate(dr), Because: d.fuzzPredicate(dr)}
+		evalSpecs := core.PlanEvalShards(log, features.Level3, q, x, 1+d.intn(64), 1+d.intn(4), uint64(d.next()))
+		for si := range evalSpecs {
+			spec := &evalSpecs[si]
+			want, wantErr := spec.Run()
+			dec := roundTripGob(t, spec)
+			roundTripJSON(t, spec)
+			got, gotErr := dec.Run()
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("decoded eval spec error mismatch: %v vs %v", wantErr, gotErr)
+			}
+			if wantErr == nil && *want != *got {
+				t.Fatalf("decoded eval spec counts differ: %+v vs %+v", want, got)
+			}
+			// A reference frame without a cached payload must error, not
+			// panic or fabricate counts.
+			ref := *spec
+			ref.Slice = ref.Slice.AsRef()
+			if _, err := ref.Run(); err == nil {
+				t.Fatalf("reference slice without cache executed")
+			}
+		}
+
 		// The log slice and intern table round-trip losslessly on their
 		// own (the codec pieces in joblog).
 		wire := log.Wire()

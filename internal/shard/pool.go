@@ -1,138 +1,116 @@
 package shard
 
-// Pool runs shard specs on worker subprocesses — `pxql -shard-worker`
-// children wired up over stdin/stdout pipes. Workers are spawned lazily
-// on first use and persist across batches (an Explain makes several
-// runner calls: enumeration, materialization, one scoring round per
-// clause atom); Close terminates them. Specs are pulled off a shared
-// counter, so scheduling is dynamic, but results land in spec-indexed
-// slots — output never depends on which worker ran what.
+// Pool runs shard specs on a fleet of workers reached through
+// transports — subprocess pipes, in-process channel workers, or
+// authenticated TCP sockets to remote machines (see transport.go).
+// Workers are dialed lazily on first use and persist across batches (an
+// Explain makes several runner calls: enumeration, materialization, one
+// scoring round per clause atom; a harness adds evaluation rounds);
+// Close terminates them. Specs are pulled off a shared counter, so
+// scheduling is dynamic, but results land in spec-indexed slots —
+// output never depends on which worker ran what.
+//
+// The pool is also the coordinator half of content-addressed slice
+// shipping: it remembers, per connection, which slice hashes it has
+// shipped, sends hash-only reference frames for known ones, and
+// re-ships the payload when a worker reports a cache miss. Stats()
+// exposes the frame, byte and cache counters.
 
 import (
-	"encoding/gob"
 	"errors"
 	"fmt"
-	"io"
-	"os"
-	"os/exec"
 	"sync"
 	"sync/atomic"
 
 	"perfxplain/internal/core"
 )
 
-// Pool is a core.ShardRunner backed by worker subprocesses.
+// ErrPoolClosed is returned by batch calls after Close.
+var ErrPoolClosed = errors.New("shard: pool is closed")
+
+// Pool is a core.ShardRunner backed by worker transports.
 type Pool struct {
-	// Command is the worker argv, e.g. ["pxql", "-shard-worker"]. The
-	// process must speak the shard protocol on stdin/stdout.
+	// Command is the worker argv, e.g. ["pxql", "-shard-worker"], used
+	// when Dialer is nil: each worker is a subprocess speaking the shard
+	// protocol on stdin/stdout.
 	Command []string
-	// Env is appended to the parent environment of every worker.
+	// Env is appended to the parent environment of every subprocess
+	// worker (ignored with a custom Dialer).
 	Env []string
-	// Workers is the number of subprocesses (<= 0 means 1).
+	// Workers is the number of worker connections (<= 0 means 1).
 	Workers int
+	// Dialer overrides how workers are reached — SubprocessDialer is the
+	// Command default; InProcDialer runs workers as goroutines;
+	// SocketDialer connects to remote listeners.
+	Dialer Dialer
+	// DisableSliceCache ships every slice payload in full, even when the
+	// worker already holds it — the ablation knob behind
+	// BENCH_remote.json's with/without comparison.
+	DisableSliceCache bool
 
-	mu    sync.Mutex
-	procs []*workerProc
+	mu     sync.Mutex
+	closed bool
+	procs  []*workerProc
+	stats  Stats
 }
 
+// workerProc is one leased connection: a transport plus the
+// coordinator-side record of which slice hashes were shipped on it —
+// mapped to the payload's size estimate, computed once per hash so the
+// hit path's bytes-saved accounting never rescans the slice. The mutex
+// serializes one round-trip at a time.
 type workerProc struct {
-	mu       sync.Mutex // one in-flight round-trip per worker
-	cmd      *exec.Cmd
-	stdin    io.WriteCloser
-	enc      *gob.Encoder
-	dec      *gob.Decoder
-	stderr   *tailBuffer
-	killOnce sync.Once
+	mu   sync.Mutex
+	tr   Transport
+	sent map[string]int
 }
 
-// tailBuffer keeps the last max bytes written — enough worker stderr to
-// diagnose a death without unbounded growth.
-type tailBuffer struct {
-	mu  sync.Mutex
-	max int
-	buf []byte
-}
+// Stats returns a snapshot of the pool's runtime counters.
+func (p *Pool) Stats() StatsSnapshot { return p.stats.Snapshot() }
 
-func (t *tailBuffer) Write(p []byte) (int, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.buf = append(t.buf, p...)
-	if len(t.buf) > t.max {
-		t.buf = append(t.buf[:0], t.buf[len(t.buf)-t.max:]...)
+func (p *Pool) dialer() (Dialer, error) {
+	if p.Dialer != nil {
+		return p.Dialer, nil
 	}
-	return len(p), nil
-}
-
-func (t *tailBuffer) String() string {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return string(t.buf)
+	if len(p.Command) == 0 {
+		return nil, errors.New("shard: pool has no worker command or dialer")
+	}
+	return SubprocessDialer{Command: p.Command, Env: p.Env}, nil
 }
 
 // lease tops the pool up to its configured worker count (first use
-// spawns the whole fleet; discarded workers are replaced here) and
+// dials the whole fleet; discarded workers are replaced here) and
 // returns a snapshot of the live list — a copy, because discard may
 // compact the pool's own slice while a batch is still iterating its
 // lease.
 func (p *Pool) lease() ([]*workerProc, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if len(p.Command) == 0 {
-		return nil, errors.New("shard: pool has no worker command")
+	if p.closed {
+		return nil, ErrPoolClosed
+	}
+	d, err := p.dialer()
+	if err != nil {
+		return nil, err
 	}
 	n := p.Workers
 	if n <= 0 {
 		n = 1
 	}
 	for len(p.procs) < n {
-		wp, err := p.spawn()
+		tr, err := d.Dial(&p.stats)
 		if err != nil {
 			return nil, err
 		}
-		p.procs = append(p.procs, wp)
+		p.procs = append(p.procs, &workerProc{tr: tr, sent: make(map[string]int)})
 	}
 	return append([]*workerProc(nil), p.procs...), nil
 }
 
-func (p *Pool) spawn() (*workerProc, error) {
-	cmd := exec.Command(p.Command[0], p.Command[1:]...)
-	cmd.Env = append(os.Environ(), p.Env...)
-	stderr := &tailBuffer{max: 4096}
-	cmd.Stderr = stderr
-	stdin, err := cmd.StdinPipe()
-	if err != nil {
-		return nil, fmt.Errorf("shard: worker stdin: %w", err)
-	}
-	stdout, err := cmd.StdoutPipe()
-	if err != nil {
-		return nil, fmt.Errorf("shard: worker stdout: %w", err)
-	}
-	if err := cmd.Start(); err != nil {
-		return nil, fmt.Errorf("shard: start worker %q: %w", p.Command[0], err)
-	}
-	return &workerProc{
-		cmd:    cmd,
-		stdin:  stdin,
-		enc:    gob.NewEncoder(stdin),
-		dec:    gob.NewDecoder(stdout),
-		stderr: stderr,
-	}, nil
-}
-
-func (w *workerProc) kill() {
-	w.killOnce.Do(func() {
-		w.stdin.Close()
-		if w.cmd.Process != nil {
-			w.cmd.Process.Kill()
-		}
-		w.cmd.Wait()
-	})
-}
-
-// discard removes a failed worker from the pool and reaps it. Only the
-// dead worker dies: concurrent batches keep their round-trips on the
-// surviving workers, so a crash fails the queries that used it, not the
-// pool — the next lease spawns a replacement.
+// discard removes a failed worker from the pool and closes its
+// transport. Only the dead worker dies: concurrent batches keep their
+// round-trips on the surviving workers, so a crash fails the queries
+// that used it, not the pool — the next lease dials a replacement.
 func (p *Pool) discard(w *workerProc) {
 	p.mu.Lock()
 	for i, pw := range p.procs {
@@ -142,37 +120,78 @@ func (p *Pool) discard(w *workerProc) {
 		}
 	}
 	p.mu.Unlock()
-	w.kill()
+	w.tr.Close()
 }
 
-// roundTrip sends one task and reads its result. A transport failure is
-// fatal for the worker; the caller tears the pool down.
-func (w *workerProc) roundTrip(t *Task) (*Result, error) {
+// exchange performs one raw frame round-trip, wrapping transport
+// failures — a truncated result frame from a worker dying mid-write
+// included — in *TransportError.
+func (w *workerProc) exchange(p *Pool, t *Task) (*Result, error) {
+	if err := w.tr.Send(t); err != nil {
+		return nil, &TransportError{Op: "send", Peer: w.tr.Peer(), Diag: w.tr.Diag(), Err: err}
+	}
+	p.stats.frameSent()
+	res, err := w.tr.Recv()
+	if err != nil {
+		return nil, &TransportError{Op: "recv", Peer: w.tr.Peer(), Diag: w.tr.Diag(), Err: err}
+	}
+	p.stats.frameReceived()
+	if res.Seq != t.Seq {
+		return nil, &TransportError{Op: "recv", Peer: w.tr.Peer(), Diag: w.tr.Diag(),
+			Err: fmt.Errorf("result seq %d for task %d", res.Seq, t.Seq)}
+	}
+	return res, nil
+}
+
+// roundTrip sends one task and reads its result, routing the task's
+// content-addressed slice through the per-connection cache protocol: a
+// hash the worker has already received ships as a reference frame, and
+// a worker-side cache miss (eviction) triggers one full re-ship. A
+// transport failure is fatal for the worker; the caller discards it.
+func (w *workerProc) roundTrip(p *Pool, t *Task) (*Result, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if err := w.enc.Encode(t); err != nil {
-		return nil, fmt.Errorf("shard: send task: %w (worker stderr: %s)", err, w.stderr.String())
+	slice := t.slice()
+	if slice == nil || slice.Hash == "" || p.DisableSliceCache {
+		return w.exchange(p, t)
 	}
-	var res Result
-	if err := w.dec.Decode(&res); err != nil {
-		return nil, fmt.Errorf("shard: read result: %w (worker stderr: %s)", err, w.stderr.String())
+	if size, shipped := w.sent[slice.Hash]; shipped {
+		res, err := w.exchange(p, t.stripped())
+		if err != nil {
+			return nil, err
+		}
+		if !res.CacheMiss {
+			p.stats.sliceHit(size)
+			return res, nil
+		}
+		// Evicted worker-side: fall through to a full re-ship.
 	}
-	if res.Seq != t.Seq {
-		return nil, fmt.Errorf("shard: result seq %d for task %d", res.Seq, t.Seq)
+	res, err := w.exchange(p, t)
+	if err != nil {
+		return nil, err
 	}
-	return &res, nil
+	if res.CacheMiss {
+		return nil, &TransportError{Op: "recv", Peer: w.tr.Peer(), Diag: w.tr.Diag(),
+			Err: errors.New("worker reported a cache miss for a full payload frame")}
+	}
+	p.stats.sliceMiss()
+	w.sent[slice.Hash] = slice.SizeEstimate()
+	return res, nil
 }
 
-// Close terminates every worker. The pool respawns on next use, so
-// Close is safe between batches; it is the owner's responsibility once
-// the pipeline is done.
+// Close terminates every worker and marks the pool closed: subsequent
+// batch calls return ErrPoolClosed. Close is idempotent and safe to
+// call concurrently — with other Closes and with in-flight batches,
+// whose round-trips fail with transport errors rather than hanging or
+// panicking.
 func (p *Pool) Close() {
 	p.mu.Lock()
 	procs := p.procs
 	p.procs = nil
+	p.closed = true
 	p.mu.Unlock()
 	for _, w := range procs {
-		w.kill()
+		w.tr.Close()
 	}
 }
 
@@ -206,7 +225,7 @@ func (p *Pool) do(tasks []Task) ([]Result, error) {
 				if i >= len(tasks) {
 					return
 				}
-				res, err := wp.roundTrip(&tasks[i])
+				res, err := wp.roundTrip(p, &tasks[i])
 				if err != nil {
 					fe.set(err)
 					p.discard(wp)
@@ -285,6 +304,26 @@ func (p *Pool) RunScore(specs []core.ScoreSpec) ([]core.ScoreResult, error) {
 			return nil, fmt.Errorf("shard: worker returned no scoring result for spec %d", i)
 		}
 		out[i] = *results[i].Score
+	}
+	return out, nil
+}
+
+// RunEval implements core.ShardRunner.
+func (p *Pool) RunEval(specs []core.EvalSpec) ([]core.EvalResult, error) {
+	tasks := make([]Task, len(specs))
+	for i := range specs {
+		tasks[i] = Task{Version: Version, Seq: i, Eval: &specs[i]}
+	}
+	results, err := p.do(tasks)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.EvalResult, len(specs))
+	for i := range results {
+		if results[i].Eval == nil {
+			return nil, fmt.Errorf("shard: worker returned no evaluation result for spec %d", i)
+		}
+		out[i] = *results[i].Eval
 	}
 	return out, nil
 }

@@ -1,16 +1,25 @@
 package shard
 
-// The wire protocol between a shard coordinator and its worker
-// subprocesses: a stream of gob-encoded Task frames on the worker's
-// stdin, answered one-for-one by gob-encoded Result frames on its
-// stdout. Every frame carries the protocol version; a worker refuses
-// mismatched frames with an error result instead of guessing. The
-// payloads themselves (log slices, intern tables, predicate specs,
-// splitmix counter ranges) are the core package's shard spec types,
-// whose decode paths validate everything — a corrupt or malicious frame
-// produces an error result, never a panic (FuzzShardCodec pins this).
+// The wire protocol between a shard coordinator and its workers: a
+// stream of gob-encoded Task frames answered one-for-one by gob-encoded
+// Result frames — over a subprocess's stdin/stdout, an in-process
+// channel pair, or an authenticated TCP socket (see transport.go; the
+// frames are transport-agnostic). Every frame carries the protocol
+// version; a worker refuses mismatched frames with an error result
+// instead of guessing. The payloads themselves (log slices, intern
+// tables, predicate specs, splitmix counter ranges) are the core
+// package's shard spec types, whose decode paths validate everything —
+// a corrupt or malicious frame produces an error result, never a panic
+// (FuzzShardCodec pins this).
 //
-// gob rather than JSON is the pipe encoding because the dominant frame
+// Specs that carry a content-addressed log slice (Mat, Score, Eval) may
+// arrive as references: the slice's hash without its payload, when the
+// coordinator knows it already shipped the payload on this connection.
+// A worker that no longer holds the slice (cache eviction) answers with
+// CacheMiss, and the coordinator re-ships the full frame — so caching
+// changes bytes on the wire, never results.
+//
+// gob rather than JSON is the frame encoding because the dominant frame
 // payloads are float64/uint64 planes and index slices, which gob moves
 // in binary; the spec types also carry JSON tags, so the same frames can
 // be dumped human-readably for debugging.
@@ -26,7 +35,9 @@ import (
 
 // Version is the shard protocol version. Bump it when a spec or frame
 // field changes meaning; workers reject frames from other versions.
-const Version = 1
+// Version 2: content-addressed slices (LogSlice refs + CacheMiss) and
+// evaluation shards.
+const Version = 2
 
 // Task is one request frame: exactly one spec pointer is set.
 type Task struct {
@@ -35,19 +46,64 @@ type Task struct {
 	Enum    *core.EnumSpec
 	Mat     *core.MatSpec
 	Score   *core.ScoreSpec
+	Eval    *core.EvalSpec
+}
+
+// slice returns the task's content-addressed log slice, nil for specs
+// that ship payloads inline (enumeration slices are disjoint per spec —
+// nothing to cache).
+func (t *Task) slice() *core.LogSlice {
+	switch {
+	case t.Mat != nil:
+		return &t.Mat.Slice
+	case t.Score != nil:
+		return &t.Score.Slice
+	case t.Eval != nil:
+		return &t.Eval.Slice
+	}
+	return nil
+}
+
+// stripped returns a copy of the task whose slice payload is replaced
+// by its hash reference — the frame sent to a worker that already holds
+// the payload.
+func (t *Task) stripped() *Task {
+	c := *t
+	switch {
+	case t.Mat != nil:
+		m := *t.Mat
+		m.Slice = m.Slice.AsRef()
+		c.Mat = &m
+	case t.Score != nil:
+		s := *t.Score
+		s.Slice = s.Slice.AsRef()
+		c.Score = &s
+	case t.Eval != nil:
+		e := *t.Eval
+		e.Slice = e.Slice.AsRef()
+		c.Eval = &e
+	}
+	return &c
 }
 
 // Result is one response frame, answering the Task with the same Seq.
-// Err is the task's error, if any; exactly one result pointer is set on
-// success.
+// Err is the task's error, if any; CacheMiss reports that a reference
+// slice was not in the worker's cache (the coordinator re-ships the
+// payload); exactly one result pointer is set on success.
 type Result struct {
-	Version int
-	Seq     int
-	Err     string
-	Enum    *core.EnumResult
-	Mat     *core.MatResult
-	Score   *core.ScoreResult
+	Version   int
+	Seq       int
+	Err       string
+	CacheMiss bool
+	Enum      *core.EnumResult
+	Mat       *core.MatResult
+	Score     *core.ScoreResult
+	Eval      *core.EvalResult
 }
+
+// flusher is implemented by buffered writers that need a per-frame
+// flush (socket workers); pipes write through unbuffered.
+type flusher interface{ Flush() error }
 
 // Worker serves shard tasks from r until EOF, writing one result per
 // task to w — the body of the `pxql -shard-worker` subprocess mode.
@@ -55,8 +111,13 @@ type Result struct {
 // as Result.Err; only transport failures (a truncated or undecodable
 // stream) end the loop with an error.
 func Worker(r io.Reader, w io.Writer) error {
+	return worker(r, w, newWorkerState())
+}
+
+func worker(r io.Reader, w io.Writer, ws *workerState) error {
 	dec := gob.NewDecoder(r)
 	enc := gob.NewEncoder(w)
+	fl, _ := w.(flusher)
 	for {
 		var t Task
 		if err := dec.Decode(&t); err != nil {
@@ -65,8 +126,13 @@ func Worker(r io.Reader, w io.Writer) error {
 			}
 			return fmt.Errorf("shard: decode task: %w", err)
 		}
-		if err := enc.Encode(dispatch(&t)); err != nil {
+		if err := enc.Encode(ws.dispatch(&t)); err != nil {
 			return fmt.Errorf("shard: encode result: %w", err)
+		}
+		if fl != nil {
+			if err := fl.Flush(); err != nil {
+				return fmt.Errorf("shard: flush result: %w", err)
+			}
 		}
 	}
 }

@@ -1,17 +1,17 @@
 // Package shard is the execution runtime for the pair pipeline's shard
 // specs (see internal/core/shard.go): it runs planned enumeration,
-// materialization and candidate-scoring shards either on this process's
-// worker pool (InProc — the default) or on a pool of worker subprocesses
-// speaking a versioned gob protocol over stdin/stdout pipes (Pool,
-// paired with the `pxql -shard-worker` mode).
+// materialization, candidate-scoring and evaluation shards either on
+// this process's worker pool (InProc — the default) or on a Pool of
+// workers reached through pluggable transports: subprocess stdin/stdout
+// pipes (`pxql -shard-worker`), in-process channel workers, or
+// authenticated TCP sockets to remote machines running `pxql
+// -shard-worker -listen` (see transport.go and Serve).
 //
 // Both runtimes implement core.ShardRunner and return results in spec
-// order, so the merged output is byte-identical to the serial path —
-// the property the equivalence test suite pins for every mode and shard
-// count. The subprocess protocol is the first step toward the ROADMAP's
-// "logs that exceed one box": specs are self-contained (log slice,
-// intern table, predicate specs, splitmix counter ranges), so the same
-// frames that cross a pipe today can cross a socket to another machine.
+// order, so the merged output is byte-identical to the serial path at
+// every shard count, on every transport, and with the content-addressed
+// slice cache (cache.go) in any state — the property the equivalence
+// test suite pins.
 package shard
 
 import (
@@ -84,21 +84,55 @@ func (r InProc) RunScore(specs []core.ScoreSpec) ([]core.ScoreResult, error) {
 	return out, err
 }
 
-// dispatch hands one decoded task to its executor — shared by the
-// subprocess worker loop and the Pool's frame round-trip checks.
-func dispatch(t *Task) *Result {
+// RunEval implements core.ShardRunner.
+func (r InProc) RunEval(specs []core.EvalSpec) ([]core.EvalResult, error) {
+	out := make([]core.EvalResult, len(specs))
+	err := r.runAll(len(specs), func(i int) error {
+		res, err := specs[i].Run()
+		if err != nil {
+			return err
+		}
+		out[i] = *res
+		return nil
+	})
+	return out, err
+}
+
+// dispatch hands one decoded task to its executor — shared by every
+// worker loop (subprocess, socket connection, in-proc goroutine). Specs
+// carrying a content-addressed slice resolve it through the worker's
+// cache: payload frames decode-and-cache, reference frames hit the
+// cache or report CacheMiss for the coordinator to re-ship.
+func (ws *workerState) dispatch(t *Task) *Result {
 	res := &Result{Version: Version, Seq: t.Seq}
 	defer func() {
 		// A panic must never kill a worker serving other shards: corrupt
 		// frames that slip past spec validation surface as task errors.
 		if r := recover(); r != nil {
-			res.Enum, res.Mat, res.Score = nil, nil, nil
+			res.Enum, res.Mat, res.Score, res.Eval = nil, nil, nil, nil
+			res.CacheMiss = false
 			res.Err = fmt.Sprintf("shard: task panicked: %v", r)
 		}
 	}()
-	switch {
-	case t.Version != Version:
+	if t.Version != Version {
 		res.Err = fmt.Sprintf("shard: protocol version %d, want %d", t.Version, Version)
+		return res
+	}
+	var data *core.SliceData
+	if s := t.slice(); s != nil {
+		var miss bool
+		var err error
+		data, miss, err = ws.resolve(s)
+		if miss {
+			res.CacheMiss = true
+			return res
+		}
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+	}
+	switch {
 	case t.Enum != nil:
 		r, err := t.Enum.Run()
 		if err != nil {
@@ -107,18 +141,25 @@ func dispatch(t *Task) *Result {
 			res.Enum = r
 		}
 	case t.Mat != nil:
-		r, err := t.Mat.Run()
+		r, err := t.Mat.RunWith(data)
 		if err != nil {
 			res.Err = err.Error()
 		} else {
 			res.Mat = r
 		}
 	case t.Score != nil:
-		r, err := t.Score.Run()
+		r, err := t.Score.RunWith(data)
 		if err != nil {
 			res.Err = err.Error()
 		} else {
 			res.Score = r
+		}
+	case t.Eval != nil:
+		r, err := t.Eval.RunWith(data)
+		if err != nil {
+			res.Err = err.Error()
+		} else {
+			res.Eval = r
 		}
 	default:
 		res.Err = "shard: task carries no spec"

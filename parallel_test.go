@@ -1,6 +1,7 @@
 package perfxplain
 
 import (
+	"net"
 	"runtime"
 	"sync"
 	"testing"
@@ -74,5 +75,92 @@ func TestExplanationIdenticalAcrossParallelism(t *testing.T) {
 		if gotM != baseM {
 			t.Errorf("Parallelism=%d metrics %+v differ from serial %+v", p, gotM, baseM)
 		}
+	}
+}
+
+// TestRemoteWorkersPublicAPI pins the public remote path end to end:
+// ServeShardWorkers on a loopback listener, coordinators reaching it
+// via Options.ShardAddrs and via a shared WorkerPool, explanations and
+// held-out metrics byte-identical to the direct path, and the shared
+// pool surviving — caches warm — across several explainers.
+func TestRemoteWorkersPublicAPI(t *testing.T) {
+	jobs := detLog(t)
+	baseX, baseM := explainAt(t, jobs, 1)
+
+	const token = "public-api-token"
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go ServeShardWorkers(ln, token)
+	t.Cleanup(func() { ln.Close() })
+	addr := ln.Addr().String()
+
+	q, err := ParseQuery(detQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1, id2, ok := FindPairOfInterest(jobs, q, 7)
+	if !ok {
+		t.Fatal("no pair of interest")
+	}
+	q.Bind(id1, id2)
+
+	// Per-explainer remote pool via Options.ShardAddrs.
+	opt := Options{Width: 3, DespiteWidth: 2, Seed: 7, Shards: 4,
+		ShardAddrs: []string{addr}, ShardToken: token}
+	ex, err := NewExplainer(jobs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := ex.ExplainWithDespite(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.String() != baseX {
+		t.Errorf("remote explanation differs:\n%s\nvs direct:\n%s", x.String(), baseX)
+	}
+	m, err := ex.Evaluate(jobs, q, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != baseM {
+		t.Errorf("remote metrics %+v differ from direct %+v", m, baseM)
+	}
+	if s, ok := ex.ShardStats(); !ok || s.FramesSent == 0 {
+		t.Errorf("remote explainer reported no shard traffic: %+v ok=%v", s, ok)
+	}
+	ex.Close()
+	ex.Close() // Close is idempotent
+
+	// One shared pool across several explainers (the harness topology).
+	pool, err := NewWorkerPool(PoolOptions{Addrs: []string{addr}, Token: token, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(pool.Close)
+	for round := 0; round < 2; round++ {
+		sx, err := NewExplainer(jobs, Options{Width: 3, DespiteWidth: 2, Seed: 7, Shards: 4, SharedPool: pool})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sx.ExplainWithDespite(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.String() != baseX {
+			t.Errorf("shared-pool round %d explanation differs:\n%s\nvs direct:\n%s", round, got.String(), baseX)
+		}
+		gm, err := sx.Evaluate(jobs, q, got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gm != baseM {
+			t.Errorf("shared-pool round %d metrics %+v differ from direct %+v", round, gm, baseM)
+		}
+		sx.Close() // must not tear down the shared pool
+	}
+	if s := pool.Stats(); s.SliceHits == 0 {
+		t.Errorf("shared pool recorded no slice-cache hits across rounds: %+v", s)
 	}
 }

@@ -30,6 +30,7 @@ package perfxplain
 import (
 	"fmt"
 	"io"
+	"net"
 	"os"
 
 	"perfxplain/internal/baselines"
@@ -234,14 +235,128 @@ type Options struct {
 	Shards int
 	// ShardWorkers, when > 0 alongside Shards, executes shards on that
 	// many worker subprocesses speaking the shard protocol over pipes.
-	// Call Explainer.Close to terminate them when done.
+	// Call Explainer.Close to terminate them when done. With ShardAddrs
+	// set it is the number of socket connections instead (default: one
+	// per address).
 	ShardWorkers int
 	// ShardWorkerCommand is the argv spawned per worker (default: this
 	// executable with the -shard-worker flag appended, which is what the
 	// pxql and pxqlexperiments binaries implement).
 	ShardWorkerCommand []string
+	// ShardAddrs, when set alongside Shards, executes shards on remote
+	// socket workers — machines running `pxql -shard-worker -listen`
+	// (or ListenAndServeShardWorkers). Requires ShardToken.
+	ShardAddrs []string
+	// ShardToken is the shared secret of the socket handshake; it must
+	// match the remote listeners' token.
+	ShardToken string
+	// SharedPool executes shards on a caller-owned worker pool (see
+	// NewWorkerPool) instead of constructing one per explainer: harnesses
+	// that build many explainers reuse one fleet — and its worker-side
+	// slice caches — across all of them. Overrides ShardWorkers and
+	// ShardAddrs; Explainer.Close leaves a shared pool running.
+	SharedPool *WorkerPool
 }
 
+// WorkerPool is a shared fleet of shard workers — subprocesses or
+// remote socket workers — that many explainers and evaluations can use
+// concurrently. Hoisting pool ownership out of per-explainer
+// construction keeps workers (and the log slices cached on them) alive
+// across repeated explanations; close it once, when all users are done.
+type WorkerPool struct {
+	p *shard.Pool
+}
+
+// PoolOptions configures NewWorkerPool.
+type PoolOptions struct {
+	// Workers is the number of worker connections (default: 1, or one
+	// per address when Addrs is set).
+	Workers int
+	// Command is the subprocess argv (default: this executable with
+	// -shard-worker appended). Ignored when Addrs is set.
+	Command []string
+	// Env is appended to each subprocess worker's environment.
+	Env []string
+	// Addrs selects remote socket workers listening on these addresses.
+	Addrs []string
+	// Token is the shared handshake secret; required with Addrs.
+	Token string
+}
+
+// NewWorkerPool builds a shard worker pool. The fleet is dialed lazily
+// on first use; Close terminates it.
+func NewWorkerPool(opt PoolOptions) (*WorkerPool, error) {
+	p := &shard.Pool{Workers: opt.Workers}
+	if len(opt.Addrs) > 0 {
+		if opt.Token == "" {
+			return nil, fmt.Errorf("perfxplain: remote shard workers require PoolOptions.Token")
+		}
+		p.Dialer = &shard.SocketDialer{Addrs: opt.Addrs, Token: opt.Token}
+		if p.Workers <= 0 {
+			p.Workers = len(opt.Addrs)
+		}
+		return &WorkerPool{p}, nil
+	}
+	cmd := opt.Command
+	if len(cmd) == 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, fmt.Errorf("perfxplain: resolve shard worker command: %w", err)
+		}
+		cmd = []string{exe, "-shard-worker"}
+	}
+	p.Command = cmd
+	p.Env = opt.Env
+	return &WorkerPool{p}, nil
+}
+
+// Close terminates the pool's workers. It is idempotent and safe to
+// call concurrently with in-flight work, which fails with transport
+// errors rather than hanging.
+func (wp *WorkerPool) Close() { wp.p.Close() }
+
+// Stats returns the pool's runtime counters.
+func (wp *WorkerPool) Stats() ShardStats { return newShardStats(wp.p.Stats()) }
+
+// ShardStats are the shard runtime's counters: protocol frames, frame
+// bytes on metered transports, and the content-addressed slice cache's
+// behaviour (hits = payloads not re-shipped; misses = full ships).
+type ShardStats struct {
+	FramesSent, FramesReceived int64
+	BytesSent, BytesReceived   int64
+	SliceHits, SliceMisses     int64
+	SliceBytesSaved            int64
+}
+
+func newShardStats(s shard.StatsSnapshot) ShardStats {
+	return ShardStats{
+		FramesSent:      s.FramesSent,
+		FramesReceived:  s.FramesReceived,
+		BytesSent:       s.BytesSent,
+		BytesReceived:   s.BytesReceived,
+		SliceHits:       s.SliceHits,
+		SliceMisses:     s.SliceMisses,
+		SliceBytesSaved: s.SliceBytesSaved,
+	}
+}
+
+// String renders the counters in the CLIs' -verbose format (one
+// formatter, shared with the shard runtime, so the two never drift).
+func (s ShardStats) String() string {
+	return shard.StatsSnapshot{
+		FramesSent:      s.FramesSent,
+		FramesReceived:  s.FramesReceived,
+		BytesSent:       s.BytesSent,
+		BytesReceived:   s.BytesReceived,
+		SliceHits:       s.SliceHits,
+		SliceMisses:     s.SliceMisses,
+		SliceBytesSaved: s.SliceBytesSaved,
+	}.String()
+}
+
+// coreConfig resolves the options into a core config plus the worker
+// pool the explainer owns (nil when shards run in-process or on a
+// caller-owned shared pool).
 func (o Options) coreConfig() (core.Config, *shard.Pool, error) {
 	cfg := core.Config{
 		Width:         o.Width,
@@ -257,34 +372,54 @@ func (o Options) coreConfig() (core.Config, *shard.Pool, error) {
 	if o.FeatureLevel != 0 {
 		cfg.Level = features.Level(o.FeatureLevel)
 	}
-	if o.ShardWorkers > 0 && o.Shards <= 0 {
-		return core.Config{}, nil, fmt.Errorf("perfxplain: Options.ShardWorkers requires Options.Shards")
+	if (o.ShardWorkers > 0 || len(o.ShardAddrs) > 0 || o.SharedPool != nil) && o.Shards <= 0 {
+		return core.Config{}, nil, fmt.Errorf("perfxplain: shard workers require Options.Shards")
 	}
-	var pool *shard.Pool
-	if o.Shards > 0 {
-		if o.ShardWorkers > 0 {
-			cmd := o.ShardWorkerCommand
-			if len(cmd) == 0 {
-				exe, err := os.Executable()
-				if err != nil {
-					return core.Config{}, nil, fmt.Errorf("perfxplain: resolve shard worker command: %w", err)
-				}
-				cmd = []string{exe, "-shard-worker"}
-			}
-			pool = &shard.Pool{Command: cmd, Workers: o.ShardWorkers}
-			cfg.Runner = pool
-		} else {
-			cfg.Runner = shard.InProc{Workers: o.Parallelism}
+	if o.Shards <= 0 {
+		return cfg, nil, nil
+	}
+	switch {
+	case o.SharedPool != nil:
+		cfg.Runner = o.SharedPool.p
+		return cfg, nil, nil
+	case len(o.ShardAddrs) > 0:
+		if o.ShardToken == "" {
+			return core.Config{}, nil, fmt.Errorf("perfxplain: Options.ShardAddrs requires Options.ShardToken")
 		}
+		workers := o.ShardWorkers
+		if workers <= 0 {
+			workers = len(o.ShardAddrs)
+		}
+		pool := &shard.Pool{
+			Dialer:  &shard.SocketDialer{Addrs: o.ShardAddrs, Token: o.ShardToken},
+			Workers: workers,
+		}
+		cfg.Runner = pool
+		return cfg, pool, nil
+	case o.ShardWorkers > 0:
+		cmd := o.ShardWorkerCommand
+		if len(cmd) == 0 {
+			exe, err := os.Executable()
+			if err != nil {
+				return core.Config{}, nil, fmt.Errorf("perfxplain: resolve shard worker command: %w", err)
+			}
+			cmd = []string{exe, "-shard-worker"}
+		}
+		pool := &shard.Pool{Command: cmd, Workers: o.ShardWorkers}
+		cfg.Runner = pool
+		return cfg, pool, nil
+	default:
+		cfg.Runner = shard.InProc{Workers: o.Parallelism}
+		return cfg, nil, nil
 	}
-	return cfg, pool, nil
 }
 
 // Explainer answers PXQL queries over one log.
 type Explainer struct {
 	ex   *core.Explainer
 	log  *Log
-	pool *shard.Pool
+	cfg  core.Config
+	pool *shard.Pool // owned; nil for in-process shards and shared pools
 }
 
 // NewExplainer builds an explainer over a job or task log.
@@ -297,16 +432,28 @@ func NewExplainer(log *Log, opt Options) (*Explainer, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Explainer{ex: ex, log: log, pool: pool}, nil
+	return &Explainer{ex: ex, log: log, cfg: cfg, pool: pool}, nil
 }
 
-// Close releases the explainer's resources: with Options.ShardWorkers
-// set it terminates the worker subprocesses. It is a no-op otherwise
-// and always safe to defer.
+// Close releases the explainer's resources: it terminates the worker
+// pool the explainer owns (Options.ShardWorkers or Options.ShardAddrs).
+// A pool shared via Options.SharedPool is left running — its owner
+// closes it. Close is idempotent, safe to call concurrently with
+// in-flight work, and always safe to defer.
 func (e *Explainer) Close() {
 	if e.pool != nil {
 		e.pool.Close()
 	}
+}
+
+// ShardStats returns the runtime counters of the explainer's worker
+// pool; ok is false when shards run in-process or on a shared pool
+// (query the WorkerPool directly for those).
+func (e *Explainer) ShardStats() (s ShardStats, ok bool) {
+	if e.pool == nil {
+		return ShardStats{}, false
+	}
+	return newShardStats(e.pool.Stats()), true
 }
 
 // Explanation is a generated (despite, because) answer plus its quality
@@ -424,6 +571,10 @@ func NewTargetQuery(target, obsCode, expCode string) (*Query, error) {
 	return &Query{q}, nil
 }
 
+// ShardTokenEnv is the environment variable the pxql binaries read the
+// shared shard-worker token from when no flag supplies it.
+const ShardTokenEnv = "PXQL_SHARD_TOKEN"
+
 // ShardWorker serves shard tasks from r until EOF, writing results to w
 // — the loop behind the pxql binaries' -shard-worker mode. Programs
 // embedding this package can expose the same mode (reading stdin,
@@ -431,6 +582,24 @@ func NewTargetQuery(target, obsCode, expCode string) (*Query, error) {
 // run explanation shards on their own subprocesses.
 func ShardWorker(r io.Reader, w io.Writer) error {
 	return shard.Worker(r, w)
+}
+
+// ListenAndServeShardWorkers turns this process into a remote shard
+// worker: it listens on a TCP address and serves the shard protocol on
+// every connection a coordinator opens — the loop behind `pxql
+// -shard-worker -listen`. Connections are authenticated with an
+// HMAC challenge over the shared token (which must be non-empty and
+// match the coordinator's Options.ShardToken); each connection gets its
+// own worker loop and content-addressed slice cache. The call blocks
+// until the listener fails.
+func ListenAndServeShardWorkers(addr, token string) error {
+	return shard.ListenAndServe(addr, token)
+}
+
+// ServeShardWorkers serves the shard protocol on an existing listener;
+// see ListenAndServeShardWorkers.
+func ServeShardWorkers(l net.Listener, token string) error {
+	return shard.Serve(l, token)
 }
 
 // Metrics are the paper's explanation-quality measures evaluated on a
@@ -442,13 +611,69 @@ type Metrics struct {
 }
 
 // Evaluate measures an explanation for a query against a log, typically
-// a held-out one.
+// a held-out one. With Options.Shards set the quadratic evaluation walk
+// runs as shard specs: on Options.SharedPool when given, on a pool
+// dialed (and torn down) for this call when ShardAddrs or ShardWorkers
+// are set, and in-process otherwise. Repeated evaluations should prefer
+// a SharedPool or Explainer.Evaluate, which keep workers — and their
+// slice caches — alive between calls. The metrics are identical in
+// every mode.
 func Evaluate(log *Log, q *Query, x *Explanation, opt Options) (Metrics, error) {
 	maxPairs := opt.MaxPairs
 	if maxPairs == 0 {
 		maxPairs = core.DefaultConfig().MaxPairs
 	}
-	m, err := core.EvaluateExplanationP(log.l, features.Level3, q.q, x.x, maxPairs, opt.Seed, opt.Parallelism)
+	var m core.Metrics
+	var err error
+	switch {
+	case opt.Shards > 0 && opt.SharedPool != nil:
+		m, err = core.EvaluateExplanationSharded(log.l, features.Level3, q.q, x.x, maxPairs, opt.Seed, opt.Shards, opt.SharedPool.p)
+	case opt.Shards > 0 && (len(opt.ShardAddrs) > 0 || opt.ShardWorkers > 0):
+		// Shard worker config must never be silently ignored — but a
+		// one-shot Evaluate dialing and tearing down a fleet per call
+		// would hide the cost callers configured workers to avoid.
+		pool, perr := NewWorkerPool(PoolOptions{
+			Workers: opt.ShardWorkers,
+			Command: opt.ShardWorkerCommand,
+			Addrs:   opt.ShardAddrs,
+			Token:   opt.ShardToken,
+		})
+		if perr != nil {
+			return Metrics{}, perr
+		}
+		defer pool.Close()
+		m, err = core.EvaluateExplanationSharded(log.l, features.Level3, q.q, x.x, maxPairs, opt.Seed, opt.Shards, pool.p)
+	case opt.Shards > 0:
+		m, err = core.EvaluateExplanationSharded(log.l, features.Level3, q.q, x.x, maxPairs, opt.Seed, opt.Shards,
+			shard.InProc{Workers: opt.Parallelism})
+	default:
+		m, err = core.EvaluateExplanationP(log.l, features.Level3, q.q, x.x, maxPairs, opt.Seed, opt.Parallelism)
+	}
+	if err != nil {
+		return Metrics{}, err
+	}
+	return Metrics{Relevance: m.Relevance, Precision: m.Precision, Generality: m.Generality}, nil
+}
+
+// Evaluate measures an explanation against a log through this
+// explainer's shard configuration: with a worker pool (owned or shared)
+// the quadratic walk fans out to the workers, whose cached log slices
+// make repeated evaluations — several widths of one explanation, say —
+// cheap to ship. Metrics are identical to the package-level Evaluate.
+func (e *Explainer) Evaluate(log *Log, q *Query, x *Explanation) (Metrics, error) {
+	maxPairs := e.cfg.MaxPairs
+	if maxPairs == 0 {
+		maxPairs = core.DefaultConfig().MaxPairs
+	}
+	var m core.Metrics
+	var err error
+	if e.cfg.Runner != nil {
+		m, err = core.EvaluateExplanationSharded(log.l, features.Level3, q.q, x.x,
+			maxPairs, e.cfg.Seed, e.cfg.Shards, e.cfg.Runner)
+	} else {
+		m, err = core.EvaluateExplanationP(log.l, features.Level3, q.q, x.x,
+			maxPairs, e.cfg.Seed, e.cfg.Parallelism)
+	}
 	if err != nil {
 		return Metrics{}, err
 	}
