@@ -1,0 +1,21 @@
+// Command pxqlvet runs this repository's custom static-analysis suite:
+// five analyzers that prove the determinism and shard-safety contracts
+// at the source level (see internal/analysis). It can be run
+// standalone over package patterns, or as a cmd/go vet tool:
+//
+//	go build -o /tmp/pxqlvet ./cmd/pxqlvet
+//	/tmp/pxqlvet ./...
+//	go vet -vettool=/tmp/pxqlvet ./...
+//
+// Individual analyzers are toggled with -<name>=false.
+package main
+
+import (
+	"os"
+
+	"perfxplain/internal/analysis/driver"
+)
+
+func main() {
+	os.Exit(driver.Main(os.Args[1:]))
+}

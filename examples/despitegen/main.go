@@ -36,6 +36,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer ex.Close()
 
 	// Relevance of the raw query: how likely is the expected behaviour
 	// given no context at all?

@@ -45,6 +45,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer ex.Close()
 	x, err := ex.Explain(q)
 	if err != nil {
 		log.Fatal(err)

@@ -49,6 +49,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer ex.Close()
 	px, err := ex.Explain(q)
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,151 @@
+// Package analysistest runs one analyzer over the fixture module under
+// internal/analysis/testdata/src and checks its diagnostics against the
+// fixtures' want comments, in the style of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// An expectation is written in a comment on the line the diagnostic is
+// reported at:
+//
+//	for _, v := range m { // want `range over map m`
+//
+// The directive is the token "want" followed by one or more Go-quoted
+// regular expressions (double- or back-quoted). It may sit anywhere
+// inside a comment, so a line whose only comment is a //pxql: marker can
+// still carry an expectation for a diagnostic reported at the marker
+// itself. Every diagnostic must match an expectation on its line and
+// every expectation must be matched by a diagnostic, or the test fails —
+// so a fixture with want comments fails loudly when its analyzer is
+// disabled or broken.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"perfxplain/internal/analysis"
+	"perfxplain/internal/analysis/driver"
+)
+
+// want is one expectation: a diagnostic on pos's line whose message
+// matches re.
+type want struct {
+	pos     token.Position
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads the fixture packages (import paths in the testdata module,
+// e.g. "fixtures/mapiter"), applies the analyzer with full cross-package
+// fact propagation, and fails the test for every unexpected diagnostic
+// and every unmatched want.
+func Run(t *testing.T, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src")
+	loaded, err := driver.Load(dir, pkgs)
+	if err != nil {
+		t.Fatalf("loading fixtures from %s: %v", dir, err)
+	}
+	byPkg, err := loaded.Run([]*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	// Collect expectations from the target packages' fixture files.
+	wants := make(map[string][]*want) // "file:line" → expectations
+	for _, u := range loaded.Units {
+		if !loaded.Targets[u.Path] {
+			continue
+		}
+		for _, f := range u.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					pos := u.Fset.Position(c.Pos())
+					for _, w := range parseWants(t, pos, c.Text) {
+						k := lineKey(w.pos)
+						wants[k] = append(wants[k], w)
+					}
+				}
+			}
+		}
+	}
+
+	for _, u := range loaded.Units {
+		for _, d := range byPkg[u.Path] {
+			p := u.Fset.Position(d.Pos)
+			matched := false
+			for _, w := range wants[lineKey(p)] {
+				if !w.matched && w.re.MatchString(d.Message) {
+					w.matched = true
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				t.Errorf("%s: unexpected diagnostic: %s", p, d.Message)
+			}
+		}
+	}
+	keys := make([]string, 0, len(wants))
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				t.Errorf("%s: no %s diagnostic on this line matching %q", w.pos, a.Name, w.raw)
+			}
+		}
+	}
+}
+
+func lineKey(p token.Position) string {
+	return fmt.Sprintf("%s:%d", p.Filename, p.Line)
+}
+
+// wantToken locates the expectation directive inside a comment's text.
+var wantToken = regexp.MustCompile(`\bwant[ \t]+`)
+
+// parseWants extracts the quoted regexps following a want token; a
+// malformed directive fails the test rather than silently expecting
+// nothing.
+func parseWants(t *testing.T, pos token.Position, text string) []*want {
+	t.Helper()
+	loc := wantToken.FindStringIndex(text)
+	if loc == nil {
+		return nil
+	}
+	rest := text[loc[1]:]
+	var out []*want
+	for {
+		rest = strings.TrimLeft(rest, " \t")
+		if rest == "" || (rest[0] != '"' && rest[0] != '`') {
+			break
+		}
+		q, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			t.Fatalf("%s: malformed want directive %q: %v", pos, rest, err)
+		}
+		rest = rest[len(q):]
+		raw, err := strconv.Unquote(q)
+		if err != nil {
+			t.Fatalf("%s: malformed want pattern %s: %v", pos, q, err)
+		}
+		re, err := regexp.Compile(raw)
+		if err != nil {
+			t.Fatalf("%s: want pattern %q does not compile: %v", pos, raw, err)
+		}
+		out = append(out, &want{pos: pos, re: re, raw: raw})
+	}
+	if len(out) == 0 {
+		t.Fatalf("%s: want directive carries no quoted regexp", pos)
+	}
+	return out
+}

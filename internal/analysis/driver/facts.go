@@ -1,0 +1,85 @@
+package driver
+
+import (
+	"bytes"
+	"encoding/gob"
+	"os"
+	"sync"
+)
+
+// factStore holds analyzer facts by (package path, analyzer name,
+// object key). In standalone mode one in-memory store spans the whole
+// topologically ordered run; in unitchecker mode the store is loaded
+// from the dependency .vetx files cmd/go hands us and the current
+// package's contribution is serialized back out for downstream units.
+type factStore struct {
+	mu sync.Mutex
+	m  map[string]map[string]map[string]string // pkg -> analyzer -> key -> payload
+}
+
+func newFactStore() *factStore {
+	return &factStore{m: make(map[string]map[string]map[string]string)}
+}
+
+func (s *factStore) facts(pkgPath, analyzer string) map[string]string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	byAnalyzer, ok := s.m[pkgPath]
+	if !ok {
+		return nil
+	}
+	return byAnalyzer[analyzer]
+}
+
+func (s *factStore) export(pkgPath, analyzer, key, payload string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	byAnalyzer, ok := s.m[pkgPath]
+	if !ok {
+		byAnalyzer = make(map[string]map[string]string)
+		s.m[pkgPath] = byAnalyzer
+	}
+	byKey, ok := byAnalyzer[analyzer]
+	if !ok {
+		byKey = make(map[string]string)
+		byAnalyzer[analyzer] = byKey
+	}
+	byKey[key] = payload
+}
+
+// vetxPayload is the serialized form of one package's facts.
+type vetxPayload map[string]map[string]string // analyzer -> key -> payload
+
+// writeVetx serializes pkgPath's facts to file (an empty payload is
+// still written: cmd/go requires the output file to exist).
+func (s *factStore) writeVetx(pkgPath, file string) error {
+	s.mu.Lock()
+	payload := vetxPayload(s.m[pkgPath])
+	if payload == nil {
+		payload = vetxPayload{}
+	}
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(payload)
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(file, buf.Bytes(), 0o666)
+}
+
+// readVetx loads a dependency's facts file into the store. Missing or
+// malformed files are ignored: facts are an optimization for better
+// diagnostics, never load-bearing for soundness of the direct checks.
+func (s *factStore) readVetx(pkgPath, file string) {
+	data, err := os.ReadFile(file)
+	if err != nil || len(data) == 0 {
+		return
+	}
+	var payload vetxPayload
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&payload); err != nil {
+		return
+	}
+	s.mu.Lock()
+	s.m[pkgPath] = payload
+	s.mu.Unlock()
+}

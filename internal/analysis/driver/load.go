@@ -1,0 +1,210 @@
+// Package driver runs the pxqlvet analyzer suite over type-checked
+// packages. It is deliberately built on nothing but the standard
+// library: packages are discovered and compiled with `go list -export`,
+// dependencies are imported from the toolchain's export data via
+// go/importer's gc mode, and the two entry points — a standalone
+// pattern runner and the cmd/go vet unitchecker protocol — share one
+// loading and analysis core. (golang.org/x/tools provides this as a
+// framework; vendoring it is not an option here, so the subset the
+// suite needs is implemented directly.)
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"perfxplain/internal/analysis"
+)
+
+// listPkg is the subset of `go list -json` output the driver consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	Deps       []string
+	DepOnly    bool
+	Module     *struct {
+		Path      string
+		Main      bool
+		GoVersion string
+	}
+	Error *struct{ Err string }
+}
+
+// goList runs `go list -e -export -deps -json` on the patterns,
+// compiling every package so its export data exists, and decodes the
+// JSON stream.
+func goList(dir string, patterns []string) ([]*listPkg, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOWORK=off")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Unit is one parsed, type-checked package ready for analysis.
+type Unit struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// newImporter builds a types importer that resolves import paths
+// through importMap and reads dependency type information from the
+// export-data files in packageFile — the same mechanism the compiler
+// and cmd/vet use, so no source re-checking of dependencies ever
+// happens.
+func newImporter(fset *token.FileSet, packageFile, importMap map[string]string) types.ImporterFrom {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := packageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	inner := importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)
+	return &mappedImporter{inner: inner, importMap: importMap}
+}
+
+type mappedImporter struct {
+	inner     types.ImporterFrom
+	importMap map[string]string
+}
+
+func (m *mappedImporter) Import(path string) (*types.Package, error) {
+	return m.ImportFrom(path, "", 0)
+}
+
+func (m *mappedImporter) ImportFrom(path, dir string, _ types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if mapped, ok := m.importMap[path]; ok && mapped != "" {
+		path = mapped
+	}
+	return m.inner.ImportFrom(path, dir, 0)
+}
+
+// checkFiles parses and type-checks one package's files. The fset is
+// shared with the importer (export data records positions into it) and,
+// in standalone mode, across units.
+func checkFiles(fset *token.FileSet, path string, fileNames []string, dir string, imp types.Importer, goVersion string) (*Unit, error) {
+	files := make([]*ast.File, 0, len(fileNames))
+	for _, name := range fileNames {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", goArch()),
+	}
+	if goVersion != "" && strings.HasPrefix(goVersion, "go") {
+		conf.GoVersion = goVersion
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Unit{Path: path, Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+func goArch() string {
+	if a := os.Getenv("GOARCH"); a != "" {
+		return a
+	}
+	out, err := exec.Command("go", "env", "GOARCH").Output()
+	if err != nil {
+		return "amd64"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// runUnit applies the analyzers to one unit, exchanging facts through
+// the store, and returns the diagnostics sorted by position.
+func runUnit(u *Unit, analyzers []*analysis.Analyzer, store *factStore) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		a := a
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      u.Fset,
+			Files:     u.Files,
+			Pkg:       u.Pkg,
+			TypesInfo: u.Info,
+			Report: func(d analysis.Diagnostic) {
+				diags = append(diags, d)
+			},
+			ImportFacts: func(pkgPath string) map[string]string {
+				return store.facts(pkgPath, a.Name)
+			},
+			ExportFact: func(key, payload string) {
+				store.export(u.Path, a.Name, key, payload)
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: analyzer %s: %v", u.Path, a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := u.Fset.Position(diags[i].Pos), u.Fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}

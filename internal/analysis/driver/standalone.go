@@ -1,0 +1,152 @@
+package driver
+
+import (
+	"fmt"
+	"go/token"
+	"io"
+	"sort"
+
+	"perfxplain/internal/analysis"
+)
+
+// Loaded is a set of type-checked module units in dependency order,
+// ready to be analyzed with a shared fact store. Dependencies that were
+// pulled in only to satisfy a narrow pattern are analyzed for their
+// facts but excluded from Targets.
+type Loaded struct {
+	Units   []*Unit
+	Targets map[string]bool
+}
+
+// Load lists, compiles (for export data) and type-checks the module
+// packages matching patterns, rooted at dir ("" = current directory).
+func Load(dir string, patterns []string) (*Loaded, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	byPath := make(map[string]*listPkg, len(pkgs))
+	packageFile := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+		if p.Export != "" {
+			packageFile[p.ImportPath] = p.Export
+		}
+	}
+
+	var moduleUnits []*listPkg
+	targets := make(map[string]bool)
+	for _, p := range pkgs {
+		if p.Standard || p.Module == nil {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		if len(p.CgoFiles) > 0 {
+			return nil, fmt.Errorf("%s: cgo packages are not supported by pxqlvet", p.ImportPath)
+		}
+		moduleUnits = append(moduleUnits, p)
+		if !p.DepOnly {
+			targets[p.ImportPath] = true
+		}
+	}
+	sortTopo(moduleUnits, byPath)
+
+	fset := token.NewFileSet()
+	imp := newImporter(fset, packageFile, nil)
+	loaded := &Loaded{Targets: targets}
+	for _, p := range moduleUnits {
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		goVersion := ""
+		if p.Module.GoVersion != "" {
+			goVersion = "go" + p.Module.GoVersion
+		}
+		unit, err := checkFiles(fset, p.ImportPath, p.GoFiles, p.Dir, imp, goVersion)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", p.ImportPath, err)
+		}
+		loaded.Units = append(loaded.Units, unit)
+	}
+	return loaded, nil
+}
+
+// Run applies the analyzers to every loaded unit in dependency order
+// with one shared fact store, and returns the diagnostics of the target
+// units keyed by package path.
+func (l *Loaded) Run(analyzers []*analysis.Analyzer) (map[string][]analysis.Diagnostic, error) {
+	store := newFactStore()
+	out := make(map[string][]analysis.Diagnostic)
+	for _, u := range l.Units {
+		diags, err := runUnit(u, analyzers, store)
+		if err != nil {
+			return nil, err
+		}
+		if l.Targets[u.Path] {
+			out[u.Path] = diags
+		}
+	}
+	return out, nil
+}
+
+// Standalone loads the packages matching patterns (rooted at dir, ""
+// meaning the current directory), runs the analyzers, and writes
+// human-readable diagnostics to out. It returns the number of
+// diagnostics.
+func Standalone(dir string, patterns []string, analyzers []*analysis.Analyzer, out io.Writer) (int, error) {
+	loaded, err := Load(dir, patterns)
+	if err != nil {
+		return 0, err
+	}
+	byPkg, err := loaded.Run(analyzers)
+	if err != nil {
+		return 0, err
+	}
+	count := 0
+	for _, u := range loaded.Units {
+		for _, d := range byPkg[u.Path] {
+			count++
+			fmt.Fprintf(out, "%s: %s [%s]\n", u.Fset.Position(d.Pos), d.Message, d.Analyzer)
+		}
+	}
+	return count, nil
+}
+
+// sortTopo orders units dependencies-first (stable for unrelated
+// packages: import-path order breaks ties).
+func sortTopo(units []*listPkg, byPath map[string]*listPkg) {
+	depth := make(map[string]int)
+	var depthOf func(p *listPkg) int
+	depthOf = func(p *listPkg) int {
+		if d, ok := depth[p.ImportPath]; ok {
+			return d
+		}
+		depth[p.ImportPath] = 0 // cycle guard; go packages cannot cycle
+		d := 0
+		for _, dep := range p.Deps {
+			if dp, ok := byPath[dep]; ok && !dp.Standard {
+				if dd := depthOf(dp) + 1; dd > d {
+					d = dd
+				}
+			}
+		}
+		depth[p.ImportPath] = d
+		return d
+	}
+	for _, p := range units {
+		depthOf(p)
+	}
+	sort.SliceStable(units, func(i, j int) bool {
+		di, dj := depth[units[i].ImportPath], depth[units[j].ImportPath]
+		if di != dj {
+			return di < dj
+		}
+		return units[i].ImportPath < units[j].ImportPath
+	})
+}

@@ -1,0 +1,114 @@
+package driver
+
+// The cmd/go vet protocol: `go vet -vettool=pxqlvet ./...` invokes the
+// tool once per package ("unit") with a single argument, the path of a
+// JSON config file describing the unit — its files, the export-data
+// files of its dependencies, and the .vetx fact files those
+// dependencies produced when the tool was run on them (cmd/go schedules
+// dependency units first, exactly so facts can flow). Diagnostics go to
+// stderr and a nonzero exit fails the vet; a unit analyzed only for its
+// facts (VetxOnly) must stay silent and succeed. This mirrors
+// golang.org/x/tools/go/analysis/unitchecker, implemented here directly
+// against the protocol.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+
+	"perfxplain/internal/analysis"
+)
+
+// vetConfig mirrors cmd/go's vet configuration JSON.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Unitcheck runs one vet unit from cfgFile and returns the process exit
+// code: 0 clean, 1 operational error (reported on stderr), 2 when
+// diagnostics were found.
+func Unitcheck(cfgFile string, analyzers []*analysis.Analyzer, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(stderr, "pxqlvet: reading vet config: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "pxqlvet: parsing vet config %s: %v\n", cfgFile, err)
+		return 1
+	}
+
+	store := newFactStore()
+	finish := func() {
+		if cfg.VetxOutput != "" {
+			if err := store.writeVetx(cfg.ImportPath, cfg.VetxOutput); err != nil {
+				fmt.Fprintf(stderr, "pxqlvet: writing facts: %v\n", err)
+			}
+		}
+	}
+
+	// Units outside the module — the standard library, vetted by cmd/go
+	// only to produce fact files for its importers — can never carry
+	// pxqlvet facts or diagnostics (the module's determinism contracts
+	// do not apply to them, and stdlib internals would misclassify:
+	// math/rand's own plumbing is not a caller of global rand). Skip
+	// the work and hand cmd/go the empty fact file it expects.
+	// cmd/go marks these units with an empty ModulePath; the Standard
+	// map only ever describes the unit's dependencies.
+	if cfg.ModulePath == "" || cfg.Standard[cfg.ImportPath] {
+		finish()
+		return 0
+	}
+
+	//pxql:orderinvariant — the store is keyed by package; load order is irrelevant
+	for depPath, vetxFile := range cfg.PackageVetx {
+		store.readVetx(depPath, vetxFile)
+	}
+
+	fset := token.NewFileSet()
+	imp := newImporter(fset, cfg.PackageFile, cfg.ImportMap)
+	unit, err := checkFiles(fset, cfg.ImportPath, cfg.GoFiles, cfg.Dir, imp, cfg.GoVersion)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			// The compiler will report the error with better context.
+			finish()
+			return 0
+		}
+		fmt.Fprintf(stderr, "pxqlvet: %s: %v\n", cfg.ImportPath, err)
+		finish()
+		return 1
+	}
+
+	diags, err := runUnit(unit, analyzers, store)
+	if err != nil {
+		fmt.Fprintf(stderr, "pxqlvet: %v\n", err)
+		finish()
+		return 1
+	}
+	finish()
+	if cfg.VetxOnly || len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s: %s [%s]\n", unit.Fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	return 2
+}

@@ -1,0 +1,169 @@
+package analysis
+
+// floatreduce: floating-point addition is not associative, so a
+// reduction whose order follows goroutine or channel completion —
+// `for r := range results { sum += r.X }` with workers sending as they
+// finish — produces different bits run to run. This is the exact bug
+// class the shard merge code must never regress into: every merge in
+// this repo stores partial results in spec-indexed slots and reduces in
+// spec order. The analyzer flags float accumulation into a variable
+// declared outside a completion-ordered loop (a range over a channel,
+// or any loop whose body receives from a channel), unless the statement
+// carries //pxql:orderinvariant.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatReduce is the floatreduce analyzer.
+var FloatReduce = &Analyzer{
+	Name: "floatreduce",
+	Doc: "flag float accumulation ordered by goroutine/channel completion instead of spec/index order\n\n" +
+		"A loop that receives results from a channel observes completion order, which varies\n" +
+		"run to run; accumulating floats in it changes the sum's bits. Store partials in\n" +
+		"index-addressed slots and reduce in spec order, or mark //pxql:orderinvariant when\n" +
+		"the accumulation is genuinely order-free (integer counts live elsewhere).",
+	Run: runFloatReduce,
+}
+
+func runFloatReduce(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			var body *ast.BlockStmt
+			var loopPos token.Pos
+			switch loop := n.(type) {
+			case *ast.RangeStmt:
+				body, loopPos = loop.Body, loop.For
+				t := pass.TypesInfo.TypeOf(loop.X)
+				if t == nil {
+					return true
+				}
+				if _, isChan := t.Underlying().(*types.Chan); !isChan && !bodyReceives(body) {
+					return true
+				}
+			case *ast.ForStmt:
+				body, loopPos = loop.Body, loop.For
+				if !bodyReceives(body) {
+					return true
+				}
+			default:
+				return true
+			}
+			checkFloatAccum(pass, body, loopPos)
+			return true
+		})
+	}
+	return nil
+}
+
+// bodyReceives reports whether the loop body contains a channel receive
+// outside nested function literals — the signal that the loop's
+// iteration order is completion order, not index order.
+func bodyReceives(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.SelectStmt:
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkFloatAccum flags float-typed read-modify-write statements in a
+// completion-ordered loop body whose target outlives the loop.
+func checkFloatAccum(pass *Pass, body *ast.BlockStmt, loopPos token.Pos) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // goroutines inside get their own loops' checks
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		var target ast.Expr
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			target = as.Lhs[0]
+		case token.ASSIGN:
+			// x = x + y (or x = y + x) with a single pair.
+			if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return true
+			}
+			bin, ok := ast.Unparen(as.Rhs[0]).(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.ADD && bin.Op != token.SUB && bin.Op != token.MUL && bin.Op != token.QUO) {
+				return true
+			}
+			if !sameLValue(pass, as.Lhs[0], bin.X) && !sameLValue(pass, as.Lhs[0], bin.Y) {
+				return true
+			}
+			target = as.Lhs[0]
+		default:
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(target)
+		if t == nil || !IsFloat(t) {
+			return true
+		}
+		obj := lvalueBase(pass, target)
+		if obj == nil || obj.Pos() >= loopPos {
+			return true // loop-local scratch cannot leak completion order
+		}
+		if pass.HasMarker(as.Pos(), MarkerOrderInvariant) {
+			return true
+		}
+		pass.Reportf(as.Pos(), "floating-point accumulation into %s inside a completion-ordered loop: reduction order follows channel/goroutine completion, not spec order; store per-spec partials and reduce in index order, or mark //pxql:orderinvariant", exprString(target))
+		return true
+	})
+}
+
+// sameLValue reports whether two expressions denote the same variable
+// (plain identifiers resolving to one object, or textually identical
+// selector chains on the same base object).
+func sameLValue(pass *Pass, a, b ast.Expr) bool {
+	a, b = ast.Unparen(a), ast.Unparen(b)
+	ai, aok := a.(*ast.Ident)
+	bi, bok := b.(*ast.Ident)
+	if aok && bok {
+		oa := pass.TypesInfo.ObjectOf(ai)
+		return oa != nil && oa == pass.TypesInfo.ObjectOf(bi)
+	}
+	as, aok := a.(*ast.SelectorExpr)
+	bs, bok := b.(*ast.SelectorExpr)
+	if aok && bok {
+		return as.Sel.Name == bs.Sel.Name && sameLValue(pass, as.X, bs.X)
+	}
+	return false
+}
+
+// lvalueBase resolves the variable an accumulation target is rooted in:
+// the object of the leftmost identifier of an ident/selector/index
+// chain.
+func lvalueBase(pass *Pass, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return pass.TypesInfo.ObjectOf(x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package analysis
+
+// mapiter: map iteration order is randomized per run, so a range over a
+// map that feeds anything ordered — explanation output, pair
+// enumeration, wire frames — silently breaks the byte-identical
+// contract. The analyzer flags every range over a map value in non-test
+// code unless the loop provably only collects keys that are sorted
+// before use (the repo's canonical pattern), or it carries an explicit
+// //pxql:orderinvariant marker vouching that downstream consumption is
+// order-free (pure counting, set building, max/min over commutative
+// ops).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MarkerOrderInvariant suppresses mapiter and floatreduce on the marked
+// line: the author vouches the loop's effect is independent of
+// iteration/completion order.
+const MarkerOrderInvariant = "orderinvariant"
+
+// MapIter is the mapiter analyzer.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc: "flag range over a map unless the keys are sorted first or the loop is marked //pxql:orderinvariant\n\n" +
+		"Map iteration order is deliberately randomized by the runtime. Any map range whose\n" +
+		"effect can reach output, pair enumeration or wire frames makes explanations\n" +
+		"nondeterministic. Collect the keys, sort them, and range the sorted slice — or, if\n" +
+		"the loop's effect is genuinely order-invariant, annotate it with //pxql:orderinvariant.",
+	Run: runMapIter,
+}
+
+func runMapIter(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, ok := t.Underlying().(*types.Map); !ok {
+				return true
+			}
+			if pass.HasMarker(rs.For, MarkerOrderInvariant) {
+				return true
+			}
+			if keysSortedAfter(pass, rs, stack) {
+				return true
+			}
+			pass.Reportf(rs.For, "range over map %s has nondeterministic iteration order; sort the keys first or mark the loop //pxql:orderinvariant", exprString(rs.X))
+			return true
+		})
+	}
+	return nil
+}
+
+// keysSortedAfter recognizes the canonical sorted-keys pattern: the loop
+// body only appends to one or more slice variables, and every one of
+// those slices is later (after the loop) passed to a sort call in the
+// same enclosing function. The append-only body guarantees the loop's
+// observable effect is the multiset of appended elements; the sort
+// restores a canonical order before anything consumes it.
+func keysSortedAfter(pass *Pass, rs *ast.RangeStmt, stack []ast.Node) bool {
+	if len(rs.Body.List) == 0 {
+		return false
+	}
+	// Every statement must be `x = append(x, ...)` with x a plain ident.
+	var targets []types.Object
+	for _, st := range rs.Body.List {
+		as, ok := st.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 || (as.Tok != token.ASSIGN && as.Tok != token.DEFINE) {
+			return false
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		if fid, ok := call.Fun.(*ast.Ident); !ok || fid.Name != "append" || len(call.Args) < 2 {
+			return false
+		}
+		if base, ok := call.Args[0].(*ast.Ident); !ok || base.Name != lhs.Name {
+			return false
+		}
+		obj := pass.TypesInfo.ObjectOf(lhs)
+		if obj == nil {
+			return false
+		}
+		targets = append(targets, obj)
+	}
+	_, body := EnclosingFunc(stack)
+	if body == nil {
+		return false
+	}
+	for _, obj := range targets {
+		if !sortedInFunc(pass, body, obj, rs.End()) {
+			return false
+		}
+	}
+	return true
+}
+
+// sortCalls maps the sort entry points that establish a canonical order
+// on their first argument.
+var sortCalls = map[string]map[string]bool{
+	"sort": {
+		"Strings": true, "Ints": true, "Float64s": true,
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+// sortedInFunc reports whether obj is the first argument of a sort call
+// positioned after `after` within body.
+func sortedInFunc(pass *Pass, body *ast.BlockStmt, obj types.Object, after token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < after || len(call.Args) == 0 {
+			return true
+		}
+		fn := CalleeFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		names, ok := sortCalls[fn.Pkg().Path()]
+		if !ok || !names[fn.Name()] {
+			return true
+		}
+		if arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && pass.TypesInfo.ObjectOf(arg) == obj {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// exprString renders a short source form of simple expressions for
+// diagnostics (identifiers and selector chains; anything else is "...").
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	}
+	return "..."
+}

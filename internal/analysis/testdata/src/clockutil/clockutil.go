@@ -1,0 +1,30 @@
+// Package clockutil is NOT on the deterministic path (its import path
+// carries no deterministic suffix), so its wall-clock reads are allowed
+// here — but wallrand exports facts about them, and deterministic
+// packages calling in are flagged at their call sites.
+package clockutil
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock directly.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Indirect reaches the wall clock through Stamp.
+func Indirect() int64 {
+	return Stamp()
+}
+
+// Jitter draws from the auto-seeded global source.
+func Jitter() int {
+	return rand.Intn(100)
+}
+
+// FromSeed is deterministic: its randomness is the caller's seed.
+func FromSeed(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(100)
+}

@@ -1,0 +1,99 @@
+// Package floatreduce exercises the floatreduce analyzer: float
+// accumulation whose order follows channel/goroutine completion is
+// flagged; index-ordered reductions, integer counters, slot stores and
+// marked order-free accumulations are not.
+package floatreduce
+
+// Result is a shard partial tagged with its spec slot.
+type Result struct {
+	Slot int
+	V    float64
+}
+
+// CompletionOrdered is the banned pattern: the sum's bits depend on
+// which worker finishes first.
+func CompletionOrdered(results chan float64) float64 {
+	sum := 0.0
+	for r := range results {
+		sum += r // want `floating-point accumulation into sum inside a completion-ordered loop`
+	}
+	return sum
+}
+
+// PlainAssignForm spells the accumulation as x = x + y.
+func PlainAssignForm(results chan float64) float64 {
+	total := 0.0
+	for r := range results {
+		total = total + r // want `floating-point accumulation into total inside a completion-ordered loop`
+	}
+	return total
+}
+
+// ReceivingFor is a plain for loop whose body receives; same hazard.
+func ReceivingFor(results chan float64) float64 {
+	sum := 0.0
+	for {
+		v, ok := <-results
+		if !ok {
+			break
+		}
+		sum += v // want `floating-point accumulation into sum inside a completion-ordered loop`
+	}
+	return sum
+}
+
+// IndexOrdered reduces a slice in index order; deterministic.
+func IndexOrdered(parts []float64) float64 {
+	sum := 0.0
+	for _, p := range parts {
+		sum += p
+	}
+	return sum
+}
+
+// IntCounter accumulates integers; addition is associative there.
+func IntCounter(results chan int) int {
+	n := 0
+	for r := range results {
+		n += r
+	}
+	return n
+}
+
+// SlotStore is the repo's canonical merge: store partials in
+// spec-indexed slots, then reduce in index order.
+func SlotStore(results chan Result, n int) float64 {
+	parts := make([]float64, n)
+	for r := range results {
+		parts[r.Slot] = r.V
+	}
+	sum := 0.0
+	for _, p := range parts {
+		sum += p
+	}
+	return sum
+}
+
+// LoopLocal accumulates into a variable scoped to the loop body; the
+// completion order cannot leak.
+func LoopLocal(batches chan []float64) []float64 {
+	var sums []float64
+	for b := range batches {
+		s := 0.0
+		for _, v := range b {
+			s += v
+		}
+		sums = append(sums, s)
+	}
+	return sums
+}
+
+// MarkedOrderFree vouches the accumulation is order-invariant.
+func MarkedOrderFree(results chan float64) float64 {
+	prod := 1.0
+	for r := range results {
+		//pxql:orderinvariant
+		prod *= r
+	}
+	return prod
+}

@@ -1,0 +1,60 @@
+// Package core sits on the deterministic path (import path suffix
+// internal/core), so every wall-clock read and global-rand draw — direct
+// or through helpers in other packages — must be flagged.
+package core
+
+import (
+	"math/rand"
+	"time"
+
+	"fixtures/clockutil"
+)
+
+// Direct reads the wall clock in a deterministic package.
+func Direct() time.Time {
+	return time.Now() // want `call to time.Now reads the wall clock`
+}
+
+// GlobalRand draws from the auto-seeded global source.
+func GlobalRand() int {
+	return rand.Intn(10) // want `call to auto-seeded global math/rand.Intn`
+}
+
+// Seeded routes randomness through a caller-seeded source; allowed.
+func Seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// ViaFact calls another package's helper; the fact import catches it.
+func ViaFact() int64 {
+	return clockutil.Stamp() // want `call to fixtures/clockutil.Stamp, which calls time.Now`
+}
+
+// ViaFactIndirect is two hops away from the clock.
+func ViaFactIndirect() int64 {
+	return clockutil.Indirect() // want `call to fixtures/clockutil.Indirect, which calls Stamp, which calls time.Now`
+}
+
+// helper hides the cross-package call one more level down.
+func helper() int64 {
+	return clockutil.Stamp() // want `call to fixtures/clockutil.Stamp, which calls time.Now`
+}
+
+// ViaLocalHelper is flagged through the package-local reach map, which
+// covers unexported helpers without facts.
+func ViaLocalHelper() int64 {
+	return helper() // want `call to helper, which calls fixtures/clockutil.Stamp, which calls time.Now`
+}
+
+// Deliberate is a reviewed wall-clock use.
+func Deliberate() time.Time {
+	//pxql:realtime
+	return time.Now()
+}
+
+// SeededCtorOnly proves the seeded-constructor allowance extends to the
+// fact path: clockutil.FromSeed wraps ctors only, so no fact exists.
+func SeededCtorOnly(seed int64) int {
+	return clockutil.FromSeed(seed)
+}

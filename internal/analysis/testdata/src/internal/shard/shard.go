@@ -1,0 +1,39 @@
+// Package shard is a miniature stand-in for the real shard runtime
+// (import path suffix internal/shard): its types with Close methods are
+// closeables and its error-returning API is covered by sharderr.
+package shard
+
+import "errors"
+
+// Pool owns a worker fleet.
+type Pool struct {
+	workers int
+}
+
+// Dial connects a pool; the caller owns it and must Close.
+func Dial(addr string) (*Pool, error) {
+	if addr == "" {
+		return nil, errors.New("empty addr")
+	}
+	return &Pool{workers: 1}, nil
+}
+
+// Run executes one task; its error carries worker deaths.
+func (p *Pool) Run(task int) error {
+	if task < 0 {
+		return errors.New("bad task")
+	}
+	return nil
+}
+
+// Close tears down the fleet.
+func (p *Pool) Close() error {
+	p.workers = 0
+	return nil
+}
+
+// Transport is a closeable interface of the runtime.
+type Transport interface {
+	Send(b []byte) error
+	Close() error
+}

@@ -1,0 +1,78 @@
+// Package mapiter exercises the mapiter analyzer: ranges over maps are
+// flagged unless the keys are collected and sorted, or the loop carries
+// the orderinvariant marker.
+package mapiter
+
+import (
+	"sort"
+	"strings"
+)
+
+// Flagged sums in map order — the classic nondeterministic reduction
+// over floats would change bits; even over ints the pattern is banned
+// without a marker because the analyzer cannot see the consumer.
+func Flagged(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `range over map m has nondeterministic iteration order`
+		total += v
+	}
+	return total
+}
+
+// FlaggedBuild writes map-ordered output: never acceptable.
+func FlaggedBuild(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want `range over map m has nondeterministic iteration order`
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// SortedKeys is the canonical pattern: collect, sort, range the slice.
+func SortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SortedSlice uses sort.Slice after collection; also recognized.
+func SortedSlice(m map[int]string) []int {
+	var ids []int
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// CollectedButNeverSorted collects keys but no sort follows, so the
+// caller observes map order.
+func CollectedButNeverSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `range over map m has nondeterministic iteration order`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Counted is order-free and says so.
+func Counted(m map[string]int) int {
+	n := 0
+	//pxql:orderinvariant
+	for range m {
+		n++
+	}
+	return n
+}
+
+// NotAMap ranges a slice; out of scope.
+func NotAMap(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}

@@ -1,0 +1,90 @@
+// Package shardclient exercises the sharderr analyzer from the consumer
+// side: leaked pools, non-deferred Closes on multi-return functions, and
+// discarded shard API errors.
+package shardclient
+
+import "fixtures/internal/shard"
+
+// LeakNoClose never closes the pool and never hands it off.
+func LeakNoClose() error {
+	p, err := shard.Dial("worker:1") // want `p is never closed and does not escape this function`
+	if err != nil {
+		return err
+	}
+	return p.Run(1)
+}
+
+// LiteralLeak constructs the closeable as a composite literal.
+func LiteralLeak() {
+	p := &shard.Pool{} // want `p is never closed and does not escape this function`
+	p.Run(1)           // want `result of shard.Run is discarded`
+}
+
+// CloseOnOnePath closes, but only on the path that reaches the end; the
+// early return leaks, so Close must be deferred.
+func CloseOnOnePath(skip bool) error {
+	p, err := shard.Dial("worker:1") // want `p.Close is not deferred but the function returns on multiple paths`
+	if err != nil {
+		return err
+	}
+	if skip {
+		return nil
+	}
+	return p.Close()
+}
+
+// DeferClose is the canonical pattern: deferred Close with the error
+// explicitly discarded.
+func DeferClose() error {
+	p, err := shard.Dial("worker:1")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = p.Close() }()
+	return p.Run(1)
+}
+
+// SingleExit closes at its one exit; no defer needed.
+func SingleExit() error {
+	p := &shard.Pool{}
+	_ = p.Run(1)
+	return p.Close()
+}
+
+// Open transfers ownership to the caller.
+func Open(addr string) (*shard.Pool, error) {
+	p, err := shard.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Register stores the pool; the registry closes it later.
+func Register(reg map[string]*shard.Pool, addr string) error {
+	p, err := shard.Dial(addr)
+	if err != nil {
+		return err
+	}
+	reg[addr] = p
+	return nil
+}
+
+// DiscardedErrors loses shard errors as bare statements.
+func DiscardedErrors(p *shard.Pool) {
+	p.Run(1)        // want `result of shard.Run is discarded`
+	defer p.Close() // want `deferred shard.Close discards its error`
+}
+
+// ExplicitWaiver assigns to _, the greppable opt-out.
+func ExplicitWaiver(p *shard.Pool) {
+	_ = p.Run(1)
+}
+
+// CloseTransport exercises the interface closeable.
+func CloseTransport(t shard.Transport) error {
+	if err := t.Send(nil); err != nil {
+		return err
+	}
+	return t.Close()
+}

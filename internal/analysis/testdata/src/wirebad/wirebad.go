@@ -1,0 +1,31 @@
+// Package wirebad models every wirecheck failure mode: a field the
+// decode never reads, a decode target that does not resolve, and a
+// pinned fingerprint that no longer matches the wire shape.
+package wirebad
+
+import "errors"
+
+//pxql:wirehash 1111111111111111 v=9 want `wire structs of package wirebad now fingerprint to [0-9a-f]{16} but //pxql:wirehash pins 1111111111111111`
+
+// Packet's decode checks Kind but never reads Seq.
+//
+//pxql:wire decode=Check
+type Packet struct {
+	Kind int
+	Seq  int // want `wire struct Packet field Seq is never touched by its validating decode Check`
+}
+
+// Check validates only part of the struct.
+func Check(p *Packet) error {
+	if p.Kind < 0 {
+		return errors.New("bad kind")
+	}
+	return nil
+}
+
+// Blob names a decode that does not exist.
+//
+//pxql:wire decode=DecodeBlob
+type Blob struct { // want `wire struct Blob names decode="DecodeBlob", which does not resolve to a function or method in this package`
+	Data []byte
+}

@@ -1,0 +1,55 @@
+// Package wireok models a wire package done right: every exported field
+// of every marked struct is touched by its validating decode (directly
+// or through same-package helpers), and the package pins its fingerprint
+// with a version matching its own Version constant.
+package wireok
+
+import "errors"
+
+// Version is the protocol version these frames ship under.
+const Version = 3
+
+//pxql:wirehash 437cbc4947d882eb v=3
+
+// Frame is a wire struct validated by its own method.
+//
+//pxql:wire decode=Frame.Decode
+type Frame struct {
+	ID   uint64
+	Body []byte
+}
+
+// Decode validates every field.
+func (f *Frame) Decode() error {
+	if f.ID == 0 {
+		return errors.New("zero frame id")
+	}
+	if len(f.Body) == 0 {
+		return errors.New("empty frame body")
+	}
+	return nil
+}
+
+// Header is validated by a package function that delegates part of the
+// work to a helper — the transitive walk must still see every field.
+//
+//pxql:wire decode=ReadHeader
+type Header struct {
+	Ver  int
+	Name string
+}
+
+// ReadHeader validates Ver itself and Name via validateName.
+func ReadHeader(h *Header) error {
+	if h.Ver != Version {
+		return errors.New("version skew")
+	}
+	return validateName(h)
+}
+
+func validateName(h *Header) error {
+	if h.Name == "" {
+		return errors.New("empty header name")
+	}
+	return nil
+}

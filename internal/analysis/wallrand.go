@@ -1,0 +1,245 @@
+package analysis
+
+// wallrand: the deterministic packages — the explanation pipeline from
+// parsing through scoring — must derive every random decision from the
+// counter-based splitmix seam (or an explicitly seeded *rand.Rand
+// threaded in by the caller) and must never read the wall clock, or
+// explanations stop being a pure function of (log, query, config, seed)
+// and the distributed equivalence contract dies. The analyzer flags
+// direct uses of time.Now/Since/Until and of the auto-seeded global
+// math/rand and math/rand/v2 entry points inside those packages, and —
+// via facts — calls to any module function that transitively reaches
+// one, so hiding rand.Intn behind a helper in another package still
+// gets caught at the deterministic call site.
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// MarkerRealtime suppresses wallrand on the marked line: a deliberate,
+// reviewed wall-clock or global-rand use inside a deterministic package
+// (diagnostics, deadlines). Use sparingly — every use is a hole in the
+// reproducibility contract.
+const MarkerRealtime = "realtime"
+
+// DeterministicPackages lists the package-path suffixes whose code must
+// be a pure function of its inputs and seeds. The shard runtime and the
+// CLIs are deliberately absent: transports set deadlines and CLIs print
+// timings, but everything they execute comes from these packages.
+var DeterministicPackages = []string{
+	"internal/core",
+	"internal/dtree",
+	"internal/relief",
+	"internal/features",
+	"internal/pxql",
+	"internal/joblog",
+	"internal/bitset",
+	"perfxplain", // the public API package wraps core end to end
+}
+
+// wallClockFuncs are the stdlib entry points that read the wall clock.
+var wallClockFuncs = map[string]map[string]bool{
+	"time": {"Now": true, "Since": true, "Until": true},
+}
+
+// seededRandCtors are the math/rand package-level functions that are
+// pure constructors: their determinism is the caller's seed, so they
+// are allowed even in deterministic packages.
+var seededRandCtors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// WallRand is the wallrand analyzer.
+var WallRand = &Analyzer{
+	Name: "wallrand",
+	Doc: "flag wall-clock reads and auto-seeded global rand in deterministic packages\n\n" +
+		"Packages on the explanation path (core, dtree, relief, features, pxql, joblog,\n" +
+		"bitset, the root API) must route randomness through the counter-based splitmix\n" +
+		"seam or an injected seeded *rand.Rand, and must not observe time.Now. Calls into\n" +
+		"module helpers that transitively reach either are flagged too, via facts.",
+	Run: runWallRand,
+}
+
+func runWallRand(pass *Pass) error {
+	deterministic := false
+	for _, suffix := range DeterministicPackages {
+		if PathHasSuffix(pass.Pkg.Path(), suffix) {
+			deterministic = true
+			break
+		}
+	}
+
+	// reach maps package-level functions of this package to the reason
+	// they touch wall clock or global rand ("" = they don't). Computed
+	// for every module package so facts flow downstream; consulted for
+	// diagnostics only in deterministic packages.
+	reach := wallReach(pass)
+
+	// Export facts for downstream packages.
+	keys := make([]string, 0, len(reach))
+	for fn := range reach {
+		keys = append(keys, ObjKey(fn))
+	}
+	sort.Strings(keys)
+	byKey := make(map[string]string, len(reach))
+	//pxql:orderinvariant — map-to-map rekeying; emission below follows sorted keys
+	for fn, why := range reach {
+		if why != "" {
+			byKey[ObjKey(fn)] = why
+		}
+	}
+	for _, k := range keys {
+		if why := byKey[k]; why != "" && k != "" {
+			pass.ExportFact(k, why)
+		}
+	}
+
+	if !deterministic {
+		return nil
+	}
+
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if why := wallCallReason(pass, call, reach); why != "" && !pass.HasMarker(call.Pos(), MarkerRealtime) {
+				pass.Reportf(call.Pos(), "%s; deterministic packages must use the seeded splitmix/rand seam (mark //pxql:realtime if deliberate)", why)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// wallCallReason classifies one call: a direct wall-clock read, a
+// global-rand draw, or a call into a function whose fact says it
+// reaches one. Empty means clean.
+func wallCallReason(pass *Pass, call *ast.CallExpr, reach map[*types.Func]string) string {
+	fn := CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	path := fn.Pkg().Path()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil {
+		if wallClockFuncs[path][fn.Name()] {
+			return "call to " + path + "." + fn.Name() + " reads the wall clock"
+		}
+		if path == "math/rand" || path == "math/rand/v2" {
+			if !seededRandCtors[fn.Name()] {
+				return "call to auto-seeded global " + path + "." + fn.Name()
+			}
+		}
+	}
+	// Same-package helper: the local reach map is more precise than a
+	// fact (it exists for unexported functions too).
+	if fn.Pkg() == pass.Pkg {
+		if why := reach[fn]; why != "" {
+			return "call to " + fn.Name() + ", which " + strings.TrimPrefix(why, "call to ")
+		}
+		return ""
+	}
+	// Imported module function: consult its package's exported facts.
+	if pass.ImportFacts != nil {
+		if facts := pass.ImportFacts(path); facts != nil {
+			if why, ok := facts[ObjKey(fn)]; ok {
+				return "call to " + path + "." + fn.Name() + ", which " + strings.TrimPrefix(why, "call to ")
+			}
+		}
+	}
+	return ""
+}
+
+// wallReach computes, for every package-level function and method in
+// the pass's package, whether it directly or transitively (through
+// same-package calls and imported facts) reaches a wall-clock or
+// global-rand entry point — a package-local call-graph fixpoint.
+func wallReach(pass *Pass) map[*types.Func]string {
+	type fnDecl struct {
+		fn   *types.Func
+		body *ast.BlockStmt
+	}
+	var decls []fnDecl
+	byFunc := make(map[*types.Func]*ast.BlockStmt)
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls = append(decls, fnDecl{fn, fd.Body})
+			byFunc[fn] = fd.Body
+		}
+	}
+	reach := make(map[*types.Func]string)
+	for changed := true; changed; {
+		changed = false
+		for _, d := range decls {
+			if reach[d.fn] != "" {
+				continue
+			}
+			why := ""
+			ast.Inspect(d.body, func(n ast.Node) bool {
+				if why != "" {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if pass.HasMarker(call.Pos(), MarkerRealtime) {
+					return true
+				}
+				callee := CalleeFunc(pass.TypesInfo, call)
+				if callee == nil || callee.Pkg() == nil {
+					return true
+				}
+				path := callee.Pkg().Path()
+				if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() == nil {
+					if wallClockFuncs[path][callee.Name()] {
+						why = "calls " + path + "." + callee.Name()
+						return false
+					}
+					if (path == "math/rand" || path == "math/rand/v2") && !seededRandCtors[callee.Name()] {
+						why = "calls auto-seeded global " + path + "." + callee.Name()
+						return false
+					}
+				}
+				if callee.Pkg() == pass.Pkg {
+					if w := reach[callee]; w != "" {
+						why = "calls " + callee.Name() + ", which " + w
+						return false
+					}
+				} else if pass.ImportFacts != nil {
+					if facts := pass.ImportFacts(path); facts != nil {
+						if w, ok := facts[ObjKey(callee)]; ok {
+							why = "calls " + path + "." + callee.Name() + ", which " + w
+							return false
+						}
+					}
+				}
+				return true
+			})
+			if why != "" {
+				reach[d.fn] = why
+				changed = true
+			}
+		}
+	}
+	return reach
+}

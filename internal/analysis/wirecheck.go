@@ -1,0 +1,369 @@
+package analysis
+
+// wirecheck: the shard protocol's gob wire structs (joblog.WireLog,
+// pxql.AtomSpec/PredicateSpec, core's shard specs, shard.Task/Result)
+// each have a validating decode path that must inspect every exported
+// field — a field the decoder never reads is a field a corrupt or
+// version-skewed peer can smuggle through unvalidated, and a field
+// added without touching the decoder is silent protocol drift. The
+// analyzer makes both failure modes compile-time errors:
+//
+//   - a wire struct is marked `//pxql:wire decode=F` (F a package
+//     function, method on the struct, or Type.Method elsewhere in the
+//     package); every exported field must be selected somewhere in F's
+//     body or in same-package functions F transitively calls;
+//   - a package with marked structs must carry one
+//     `//pxql:wirehash <hex16> v=<n>` marker: the hex pins a
+//     fingerprint of all marked structs' field names and types, so any
+//     wire-shape diff forces the author to touch the marker — and the
+//     convention (enforced against the package's own Version constant
+//     where one exists) is that v names the shard protocol version that
+//     diff shipped under, making "bump shard.Version" part of the same
+//     reviewed hunk.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// MarkerWire marks a wire struct: //pxql:wire decode=<target>.
+const MarkerWire = "wire"
+
+// MarkerWireHash pins the package's wire fingerprint:
+// //pxql:wirehash <hex16> v=<int>.
+const MarkerWireHash = "wirehash"
+
+// WireCheck is the wirecheck analyzer.
+var WireCheck = &Analyzer{
+	Name: "wirecheck",
+	Doc: "cross-check wire structs against their validating decodes and pin the wire shape\n\n" +
+		"Every exported field of a //pxql:wire-marked struct must be touched by its declared\n" +
+		"decode path, and the package's //pxql:wirehash marker must match the fingerprint of\n" +
+		"all marked structs — so changing the wire shape without revisiting validation and\n" +
+		"the shard protocol version cannot compile quietly.",
+	Run: runWireCheck,
+}
+
+// wireStruct is one marked struct and its decode target.
+type wireStruct struct {
+	name     string
+	named    *types.Named
+	st       *types.Struct
+	spec     *ast.TypeSpec
+	decode   string
+	fieldPos map[string]ast.Node
+}
+
+func runWireCheck(pass *Pass) error {
+	structs := collectWireStructs(pass)
+	if len(structs) == 0 {
+		return nil
+	}
+
+	bodies := packageFuncBodies(pass)
+	for _, ws := range structs {
+		checkDecodeTouches(pass, ws, bodies)
+	}
+	checkWireHash(pass, structs)
+	return nil
+}
+
+// collectWireStructs finds //pxql:wire-marked struct type declarations.
+func collectWireStructs(pass *Pass) []*wireStruct {
+	var out []*wireStruct
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				decode, marked := wireMarker(gd.Doc, ts.Doc, ts.Comment)
+				if !marked {
+					continue
+				}
+				obj, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				named, ok := obj.Type().(*types.Named)
+				if !ok {
+					continue
+				}
+				st, ok := named.Underlying().(*types.Struct)
+				if !ok {
+					pass.Reportf(ts.Pos(), "//pxql:wire marks %s, which is not a struct type", ts.Name.Name)
+					continue
+				}
+				ws := &wireStruct{name: ts.Name.Name, named: named, st: st, spec: ts, decode: decode, fieldPos: map[string]ast.Node{}}
+				if stype, ok := ts.Type.(*ast.StructType); ok {
+					for _, fld := range stype.Fields.List {
+						for _, nm := range fld.Names {
+							ws.fieldPos[nm.Name] = nm
+						}
+					}
+				}
+				out = append(out, ws)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// wireMarker extracts the decode= payload from a //pxql:wire line in
+// any of the declaration's comment groups.
+func wireMarker(groups ...*ast.CommentGroup) (decode string, marked bool) {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			if !strings.HasPrefix(text, MarkerPrefix+MarkerWire) {
+				continue
+			}
+			rest := strings.TrimPrefix(text, MarkerPrefix+MarkerWire)
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // pxql:wirehash etc.
+			}
+			marked = true
+			for _, fld := range strings.Fields(rest) {
+				if v, ok := strings.CutPrefix(fld, "decode="); ok {
+					decode = v
+				}
+			}
+		}
+	}
+	return decode, marked
+}
+
+// packageFuncBodies maps every package-level function and method to its
+// body, for the same-package transitive touch walk.
+func packageFuncBodies(pass *Pass) map[*types.Func]*ast.BlockStmt {
+	m := make(map[*types.Func]*ast.BlockStmt)
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					m[fn] = fd.Body
+				}
+			}
+		}
+	}
+	return m
+}
+
+// resolveDecode resolves a decode= target: "F" (package function, or a
+// method on the marked struct) or "T.M" (method on another package
+// type).
+func resolveDecode(pass *Pass, ws *wireStruct) *types.Func {
+	target := ws.decode
+	if target == "" {
+		return nil
+	}
+	scope := pass.Pkg.Scope()
+	if typeName, method, ok := strings.Cut(target, "."); ok {
+		tn, _ := scope.Lookup(typeName).(*types.TypeName)
+		if tn == nil {
+			return nil
+		}
+		return methodOn(tn.Type(), method)
+	}
+	if fn, ok := scope.Lookup(target).(*types.Func); ok {
+		return fn
+	}
+	return methodOn(ws.named, target)
+}
+
+func methodOn(t types.Type, name string) *types.Func {
+	for _, typ := range []types.Type{t, types.NewPointer(t)} {
+		ms := types.NewMethodSet(typ)
+		for i := 0; i < ms.Len(); i++ {
+			if ms.At(i).Obj().Name() == name {
+				if fn, ok := ms.At(i).Obj().(*types.Func); ok {
+					return fn
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkDecodeTouches verifies every exported field of ws is selected in
+// the decode function's transitive same-package call closure.
+func checkDecodeTouches(pass *Pass, ws *wireStruct, bodies map[*types.Func]*ast.BlockStmt) {
+	decode := resolveDecode(pass, ws)
+	if decode == nil {
+		pass.Reportf(ws.spec.Pos(), "wire struct %s names decode=%q, which does not resolve to a function or method in this package", ws.name, ws.decode)
+		return
+	}
+	if _, ok := bodies[decode]; !ok {
+		pass.Reportf(ws.spec.Pos(), "wire struct %s decode target %s has no body in this package", ws.name, ws.decode)
+		return
+	}
+
+	// Field objects of the marked struct, by identity.
+	want := make(map[*types.Var]string, ws.st.NumFields())
+	for i := 0; i < ws.st.NumFields(); i++ {
+		fld := ws.st.Field(i)
+		if fld.Exported() {
+			want[fld] = fld.Name()
+		}
+	}
+
+	touched := make(map[*types.Var]bool)
+	visited := make(map[*types.Func]bool)
+	queue := []*types.Func{decode}
+	visited[decode] = true
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		body, ok := bodies[fn]
+		if !ok {
+			continue
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if sel, ok := pass.TypesInfo.Selections[n]; ok && sel.Kind() == types.FieldVal {
+					if fld, ok := sel.Obj().(*types.Var); ok {
+						touched[fld] = true
+					}
+				}
+			case *ast.CallExpr:
+				if callee := CalleeFunc(pass.TypesInfo, n); callee != nil && callee.Pkg() == pass.Pkg && !visited[callee] {
+					visited[callee] = true
+					queue = append(queue, callee)
+				}
+			}
+			return true
+		})
+	}
+
+	names := make([]string, 0, len(want))
+	byName := make(map[string]*types.Var, len(want))
+	//pxql:orderinvariant — names are sorted before diagnostics are emitted
+	for fld, name := range want {
+		names = append(names, name)
+		byName[name] = fld
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if !touched[byName[name]] {
+			pos := ws.spec.Pos()
+			if n, ok := ws.fieldPos[name]; ok {
+				pos = n.Pos()
+			}
+			pass.Reportf(pos, "wire struct %s field %s is never touched by its validating decode %s (or anything it calls in this package): an unvalidated field is silent protocol drift", ws.name, name, ws.decode)
+		}
+	}
+}
+
+// WireFingerprint computes the canonical fingerprint of a set of wire
+// structs: sha256 over "Name{Field Type;...}" in sorted struct order,
+// exported fields in declaration order, truncated to 16 hex digits.
+// Exported so the analysistest suite and the fixture authoring flow can
+// compute expected values.
+func WireFingerprint(pkg *types.Package, structs []*types.Named) string {
+	names := make([]string, len(structs))
+	byName := make(map[string]*types.Named, len(structs))
+	for i, n := range structs {
+		names[i] = n.Obj().Name()
+		byName[names[i]] = n
+	}
+	sort.Strings(names)
+	qual := func(p *types.Package) string {
+		if p == pkg {
+			return ""
+		}
+		return p.Name()
+	}
+	h := sha256.New()
+	for _, name := range names {
+		st, ok := byName[name].Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(h, "%s{", name)
+		for i := 0; i < st.NumFields(); i++ {
+			fld := st.Field(i)
+			if !fld.Exported() {
+				continue
+			}
+			fmt.Fprintf(h, "%s %s;", fld.Name(), types.TypeString(fld.Type(), qual))
+		}
+		fmt.Fprintf(h, "}\n")
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// checkWireHash enforces the package's pinned fingerprint marker.
+func checkWireHash(pass *Pass, structs []*wireStruct) {
+	nameds := make([]*types.Named, len(structs))
+	for i, ws := range structs {
+		nameds[i] = ws.named
+	}
+	got := WireFingerprint(pass.Pkg, nameds)
+
+	markerHash, markerVer, markerPos, found := findWireHash(pass)
+	if !found {
+		pass.Reportf(structs[0].spec.Pos(), "package %s declares //pxql:wire structs but no //pxql:wirehash marker; add `//pxql:wirehash %s v=<shard protocol version>` next to the wire declarations", pass.Pkg.Name(), got)
+		return
+	}
+	if markerHash != got {
+		pass.Reportf(markerPos.Pos(), "wire structs of package %s now fingerprint to %s but //pxql:wirehash pins %s: the wire shape changed — re-pin the hash and bump the shard protocol version (shard.Version) in the same change", pass.Pkg.Name(), got, markerHash)
+	}
+	// Where the package itself declares the protocol version constant,
+	// v= must agree with it.
+	if c, ok := pass.Pkg.Scope().Lookup("Version").(*types.Const); ok {
+		if v, exact := constant.Int64Val(constant.ToInt(c.Val())); exact && markerVer != v {
+			pass.Reportf(markerPos.Pos(), "//pxql:wirehash pins v=%d but %s.Version is %d: keep the marker's protocol version in lockstep with the constant", markerVer, pass.Pkg.Name(), v)
+		}
+	}
+}
+
+// findWireHash locates the package's //pxql:wirehash marker.
+func findWireHash(pass *Pass) (hash string, ver int64, at ast.Node, found bool) {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				rest, ok := strings.CutPrefix(text, MarkerPrefix+MarkerWireHash)
+				if !ok {
+					continue
+				}
+				found = true
+				at = c
+				for _, fld := range strings.Fields(rest) {
+					if v, ok := strings.CutPrefix(fld, "v="); ok {
+						fmt.Sscanf(v, "%d", &ver)
+					} else if hash == "" {
+						hash = fld
+					}
+				}
+				return hash, ver, at, true
+			}
+		}
+	}
+	return "", 0, nil, false
+}

@@ -589,6 +589,7 @@ func bestNominalSyms(d *features.Deriver, in *joblog.Intern, featIdx int,
 		}
 	}
 	byVal := make(map[string]*cnt, len(bySym))
+	//pxql:orderinvariant — integer count merge commutes; byVal is sorted below
 	for s, c := range bySym {
 		v := d.SymString(in, featIdx, s)
 		if mc := byVal[v]; mc != nil {

@@ -48,6 +48,9 @@ type ShardRunner interface {
 // payload is resent. Execution is byte-identical either way: the hash
 // covers every bit of the payload, so a hit decodes to exactly what a
 // fresh ship would have.
+//pxql:wirehash 4daa47eb6697ef43 v=2
+
+//pxql:wire decode=Data
 type LogSlice struct {
 	// Hash is the content address (joblog.HashSlice of Log and Intern);
 	// empty disables caching for this slice.
@@ -119,6 +122,8 @@ func (s *LogSlice) Data() (*SliceData, error) {
 // plus the outer-member positions [Lo, Hi) this shard owns. A group
 // larger than a shard's unit budget straddles shard boundaries by
 // appearing in several specs with disjoint outer ranges.
+//
+//pxql:wire decode=EnumSpec.Run
 type EnumGroup struct {
 	Members []int `json:"members"` // local record indices, group order
 	Lo      int   `json:"lo"`
@@ -128,6 +133,8 @@ type EnumGroup struct {
 // EnumSpec is a self-contained unit of pair enumeration: a worker given
 // only this value reproduces exactly the related pairs the serial walk
 // visits in the spec's slice of the iteration space.
+//
+//pxql:wire decode=Run
 type EnumSpec struct {
 	Log      joblog.WireLog     `json:"log"`    // records of this shard's groups
 	Global   []int              `json:"global"` // global record index per local record
@@ -142,6 +149,8 @@ type EnumSpec struct {
 
 // EnumResult lists a shard's related pairs in iteration order, addressed
 // by global record index.
+//
+//pxql:wire decode=Explainer.enumeratePairs
 type EnumResult struct {
 	RefA   []int  `json:"ref_a,omitempty"`
 	RefB   []int  `json:"ref_b,omitempty"`
@@ -155,6 +164,8 @@ type EnumResult struct {
 // one explanation); seeding the worker's columnar view with its intern
 // table makes the returned symbol planes (packed diff symbols included)
 // bit-equal to a local fill.
+//
+//pxql:wire decode=Run
 type MatSpec struct {
 	Slice LogSlice       `json:"slice"`
 	Level features.Level `json:"level"`
@@ -164,6 +175,8 @@ type MatSpec struct {
 }
 
 // MatResult carries the materialized plane rows of one shard.
+//
+//pxql:wire decode=Explainer.materializePairs
 type MatResult struct {
 	Row0 int       `json:"row0"`
 	N    int       `json:"n"`
@@ -180,6 +193,8 @@ type MatResult struct {
 // round's working set, so every scoring round of a growth loop shares
 // one content hash — after the first ship, rounds reference the cached
 // slice instead of re-shipping shrinking subsets.
+//
+//pxql:wire decode=Run
 type ScoreSpec struct {
 	Slice     LogSlice           `json:"slice"`
 	Level     features.Level     `json:"level"`      // deriver level (the full Table 1 set)
@@ -195,6 +210,8 @@ type ScoreSpec struct {
 }
 
 // CandSpec is the wire form of one scored candidate.
+//
+//pxql:wire decode=Explainer.candidatesSharded
 type CandSpec struct {
 	FeatIdx int           `json:"feat_idx"`
 	Atom    pxql.AtomSpec `json:"atom"`
@@ -202,6 +219,8 @@ type CandSpec struct {
 }
 
 // ScoreResult lists a shard's candidates in ascending feature order.
+//
+//pxql:wire decode=Explainer.candidatesSharded
 type ScoreResult struct {
 	Cands []CandSpec `json:"cands,omitempty"`
 }
@@ -215,6 +234,8 @@ type ScoreResult struct {
 // four integer counts, accumulated worker-side by fused popcounts, so
 // merged metrics are exact and identical to the serial walk at every
 // shard count.
+//
+//pxql:wire decode=Run
 type EvalSpec struct {
 	Slice    LogSlice           `json:"slice"`
 	Global   []int              `json:"global"` // global record index per local record
@@ -229,6 +250,8 @@ type EvalSpec struct {
 }
 
 // EvalResult carries one shard's contribution to the metric counts.
+//
+//pxql:wire decode=EvaluateExplanationSharded
 type EvalResult struct {
 	Context     int `json:"context"`       // pairs satisfying the despite context
 	Exp         int `json:"exp"`           // … additionally satisfying expected

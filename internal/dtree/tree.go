@@ -325,12 +325,20 @@ func (t *Tree) FeatureImportance() map[string]float64 {
 		walk(n.right)
 	}
 	walk(t.root)
+	// Sum and normalize in sorted-key order: float addition is not
+	// associative, so map-ordered accumulation would make the normalized
+	// importances differ in the last bits run to run.
+	names := make([]string, 0, len(imp))
+	for k := range imp {
+		names = append(names, k)
+	}
+	sort.Strings(names)
 	total := 0.0
-	for _, v := range imp {
-		total += v
+	for _, k := range names {
+		total += imp[k]
 	}
 	if total > 0 {
-		for k := range imp {
+		for _, k := range names {
 			imp[k] /= total
 		}
 	}

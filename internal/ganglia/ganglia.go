@@ -203,12 +203,16 @@ func MeanOfMaps(maps []map[string]float64) map[string]float64 {
 	sums := make(map[string]float64)
 	counts := make(map[string]int)
 	for _, m := range maps {
+		// Each key accumulates into its own slot and the per-key addition
+		// order follows the maps slice, not this map's iteration.
+		//pxql:orderinvariant
 		for k, v := range m {
 			sums[k] += v
 			counts[k]++
 		}
 	}
 	out := make(map[string]float64, len(sums))
+	//pxql:orderinvariant — map-to-map transform, no cross-key interaction
 	for k, s := range sums {
 		out[k] = s / float64(counts[k])
 	}

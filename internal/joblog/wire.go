@@ -21,8 +21,12 @@ import (
 	"math"
 )
 
+//pxql:wirehash 75dae2182cce85dc v=2
+
 // WireValue is the wire form of one Value; Kind uses the same names as
 // Kind.String so frames stay readable and version-stable.
+//
+//pxql:wire decode=WireLog.Log
 type WireValue struct {
 	Kind string  `json:"kind"`
 	Num  float64 `json:"num,omitempty"`
@@ -30,12 +34,16 @@ type WireValue struct {
 }
 
 // WireRecord is the wire form of one Record.
+//
+//pxql:wire decode=WireLog.Log
 type WireRecord struct {
 	ID     string      `json:"id"`
 	Values []WireValue `json:"values"`
 }
 
 // WireLog is the wire form of a Log (or a slice of one).
+//
+//pxql:wire decode=Log
 type WireLog struct {
 	Fields  []Field      `json:"fields"`
 	Records []WireRecord `json:"records"`

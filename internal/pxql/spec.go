@@ -19,7 +19,11 @@ import (
 	"perfxplain/internal/joblog"
 )
 
+//pxql:wirehash 2562e8da6f240089 v=2
+
 // AtomSpec is the wire form of one Atom.
+//
+//pxql:wire decode=Atom
 type AtomSpec struct {
 	Feature string  `json:"feature"`
 	Op      string  `json:"op"`   // surface syntax: = != < <= > >=
@@ -30,6 +34,8 @@ type AtomSpec struct {
 
 // PredicateSpec is the wire form of a Predicate (a conjunction of atoms;
 // empty means `true`).
+//
+//pxql:wire decode=Predicate
 type PredicateSpec struct {
 	Atoms []AtomSpec `json:"atoms,omitempty"`
 }

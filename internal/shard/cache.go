@@ -88,6 +88,9 @@ func (c *sliceCache) put(hash string, data *core.SliceData, size int64) {
 		var oldest string
 		var oldestStamp int64
 		first := true
+		// Stamps are unique (tick increments on every touch), so the
+		// minimum found is the same whatever order the scan visits.
+		//pxql:orderinvariant
 		for h, e := range c.entries {
 			if first || e.stamp < oldestStamp {
 				oldest, oldestStamp, first = h, e.stamp, false

@@ -120,7 +120,7 @@ func (p *Pool) discard(w *workerProc) {
 		}
 	}
 	p.mu.Unlock()
-	w.tr.Close()
+	_ = w.tr.Close() // the worker already failed; its close error adds nothing
 }
 
 // exchange performs one raw frame round-trip, wrapping transport
@@ -136,9 +136,26 @@ func (w *workerProc) exchange(p *Pool, t *Task) (*Result, error) {
 		return nil, &TransportError{Op: "recv", Peer: w.tr.Peer(), Diag: w.tr.Diag(), Err: err}
 	}
 	p.stats.frameReceived()
+	if res.Version != Version {
+		return nil, &TransportError{Op: "recv", Peer: w.tr.Peer(), Diag: w.tr.Diag(),
+			Err: fmt.Errorf("result protocol version %d, want %d", res.Version, Version)}
+	}
 	if res.Seq != t.Seq {
 		return nil, &TransportError{Op: "recv", Peer: w.tr.Peer(), Diag: w.tr.Diag(),
 			Err: fmt.Errorf("result seq %d for task %d", res.Seq, t.Seq)}
+	}
+	// A successful result must answer with the task's own spec kind: a
+	// worker sending an enumeration result for an eval task is protocol
+	// corruption, not a mergeable answer.
+	if res.Err == "" && !res.CacheMiss {
+		kindMismatch := (res.Enum != nil) != (t.Enum != nil) ||
+			(res.Mat != nil) != (t.Mat != nil) ||
+			(res.Score != nil) != (t.Score != nil) ||
+			(res.Eval != nil) != (t.Eval != nil)
+		if kindMismatch {
+			return nil, &TransportError{Op: "recv", Peer: w.tr.Peer(), Diag: w.tr.Diag(),
+				Err: fmt.Errorf("result kind does not match task %d's spec", t.Seq)}
+		}
 	}
 	return res, nil
 }
@@ -191,7 +208,7 @@ func (p *Pool) Close() {
 	p.closed = true
 	p.mu.Unlock()
 	for _, w := range procs {
-		w.tr.Close()
+		_ = w.tr.Close() // teardown: workers are going away regardless
 	}
 }
 

@@ -39,7 +39,11 @@ import (
 // evaluation shards.
 const Version = 2
 
+//pxql:wirehash 49dc7b5412c1c07c v=2
+
 // Task is one request frame: exactly one spec pointer is set.
+//
+//pxql:wire decode=workerState.dispatch
 type Task struct {
 	Version int
 	Seq     int
@@ -90,6 +94,8 @@ func (t *Task) stripped() *Task {
 // Err is the task's error, if any; CacheMiss reports that a reference
 // slice was not in the worker's cache (the coordinator re-ships the
 // payload); exactly one result pointer is set on success.
+//
+//pxql:wire decode=workerProc.exchange
 type Result struct {
 	Version   int
 	Seq       int

@@ -593,12 +593,14 @@ func ShardWorker(r io.Reader, w io.Writer) error {
 // own worker loop and content-addressed slice cache. The call blocks
 // until the listener fails.
 func ListenAndServeShardWorkers(addr, token string) error {
+	//pxql:realtime — the HMAC handshake timestamps challenges; server mode is off the deterministic path
 	return shard.ListenAndServe(addr, token)
 }
 
 // ServeShardWorkers serves the shard protocol on an existing listener;
 // see ListenAndServeShardWorkers.
 func ServeShardWorkers(l net.Listener, token string) error {
+	//pxql:realtime — see ListenAndServeShardWorkers
 	return shard.Serve(l, token)
 }
 
