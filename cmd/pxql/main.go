@@ -39,6 +39,8 @@ func main() {
 	width := flag.Int("width", 3, "explanation width")
 	level := flag.Int("level", 3, "feature level 1-3")
 	seed := flag.Int64("seed", 1, "sampling seed")
+	sampleMode := flag.String("sample-mode", "", "pair-space thinning: bernoulli (default) or stratified (per-blocking-group quotas with Wilson confidence bounds)")
+	sampleBudget := flag.Int("sample-budget", 0, "stratified total pair budget (0 = the library's MaxPairs default)")
 	parallelism := flag.Int("parallelism", 0, "worker goroutines for the explanation pipeline (0 = all cores); the answer is identical at every setting")
 	shards := flag.Int("shards", 0, "shard the pair pipeline into N self-contained specs (0 = off); the answer is identical at every setting")
 	shardWorkers := flag.Int("shard-workers", 0, "execute shards on K worker subprocesses instead of in-process (requires -shards)")
@@ -81,6 +83,8 @@ func main() {
 		width:        *width,
 		level:        *level,
 		seed:         *seed,
+		sampleMode:   *sampleMode,
+		sampleBudget: *sampleBudget,
 		parallelism:  *parallelism,
 		shards:       *shards,
 		shardWorkers: *shardWorkers,
@@ -104,6 +108,8 @@ type cliOpts struct {
 	find                               bool
 	width, level                       int
 	seed                               int64
+	sampleMode                         string
+	sampleBudget                       int
 	parallelism, shards, shardWorkers  int
 	shardRemote, shardToken            string
 	verbose                            bool
@@ -172,7 +178,8 @@ func run(o cliOpts) error {
 	}
 
 	opt := perfxplain.Options{Width: width, DespiteWidth: width, FeatureLevel: level,
-		Seed: seed, Parallelism: parallelism, Shards: shards, ShardWorkers: shardWorkers,
+		Seed: seed, SampleMode: o.sampleMode, SampleBudget: o.sampleBudget,
+		Parallelism: parallelism, Shards: shards, ShardWorkers: shardWorkers,
 		ShardAddrs: shardAddrs, ShardToken: shardToken}
 	var x *perfxplain.Explanation
 	// evaluate routes held-out evaluation through the PerfXplain
@@ -221,6 +228,9 @@ func run(o cliOpts) error {
 	fmt.Println(indent(x.String()))
 	fmt.Printf("training: precision %.3f, generality %.3f, relevance %.3f\n",
 		x.TrainPrecision(), x.TrainGenerality(), x.TrainRelevance())
+	if lo, hi, ok := x.TrainRelevanceBounds(); ok {
+		fmt.Printf("          relevance 95%% CI [%.3f, %.3f]\n", lo, hi)
+	}
 
 	if evalPath != "" {
 		evalLog, err := readLog(evalPath)

@@ -28,6 +28,8 @@ func main() {
 	seed := flag.Int64("seed", 42, "sweep + harness seed")
 	reps := flag.Int("reps", 10, "cross-validation repetitions")
 	small := flag.Bool("small", false, "use the reduced 32-job grid (faster, noisier)")
+	sampleMode := flag.String("sample-mode", "", "pair-space thinning for PerfXplain explainers: bernoulli (default) or stratified")
+	sampleBudget := flag.Int("sample-budget", 0, "stratified total pair budget (0 = the harness MaxPairs)")
 	parallelism := flag.Int("parallelism", 0, "worker goroutines for repetitions and cells (0 = all cores); tables are identical at every setting")
 	shards := flag.Int("shards", 0, "shard the pair pipeline into N self-contained specs (0 = off); tables are identical at every setting")
 	shardWorkers := flag.Int("shard-workers", 0, "execute shards on K worker subprocesses instead of in-process (requires -shards)")
@@ -58,14 +60,14 @@ func main() {
 		return
 	}
 
-	if err := run(*exp, *seed, *reps, *small, *parallelism, *shards, *shardWorkers, *shardRemote, token, *verbose); err != nil {
+	if err := run(*exp, *seed, *reps, *small, *sampleMode, *sampleBudget, *parallelism, *shards, *shardWorkers, *shardRemote, token, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "pxqlexperiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, seed int64, reps int, small bool, parallelism, shards, shardWorkers int,
-	shardRemote, shardToken string, verbose bool) error {
+func run(exp string, seed int64, reps int, small bool, sampleMode string, sampleBudget,
+	parallelism, shards, shardWorkers int, shardRemote, shardToken string, verbose bool) error {
 
 	if shardWorkers > 0 && shards <= 0 {
 		return fmt.Errorf("-shard-workers requires -shards")
@@ -93,6 +95,8 @@ func run(exp string, seed int64, reps int, small bool, parallelism, shards, shar
 
 	h := eval.NewHarness(res.Jobs, res.Tasks, seed)
 	h.Reps = reps
+	h.SampleMode = sampleMode
+	h.SampleBudget = sampleBudget
 	h.Parallelism = parallelism
 	// One worker pool serves every repetition and experiment cell of the
 	// whole run — its workers (and their cached log slices) survive from

@@ -198,7 +198,7 @@ func benchComposeBitmap(b *testing.B) {
 	bc := newBitmapCache(fx.m, 1)
 	all := bitset.Make(fx.m.N)
 	all.Ones(fx.m.N)
-	sels := bc.getAll(fx.cands[:pushdownWidth], all)
+	sels, _ := bc.getAll(fx.cands[:pushdownWidth], all)
 	prefix := bitset.Make(fx.m.N)
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -266,7 +266,7 @@ func benchScoreBitmap(b *testing.B) {
 		bc := newBitmapCache(fx.m, 1)
 		curBits.Ones(fx.m.N)
 		for round := 0; round < pushdownWidth; round++ {
-			sels := bc.getAll(fx.cands, curBits)
+			sels, _ := bc.getAll(fx.cands, curBits)
 			for ci := range sels {
 				sat := bitset.AndCount(sels[ci], curBits)
 				satPos := bitset.AndCount3(sels[ci], curBits, fx.pos)
@@ -305,7 +305,7 @@ func TestScorePathsAgree(t *testing.T) {
 	curBits := bitset.Make(fx.m.N)
 	curBits.Ones(fx.m.N)
 	bc := newBitmapCache(fx.m, 0)
-	sels := bc.getAll(fx.cands, curBits)
+	sels, _ := bc.getAll(fx.cands, curBits)
 	cur := make([]int, fx.m.N)
 	for i := range cur {
 		cur[i] = i

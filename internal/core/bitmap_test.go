@@ -159,9 +159,9 @@ func TestBitmapCacheGetAllDeterministic(t *testing.T) {
 	}
 	all := bitset.Make(m.N)
 	all.Ones(m.N)
-	base := newBitmapCache(m, 1).getAll(cands, all)
+	base, _ := newBitmapCache(m, 1).getAll(cands, all)
 	for _, workers := range []int{2, 8} {
-		got := newBitmapCache(m, workers).getAll(cands, all)
+		got, _ := newBitmapCache(m, workers).getAll(cands, all)
 		for ci := range cands {
 			for w := range base[ci] {
 				if got[ci][w] != base[ci][w] {
@@ -172,8 +172,8 @@ func TestBitmapCacheGetAllDeterministic(t *testing.T) {
 	}
 	// Cache identity: a second batch returns the same backing bitmaps.
 	bc := newBitmapCache(m, 1)
-	s1 := bc.getAll(cands, all)
-	s2 := bc.getAll(cands, all)
+	s1, _ := bc.getAll(cands, all)
+	s2, _ := bc.getAll(cands, all)
 	for ci := range cands {
 		if &s1[ci][0] != &s2[ci][0] {
 			t.Fatalf("candidate %d refilled despite cache hit", ci)
@@ -192,7 +192,7 @@ func TestGetAllSkipsDeadWords(t *testing.T) {
 	a := pxql.Atom{Feature: "x", Op: pxql.OpLe, Value: joblog.Num(3)}
 	fi, _ := d.Schema().Index(a.Feature)
 	ma := newMatrixAtom(d, in, fi, a)
-	sels := newBitmapCache(m, 1).getAll([]candidate{{featIdx: fi, atom: a, ma: ma}}, live)
+	sels, _ := newBitmapCache(m, 1).getAll([]candidate{{featIdx: fi, atom: a, ma: ma}}, live)
 	full := bitset.Make(m.N)
 	ma.fillRange(m, 0, m.N, full, nil)
 	for w := range sels[0] {

@@ -39,6 +39,27 @@ type Config struct {
 	// MaxPairs caps enumerated related pairs; larger pair spaces are
 	// Bernoulli-subsampled. Default 200000.
 	MaxPairs int
+	// SampleMode selects how an over-budget pair space is thinned.
+	// "bernoulli" (or empty, the default) keeps each candidate pair
+	// independently with probability budget/total — the seed-stable
+	// behaviour every golden output pins. "stratified" draws a fixed
+	// per-blocking-group quota instead (proportional allocation with a
+	// small-group floor, see stratifyBudgets), so rare strata survive
+	// skew that would starve them under Bernoulli thinning, and the
+	// explanation carries Wilson confidence bounds on its training
+	// diagnostics. Both modes are deterministic in the seed and
+	// byte-identical at every parallelism and shard count.
+	SampleMode string
+	// SampleBudget is the stratified mode's total pair budget; <= 0
+	// defaults to MaxPairs. Ignored in Bernoulli mode.
+	SampleBudget int
+	// TopK caps how many candidate predicates each growth round scores
+	// fully: candidates are ranked by information gain and only the top K
+	// enter the percentile-rank blend. 0 keeps every candidate. Defaults
+	// to 32 in stratified mode and 0 (off) otherwise — the percentile
+	// normalisation makes pruning visible in exact outputs, so it is
+	// opt-in there.
+	TopK int
 	// Seed drives sampling.
 	Seed int64
 	// RawScores disables the percentile-rank normalisation of precision
@@ -102,11 +123,31 @@ func (c Config) withDefaults() Config {
 	if c.MaxPairs == 0 {
 		c.MaxPairs = d.MaxPairs
 	}
+	if c.SampleMode == SampleStratified {
+		if c.SampleBudget <= 0 {
+			c.SampleBudget = c.MaxPairs
+		}
+		if c.TopK == 0 {
+			c.TopK = 32
+		}
+	}
+	if c.TopK < 0 {
+		c.TopK = 0
+	}
 	if c.Runner != nil && c.Shards <= 0 {
 		c.Shards = par.Resolve(c.Parallelism)
 	}
 	return c
 }
+
+// SampleMode values.
+const (
+	// SampleBernoulli is the default independent-keep thinning.
+	SampleBernoulli = "bernoulli"
+	// SampleStratified is per-blocking-group budgeted sampling with
+	// Wilson confidence bounds on the training diagnostics.
+	SampleStratified = "stratified"
+)
 
 // Explainer answers PXQL queries against one execution log.
 type Explainer struct {
@@ -117,6 +158,10 @@ type Explainer struct {
 
 // NewExplainer builds an explainer over the log.
 func NewExplainer(log *joblog.Log, cfg Config) (*Explainer, error) {
+	if cfg.SampleMode != "" && cfg.SampleMode != SampleBernoulli && cfg.SampleMode != SampleStratified {
+		return nil, fmt.Errorf("core: unknown sample mode %q (want %q or %q)",
+			cfg.SampleMode, SampleBernoulli, SampleStratified)
+	}
 	cfg = cfg.withDefaults()
 	if log == nil || log.Len() == 0 {
 		return nil, fmt.Errorf("core: empty log")
@@ -154,6 +199,12 @@ type Explanation struct {
 	SampleSize      int
 	RelatedPairs    int
 
+	// TrainRelevanceLo/Hi bound TrainRelevance with a 95% Wilson score
+	// interval when the pair space was sampled approximately (stratified
+	// mode); both stay zero in exact/Bernoulli mode.
+	TrainRelevanceLo float64
+	TrainRelevanceHi float64
+
 	// Atoms records per-predicate marginal quality: entry i holds the
 	// cumulative precision and generality of the because clause's first
 	// i+1 atoms on the training sample. Greedy construction puts the most
@@ -167,7 +218,18 @@ type AtomStats struct {
 	Atom       pxql.Atom
 	Precision  float64 // P(obs | first i+1 atoms) on the sample
 	Generality float64 // P(first i+1 atoms) on the sample
+
+	// 95% Wilson score intervals around Precision and Generality,
+	// populated only in stratified sampling mode (zero otherwise).
+	PrecisionLo  float64
+	PrecisionHi  float64
+	GeneralityLo float64
+	GeneralityHi float64
 }
+
+// wilsonZ is the critical value of the 95% confidence intervals attached
+// to stratified-mode diagnostics.
+const wilsonZ = 1.96
 
 // String renders the explanation in the paper's DESPITE/BECAUSE form.
 func (x *Explanation) String() string {
@@ -241,6 +303,10 @@ func (e *Explainer) explain(q *pxql.Query, genDespite bool) (*Explanation, error
 	}
 	nObs, _ := related.counts()
 	x.TrainRelevance = 1 - float64(nObs)/float64(len(related.refs))
+	strat := e.cfg.SampleMode == SampleStratified
+	if strat {
+		x.TrainRelevanceLo, x.TrainRelevanceHi = stats.Wilson(len(related.refs)-nObs, len(related.refs), wilsonZ)
+	}
 
 	// Sampling stays serial: it is O(pairs) cheap, and drawing from one
 	// sequential stream over the deterministically ordered pair set keeps
@@ -261,11 +327,15 @@ func (e *Explainer) explain(q *pxql.Query, genDespite bool) (*Explanation, error
 	}
 	x.Because = bec
 
-	// Training diagnostics over the sample, per clause prefix: each
-	// atom fills a full-matrix bitmap (the growth cache may hold only
-	// working-set-live words, so the prefix compose — which starts from
-	// every sampled pair — fills its own), ANDs into the running prefix
-	// selection, and the counts are popcounts against the label bitmap.
+	// Training diagnostics over the sample, per clause prefix: each atom
+	// fills its own bitmap (the growth cache may hold only
+	// working-set-live words; the prefix compose starts from every
+	// sampled pair, so it cannot reuse those), ANDs into the running
+	// prefix selection, and the counts are popcounts against the label
+	// bitmap. The fill passes the running prefix as the live mask: a
+	// word with no surviving prefix pair may keep stale bits in sel, but
+	// AndWith leaves dead prefix words dead whatever sel holds there, so
+	// the restriction skips plane work without changing a single count.
 	in := e.log.Columns().Intern()
 	posBits := bitset.FromBools(sample.labels)
 	prefix := bitset.Make(m.N)
@@ -275,7 +345,7 @@ func (e *Explainer) explain(q *pxql.Query, genDespite bool) (*Explanation, error
 		a := bec[w-1]
 		idx, _ := e.d.Schema().Index(a.Feature)
 		ma := newMatrixAtom(e.d, in, idx, a)
-		ma.fillRange(m, 0, m.N, sel, nil)
+		ma.fillRange(m, 0, m.N, sel, prefix)
 		prefix.AndWith(sel)
 		sat := prefix.Count()
 		satObs := bitset.AndCount(prefix, posBits)
@@ -285,6 +355,10 @@ func (e *Explainer) explain(q *pxql.Query, genDespite bool) (*Explanation, error
 		}
 		if m.N > 0 {
 			st.Generality = float64(sat) / float64(m.N)
+		}
+		if strat {
+			st.PrecisionLo, st.PrecisionHi = stats.Wilson(satObs, sat, wilsonZ)
+			st.GeneralityLo, st.GeneralityHi = stats.Wilson(sat, m.N, wilsonZ)
 		}
 		x.Atoms = append(x.Atoms, st)
 	}
@@ -395,19 +469,42 @@ func (e *Explainer) grow(bc *bitmapCache, plan *plannedSample, labels []bool,
 			break
 		}
 
+		// Top-K candidate pruning (opt-in, default-on in stratified
+		// mode): keep only the K highest-gain candidates before the
+		// bitmap fills, so dominated features never pay for a bitmap.
+		// The survivors are restored to ascending feature order — the
+		// order every downstream tie-break assumes.
+		if k := e.cfg.TopK; k > 0 && len(cands) > k {
+			sort.Slice(cands, func(a, b int) bool {
+				if cands[a].gain != cands[b].gain {
+					return cands[a].gain > cands[b].gain
+				}
+				return cands[a].featIdx < cands[b].featIdx
+			})
+			cands = cands[:k]
+			sort.Slice(cands, func(a, b int) bool { return cands[a].featIdx < cands[b].featIdx })
+		}
+
 		// Cross-feature selection: percentile-normalised blend of
 		// precision (P(positive | p)) and generality (P(p)). Each
 		// candidate's counts compose from its bitmap by word-AND +
 		// popcount; the heavy part — filling the distinct atoms' bitmaps —
 		// ran tile-parallel in getAll, restricted to the working set's
-		// live words.
-		sels := bc.getAll(cands, curBits)
+		// live words. ubs[ci] bounds the candidate's possible satisfied
+		// count from above (the bitmap's popcount at fill time; the
+		// working set only shrinks), so a zero bound skips both fused
+		// popcounts and a zero sat skips the three-way one — provably
+		// the same counts either way.
+		sels, ubs := bc.getAll(cands, curBits)
 		precs := make([]float64, len(cands))
 		gens := make([]float64, len(cands))
 		for ci := range cands {
-			sat := bitset.AndCount(sels[ci], curBits)
-			satPos := bitset.AndCount3(sels[ci], curBits, posBits)
+			sat := 0
+			if ubs[ci] > 0 {
+				sat = bitset.AndCount(sels[ci], curBits)
+			}
 			if sat > 0 {
+				satPos := bitset.AndCount3(sels[ci], curBits, posBits)
 				precs[ci] = float64(satPos) / float64(sat)
 			}
 			gens[ci] = float64(sat) / float64(len(cur))

@@ -195,38 +195,52 @@ type bitmapCache struct {
 	m       *features.PairMatrix
 	workers int
 	cache   map[atomKey]bitset.Set
+	// counts memoizes each cached bitmap's popcount at fill time. The
+	// fill is restricted to the then-live working-set words and the
+	// working set shrinks monotonically, so the stored count is an upper
+	// bound on any later AndCount against the current working set — a
+	// zero means the candidate can never select a pair again.
+	counts map[atomKey]int
 }
 
 func newBitmapCache(m *features.PairMatrix, workers int) *bitmapCache {
-	return &bitmapCache{m: m, workers: workers, cache: make(map[atomKey]bitset.Set)}
+	return &bitmapCache{m: m, workers: workers,
+		cache: make(map[atomKey]bitset.Set), counts: make(map[atomKey]int)}
 }
 
-// getAll returns the bitmaps of a candidate batch, filling the cache
-// misses tile-parallel: the unit of work is (tile, atom), consecutive
-// units share a tile, so one tile's plane rows are scanned by every
-// missing atom while hot. Words with no live bit in the working set are
-// skipped (left zero) — once a selective clause collapses the working
-// set, losing candidates cost plane reads only where pairs remain.
-// Scheduling never affects the bits — each unit writes a disjoint word
-// range of its own atom's bitmap.
-func (bc *bitmapCache) getAll(cands []candidate, live bitset.Set) []bitset.Set {
+// getAll returns the bitmaps of a candidate batch plus each bitmap's
+// fill-time popcount (an upper bound on the candidate's satisfied count,
+// see counts), filling the cache misses tile-parallel: the unit of work
+// is (tile, atom), consecutive units share a tile, so one tile's plane
+// rows are scanned by every missing atom while hot. Words with no live
+// bit in the working set are skipped (left zero) — once a selective
+// clause collapses the working set, losing candidates cost plane reads
+// only where pairs remain. Scheduling never affects the bits — each unit
+// writes a disjoint word range of its own atom's bitmap.
+func (bc *bitmapCache) getAll(cands []candidate, live bitset.Set) ([]bitset.Set, []int) {
 	sels := make([]bitset.Set, len(cands))
+	ubs := make([]int, len(cands))
+	var missKey []atomKey
 	var missSel []bitset.Set
 	var missMA []matrixAtom
+	missAt := make([]int, 0, len(cands))
 	for ci := range cands {
 		k := keyOf(cands[ci].atom)
 		if sel, ok := bc.cache[k]; ok {
 			sels[ci] = sel
+			ubs[ci] = bc.counts[k]
 			continue
 		}
 		sel := bitset.Make(bc.m.N)
 		bc.cache[k] = sel
 		sels[ci] = sel
+		missKey = append(missKey, k)
 		missSel = append(missSel, sel)
 		missMA = append(missMA, cands[ci].ma)
+		missAt = append(missAt, ci)
 	}
 	if len(missSel) == 0 {
-		return sels
+		return sels, ubs
 	}
 	tiles := (bc.m.N + rowTile - 1) / rowTile
 	par.Do(tiles*len(missSel), bc.workers, func(u int) {
@@ -235,5 +249,10 @@ func (bc *bitmapCache) getAll(cands []candidate, live bitset.Set) []bitset.Set {
 		hi := min(lo+rowTile, bc.m.N)
 		missMA[k].fillRange(bc.m, lo, hi, missSel[k], live)
 	})
-	return sels
+	for k := range missSel {
+		n := missSel[k].Count()
+		bc.counts[missKey[k]] = n
+		ubs[missAt[k]] = n
+	}
+	return sels, ubs
 }

@@ -23,9 +23,10 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
+	"sort"
 	"strconv"
-	"strings"
 
 	"perfxplain/internal/bitset"
 	"perfxplain/internal/features"
@@ -55,6 +56,11 @@ type pairSet struct {
 type pairShard struct {
 	group  []int // record indices of the blocking group
 	lo, hi int   // outer-member positions this shard owns
+	// ts, when non-nil, lists this shard's stratified pair draws: sorted
+	// flat indices t = p·(len(group)−1) + r into the group's ordered-pair
+	// space, restricted to outer positions [lo, hi). nil means walk the
+	// full [lo, hi) × group product (Bernoulli-thinned by keepP).
+	ts []uint64
 }
 
 // pairSpace is the blocked ordered-pair space of a log under a despite
@@ -63,6 +69,16 @@ type pairShard struct {
 type pairSpace struct {
 	shards []pairShard
 	keepP  float64
+}
+
+// enumOpts selects how a pair space is thinned and pruned. The zero
+// value is the standard exact configuration: Bernoulli thinning to
+// maxPairs with zone-map group pruning on.
+type enumOpts struct {
+	maxPairs   int  // Bernoulli cap on the sampled pair count (<=0: keep all)
+	stratified bool // per-group stratified draws instead of Bernoulli thinning
+	budget     int  // stratified total pair budget (<=0: keep all)
+	noPrune    bool // disable zone-map group pruning (benchmark baselines)
 }
 
 // blockIndexes extracts the raw schema indices of despite conjuncts of
@@ -84,32 +100,48 @@ func blockIndexes(log *joblog.Log, despite pxql.Predicate) []int {
 // blockedGroups blocks the candidate records of (log, despite) into
 // groups — the single definition of the blocked pair space shared by the
 // in-process pair walk (buildPairSpace) and the cross-process shard
-// planner (PlanEnumShards), so the two can never drift on blocking,
-// group order or the subsampling probability. Groups are returned in
-// first-appearance order over the record list; keepP is the Bernoulli
-// keep probability implied by maxPairs over the candidate ordered-pair
-// count. The construction reads only boxed record values, never the
-// memoized columnar view, so it is invariant under cache invalidation.
+// planners (PlanEnumShards, PlanEvalShards), so they can never drift on
+// blocking, group order or the subsampling probability. Groups are
+// returned in first-appearance order over the record list; keepP is the
+// Bernoulli keep probability implied by maxPairs over the candidate
+// ordered-pair count. The construction is a pure function of the record
+// list (the memoized columnar view it reads is itself rebuilt
+// deterministically from the records), so repeated calls — before or
+// after any cache invalidation — produce identical groups.
 func blockedGroups(log *joblog.Log, despite pxql.Predicate, maxPairs int) (groups [][]int, keepP float64) {
+	return blockedGroupsOpt(log, despite, maxPairs, true)
+}
+
+// blockedGroupsOpt is blockedGroups with zone-map group pruning
+// switchable (the benchmark baseline runs unpruned). keepP is computed
+// over the UNPRUNED candidate pair count before any group is dropped:
+// pruned groups contain no despite-satisfying pair and each keep
+// decision is a pure function of (seed, i, j), so pruning changes
+// neither the probability nor any surviving pair's fate — enumeration
+// output is byte-identical either way.
+func blockedGroupsOpt(log *joblog.Log, despite pxql.Predicate, maxPairs int, prune bool) (groups [][]int, keepP float64) {
 	recs := candidateRecords(log, despite)
 	blockIdx := blockIndexes(log, despite)
 
 	byKey := make(map[string]int) // key -> index into groups
+	var keyBuf []byte
 	for _, ri := range recs {
-		key := blockKey(log.Records[ri], blockIdx)
-		if key == "" && len(blockIdx) > 0 {
+		key, ok := appendBlockKey(keyBuf[:0], log.Records[ri], blockIdx)
+		keyBuf = key
+		if !ok {
 			continue // missing blocking value can never satisfy isSame = T
 		}
-		gi, seen := byKey[key]
+		gi, seen := byKey[string(key)] // no alloc: string(key) only escapes below
 		if !seen {
 			gi = len(groups)
-			byKey[key] = gi
+			byKey[string(key)] = gi
 			groups = append(groups, nil)
 		}
 		groups[gi] = append(groups[gi], ri)
 	}
 
-	// Candidate ordered pair count, for the subsampling probability.
+	// Candidate ordered pair count, for the subsampling probability —
+	// always over the full candidate space, never the pruned one.
 	total := 0
 	for _, g := range groups {
 		total += len(g) * (len(g) - 1)
@@ -117,6 +149,18 @@ func blockedGroups(log *joblog.Log, despite pxql.Predicate, maxPairs int) (group
 	keepP = 1.0
 	if maxPairs > 0 && total > maxPairs {
 		keepP = float64(maxPairs) / float64(total)
+	}
+
+	if prune {
+		if p := newGroupPruner(log, despite); p != nil {
+			kept := groups[:0]
+			for _, g := range groups {
+				if !p.dead(g) {
+					kept = append(kept, g)
+				}
+			}
+			groups = kept
+		}
 	}
 	return groups, keepP
 }
@@ -126,7 +170,18 @@ func blockedGroups(log *joblog.Log, despite pxql.Predicate, maxPairs int) (group
 // deterministic (first-appearance order over the record list) and shard
 // boundaries only affect scheduling, never output order.
 func buildPairSpace(log *joblog.Log, despite pxql.Predicate, maxPairs, workers int) pairSpace {
-	groups, keepP := blockedGroups(log, despite, maxPairs)
+	return buildPairSpaceOpt(log, despite, workers, 0, enumOpts{maxPairs: maxPairs})
+}
+
+// buildPairSpaceOpt builds the pair space under explicit sampling
+// options. seed feeds the stratified per-group draw streams and is
+// ignored in Bernoulli mode (where draws happen per pair at walk time).
+func buildPairSpaceOpt(log *joblog.Log, despite pxql.Predicate, workers int, seed uint64, o enumOpts) pairSpace {
+	maxPairs := o.maxPairs
+	if o.stratified {
+		maxPairs = 0 // budgets replace the Bernoulli cap
+	}
+	groups, keepP := blockedGroupsOpt(log, despite, maxPairs, !o.noPrune)
 	units := 0
 	for _, g := range groups {
 		units += len(g)
@@ -137,17 +192,111 @@ func buildPairSpace(log *joblog.Log, despite pxql.Predicate, maxPairs, workers i
 	if chunk < 1 {
 		chunk = 1
 	}
+	var budgets []int
+	if o.stratified {
+		budgets = stratifyBudgets(groups, o.budget)
+	}
 	sp := pairSpace{keepP: keepP}
-	for _, g := range groups {
+	for gi, g := range groups {
+		var ts []uint64
+		if o.stratified && budgets[gi] < len(g)*(len(g)-1) {
+			ts = groupDraws(seed, g[0], len(g), budgets[gi])
+		}
 		for lo := 0; lo < len(g); lo += chunk {
 			hi := lo + chunk
 			if hi > len(g) {
 				hi = len(g)
 			}
-			sp.shards = append(sp.shards, pairShard{group: g, lo: lo, hi: hi})
+			sh := pairShard{group: g, lo: lo, hi: hi}
+			if ts != nil {
+				// The shard owns the draws whose outer position falls in
+				// [lo, hi): a contiguous run of the sorted flat indices.
+				n1 := uint64(len(g) - 1)
+				tlo := sort.Search(len(ts), func(k int) bool { return ts[k] >= uint64(lo)*n1 })
+				thi := sort.Search(len(ts), func(k int) bool { return ts[k] >= uint64(hi)*n1 })
+				if tlo == thi {
+					continue // no draws here; an empty shard would only schedule noise
+				}
+				sh.ts = ts[tlo:thi]
+			}
+			sp.shards = append(sp.shards, sh)
 		}
 	}
 	return sp
+}
+
+// stratumFloor is the minimum pair budget a non-degenerate stratum
+// receives, so thin blocking groups still contribute a usable estimate.
+const stratumFloor = 16
+
+// stratifyBudgets allocates a total pair budget across blocking groups
+// proportionally to their ordered-pair mass, with a per-stratum floor. A
+// group allocated at least three quarters of its pairs is taken whole:
+// near-exhaustive draws cost more bookkeeping than just walking the
+// group (this also absorbs groups smaller than the floor). A
+// non-positive budget, or one covering the whole space, keeps every
+// pair. The allocation is pure integer arithmetic over the group sizes,
+// so every shard and process computes identical budgets.
+func stratifyBudgets(groups [][]int, budget int) []int {
+	bs := make([]int, len(groups))
+	var total uint64
+	for _, g := range groups {
+		total += uint64(len(g)) * uint64(len(g)-1)
+	}
+	for gi, g := range groups {
+		m := uint64(len(g)) * uint64(len(g)-1)
+		if budget <= 0 || total <= uint64(budget) {
+			bs[gi] = int(m)
+			continue
+		}
+		hi, lo := bits.Mul64(uint64(budget), m)
+		b, _ := bits.Div64(hi, lo, total)
+		if b < stratumFloor {
+			b = stratumFloor
+		}
+		if 4*b >= 3*m {
+			b = m
+		}
+		bs[gi] = int(b)
+	}
+	return bs
+}
+
+// groupDraws draws budget distinct flat pair indices from a group's
+// n·(n−1) ordered-pair space: one splitmix counter stream per group,
+// seeded from the enumeration seed and g0 — the group's first member's
+// global record index, which every shard straddling the group agrees on.
+// The result is sorted ascending, so iterating it visits pairs in the
+// exact walk's (outer position, inner position) order restricted to the
+// drawn set. A pure function of (seed, g0, n, budget): every shard,
+// process and worker count derives the identical draw set.
+func groupDraws(seed uint64, g0, n, budget int) []uint64 {
+	m := uint64(n) * uint64(n-1)
+	if budget <= 0 || m == 0 {
+		return []uint64{}
+	}
+	gseed := stats.SplitMix64(seed ^ (uint64(g0)*0x9e3779b97f4a7c15 + 0x6a09e667f3bcc909))
+	drawn := make(map[uint64]struct{}, budget)
+	ts := make([]uint64, 0, budget)
+	// Rejection-sample the counter stream; the bound keeps pathological
+	// near-exhaustive budgets from spinning on duplicates.
+	for ctr := uint64(0); len(ts) < budget && ctr < 4*m+64; ctr++ {
+		t := stats.SplitMix64(gseed+ctr) % m
+		if _, dup := drawn[t]; dup {
+			continue
+		}
+		drawn[t] = struct{}{}
+		ts = append(ts, t)
+	}
+	// Deterministic fill if rejection ran out of its counter allowance.
+	for t := uint64(0); t < m && len(ts) < budget; t++ {
+		if _, dup := drawn[t]; !dup {
+			drawn[t] = struct{}{}
+			ts = append(ts, t)
+		}
+	}
+	sort.Slice(ts, func(a, b int) bool { return ts[a] < ts[b] })
+	return ts
 }
 
 // keepPair is the counter-based Bernoulli subsampling decision for the
@@ -179,6 +328,30 @@ func (sp pairSpace) forEachBlock(shard int, seed uint64, visit func(ai, bi []int
 	sh := sp.shards[shard]
 	ai := make([]int, 0, pairBlock)
 	bi := make([]int, 0, pairBlock)
+	if sh.ts != nil {
+		// Stratified walk: decode each drawn flat index t into (outer
+		// position p, inner position skipping p) — ascending t is exactly
+		// the exact walk's order restricted to the drawn set.
+		n1 := len(sh.group) - 1
+		for _, t := range sh.ts {
+			p := int(t) / n1
+			r := int(t) % n1
+			q := r
+			if r >= p {
+				q = r + 1
+			}
+			ai = append(ai, sh.group[p])
+			bi = append(bi, sh.group[q])
+			if len(ai) == pairBlock {
+				visit(ai, bi)
+				ai, bi = ai[:0], bi[:0]
+			}
+		}
+		if len(ai) > 0 {
+			visit(ai, bi)
+		}
+		return
+	}
 	for _, i := range sh.group[sh.lo:sh.hi] {
 		for _, j := range sh.group {
 			if i == j {
@@ -224,8 +397,17 @@ func (sp pairSpace) forEachBlock(shard int, seed uint64, visit func(ai, bi []int
 // per-pair loop did, so the output is bit-for-bit the same.
 func enumerateRelated(log *joblog.Log, d *features.Deriver, q *pxql.Query,
 	despite pxql.Predicate, maxPairs int, seed uint64, workers int) *pairSet {
+	return enumerateRelatedOpt(log, d, q, despite, seed, workers, enumOpts{maxPairs: maxPairs})
+}
 
-	sp := buildPairSpace(log, despite, maxPairs, workers)
+// enumerateRelatedOpt is enumerateRelated under explicit sampling
+// options: the stratified mode draws per-group budgeted pair sets
+// instead of Bernoulli-thinning, and the benchmark baseline disables
+// zone-map group pruning.
+func enumerateRelatedOpt(log *joblog.Log, d *features.Deriver, q *pxql.Query,
+	despite pxql.Predicate, seed uint64, workers int, o enumOpts) *pairSet {
+
+	sp := buildPairSpaceOpt(log, despite, workers, seed, o)
 	cols := log.Columns()
 	cDes := despite.Compile(d, cols)
 	cObs := q.Observed.Compile(d, cols)
@@ -266,7 +448,13 @@ func enumerateRelated(log *joblog.Log, d *features.Deriver, q *pxql.Query,
 }
 
 // candidateRecords applies base-feature equality prefilters from the
-// despite clause and returns surviving record indices.
+// despite clause and returns surviving record indices. Alien-free filter
+// columns seek their matching row run in the per-column sorted index
+// (plane equality is boxed equality there) and intersect as bitmaps;
+// any alien cell on a filter column falls the whole call back to the
+// exact boxed scan. Both paths implement Value.Equal semantics: missing
+// cells match nothing, a missing or kind-mismatched or never-logged
+// constant matches no record.
 func candidateRecords(log *joblog.Log, despite pxql.Predicate) []int {
 	type filter struct {
 		idx int
@@ -282,43 +470,91 @@ func candidateRecords(log *joblog.Log, despite pxql.Predicate) []int {
 			filters = append(filters, filter{i, a.Value})
 		}
 	}
-	out := make([]int, 0, log.Len())
-	for i, r := range log.Records {
-		ok := true
-		for _, f := range filters {
-			if !r.Values[f.idx].Equal(f.val) {
-				ok = false
-				break
-			}
+	n := log.Len()
+	if len(filters) == 0 {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
 		}
-		if ok {
-			out = append(out, i)
+		return out
+	}
+	cols := log.Columns()
+	fast := true
+	for _, f := range filters {
+		if cols.Col(f.idx).HasAlien {
+			fast = false
+			break
 		}
 	}
+	if !fast {
+		out := make([]int, 0, n)
+		for i, r := range log.Records {
+			ok := true
+			for _, f := range filters {
+				if !r.Values[f.idx].Equal(f.val) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	var sel bitset.Set
+	for _, f := range filters {
+		var rows []int32
+		if !f.val.IsMissing() && f.val.Kind == cols.Col(f.idx).Kind {
+			ix := cols.SortedIndex(f.idx)
+			if f.val.Kind == joblog.Numeric {
+				rows = ix.EqualNum(f.val.Num)
+			} else if id, ok := cols.Intern().Lookup(f.val.Str); ok {
+				rows = ix.EqualSym(id)
+			}
+		}
+		cur := bitset.Make(n)
+		for _, r := range rows {
+			cur.SetBit(int(r))
+		}
+		if sel == nil {
+			sel = cur
+		} else {
+			sel.AndWith(cur)
+		}
+	}
+	out := make([]int, 0, n)
+	sel.ForEach(func(i int) { out = append(out, i) })
 	return out
 }
 
-// blockKey renders a record's blocking tuple as a string key. Each value
-// is length-prefixed so distinct tuples can never alias, whatever bytes
-// the values contain. The empty key is reserved: it means "no blocking"
-// when blockIdx is empty and "unblockable" (a missing blocking value)
-// otherwise — a present tuple always renders to at least "0:".
-func blockKey(r *joblog.Record, blockIdx []int) string {
-	if len(blockIdx) == 0 {
-		return ""
-	}
-	var b strings.Builder
+// appendBlockKey renders a record's blocking tuple into dst (reused
+// between records — callers pass dst[:0] of a scratch buffer, so the
+// steady state allocates nothing per record). Each value is
+// length-prefixed so distinct tuples can never alias, whatever bytes
+// the values contain. ok is false when a blocking value is missing: such
+// a record can never satisfy isSame = T and is unblockable. An empty
+// blockIdx renders the empty key with ok true — the single "no blocking"
+// group.
+func appendBlockKey(dst []byte, r *joblog.Record, blockIdx []int) (key []byte, ok bool) {
+	var num [32]byte
 	for _, i := range blockIdx {
 		v := r.Values[i]
 		if v.IsMissing() {
-			return ""
+			return dst[:0], false
 		}
-		s := v.String()
-		b.WriteString(strconv.Itoa(len(s)))
-		b.WriteByte(':')
-		b.WriteString(s)
+		if v.Kind == joblog.Numeric {
+			s := strconv.AppendFloat(num[:0], v.Num, 'g', -1, 64)
+			dst = strconv.AppendInt(dst, int64(len(s)), 10)
+			dst = append(dst, ':')
+			dst = append(dst, s...)
+		} else {
+			dst = strconv.AppendInt(dst, int64(len(v.Str)), 10)
+			dst = append(dst, ':')
+			dst = append(dst, v.Str...)
+		}
 	}
-	return b.String()
+	return dst, true
 }
 
 // balancedSample keeps each example with probability m/(2·classSize), the

@@ -20,6 +20,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"perfxplain/internal/bitset"
 	"perfxplain/internal/features"
@@ -48,7 +49,7 @@ type ShardRunner interface {
 // payload is resent. Execution is byte-identical either way: the hash
 // covers every bit of the payload, so a hit decodes to exactly what a
 // fresh ship would have.
-//pxql:wirehash 4daa47eb6697ef43 v=2
+//pxql:wirehash 07c32cc46194dc05 v=3
 
 //pxql:wire decode=Data
 type LogSlice struct {
@@ -128,6 +129,11 @@ type EnumGroup struct {
 	Members []int `json:"members"` // local record indices, group order
 	Lo      int   `json:"lo"`
 	Hi      int   `json:"hi"`
+	// Budget is the group's total stratified pair budget (the whole
+	// group's, not this shard's slice — straddling shards re-derive the
+	// identical draw set and take the outer positions they own). Zero and
+	// ignored in Bernoulli mode.
+	Budget int `json:"budget,omitempty"`
 }
 
 // EnumSpec is a self-contained unit of pair enumeration: a worker given
@@ -136,15 +142,19 @@ type EnumGroup struct {
 //
 //pxql:wire decode=Run
 type EnumSpec struct {
-	Log      joblog.WireLog     `json:"log"`    // records of this shard's groups
-	Global   []int              `json:"global"` // global record index per local record
-	Groups   []EnumGroup        `json:"groups,omitempty"`
-	KeepP    float64            `json:"keep_p"` // global Bernoulli keep probability
-	Seed     uint64             `json:"seed"`   // splitmix seed; counters key on Global
-	Level    features.Level     `json:"level"`
-	Despite  pxql.PredicateSpec `json:"despite"`
-	Observed pxql.PredicateSpec `json:"observed"`
-	Expected pxql.PredicateSpec `json:"expected"`
+	Log    joblog.WireLog `json:"log"`    // records of this shard's groups
+	Global []int          `json:"global"` // global record index per local record
+	Groups []EnumGroup    `json:"groups,omitempty"`
+	KeepP  float64        `json:"keep_p"` // global Bernoulli keep probability
+	Seed   uint64         `json:"seed"`   // splitmix seed; counters key on Global
+	// Stratified switches the walk from Bernoulli thinning (keepPair over
+	// KeepP) to per-group budgeted draws (groupDraws over each group's
+	// Budget, seeded by the first member's global index).
+	Stratified bool               `json:"stratified,omitempty"`
+	Level      features.Level     `json:"level"`
+	Despite    pxql.PredicateSpec `json:"despite"`
+	Observed   pxql.PredicateSpec `json:"observed"`
+	Expected   pxql.PredicateSpec `json:"expected"`
 }
 
 // EnumResult lists a shard's related pairs in iteration order, addressed
@@ -308,8 +318,10 @@ type groupCut struct {
 // planner partition a quadratic pair walk. Shard boundaries may fall
 // inside a blocking group (it then appears in several cuts with disjoint
 // outer ranges); when nShards exceeds the outer-member count, trailing
-// cuts are empty.
-func cutGroupShards(log *joblog.Log, groups [][]int, nShards int) []groupCut {
+// cuts are empty. budgets, when non-nil, carries one stratified pair
+// budget per group (parallel to groups) onto every cut the group appears
+// in; nil leaves Budget zero (Bernoulli mode).
+func cutGroupShards(log *joblog.Log, groups [][]int, budgets []int, nShards int) []groupCut {
 	units := 0
 	for _, g := range groups {
 		units += len(g)
@@ -320,7 +332,7 @@ func cutGroupShards(log *joblog.Log, groups [][]int, nShards int) []groupCut {
 		idx := newLocalIndexer(log)
 		var cut groupCut
 		off := 0
-		for _, g := range groups {
+		for gi, g := range groups {
 			gLo, gHi := lo-off, hi-off
 			off += len(g)
 			if gLo < 0 {
@@ -333,6 +345,9 @@ func cutGroupShards(log *joblog.Log, groups [][]int, nShards int) []groupCut {
 				continue
 			}
 			eg := EnumGroup{Members: make([]int, len(g)), Lo: gLo, Hi: gHi}
+			if budgets != nil {
+				eg.Budget = budgets[gi]
+			}
 			for k, ri := range g {
 				eg.Members[k] = idx.of(ri)
 			}
@@ -354,8 +369,10 @@ func cutGroupShards(log *joblog.Log, groups [][]int, nShards int) []groupCut {
 // they execute to empty results.
 //
 // The plan is a pure function of (records, despite, query outcome
-// clauses, maxPairs, nShards, seed): it reads only boxed record values,
-// so rebuilding the log's memoized columnar view never changes it.
+// clauses, maxPairs, nShards, seed): everything it reads — including
+// the memoized columnar view backing the zone-map group pruner — is
+// derived deterministically from the record list, so rebuilding the
+// log's caches never changes it.
 func PlanEnumShards(log *joblog.Log, level features.Level, q *pxql.Query,
 	despite pxql.Predicate, maxPairs, nShards int, seed uint64) []EnumSpec {
 
@@ -364,7 +381,7 @@ func PlanEnumShards(log *joblog.Log, level features.Level, q *pxql.Query,
 	}
 	groups, keepP := blockedGroups(log, despite, maxPairs)
 	specs := make([]EnumSpec, nShards)
-	for s, cut := range cutGroupShards(log, groups, nShards) {
+	for s, cut := range cutGroupShards(log, groups, nil, nShards) {
 		specs[s] = EnumSpec{
 			Log:      cut.Log,
 			Global:   cut.Global,
@@ -375,6 +392,39 @@ func PlanEnumShards(log *joblog.Log, level features.Level, q *pxql.Query,
 			Despite:  despite.Spec(),
 			Observed: q.Observed.Spec(),
 			Expected: q.Expected.Spec(),
+		}
+	}
+	return specs
+}
+
+// PlanEnumShardsStratified is PlanEnumShards for the stratified sampling
+// mode: instead of one global Bernoulli probability, every blocking
+// group carries its allocated pair budget (see stratifyBudgets) and
+// workers re-derive the group's draw set from the seed and the group's
+// first global record index — so the union of shard outputs, merged in
+// spec order, is identical at every shard count and equals the
+// in-process stratified walk.
+func PlanEnumShardsStratified(log *joblog.Log, level features.Level, q *pxql.Query,
+	despite pxql.Predicate, budget, nShards int, seed uint64) []EnumSpec {
+
+	if nShards < 1 {
+		nShards = 1
+	}
+	groups, _ := blockedGroups(log, despite, 0)
+	budgets := stratifyBudgets(groups, budget)
+	specs := make([]EnumSpec, nShards)
+	for s, cut := range cutGroupShards(log, groups, budgets, nShards) {
+		specs[s] = EnumSpec{
+			Log:        cut.Log,
+			Global:     cut.Global,
+			Groups:     cut.Groups,
+			KeepP:      1,
+			Seed:       seed,
+			Stratified: true,
+			Level:      level,
+			Despite:    despite.Spec(),
+			Observed:   q.Observed.Spec(),
+			Expected:   q.Expected.Spec(),
 		}
 	}
 	return specs
@@ -396,7 +446,7 @@ func PlanEvalShards(log *joblog.Log, level features.Level, q *pxql.Query,
 	despite := q.Despite.And(x.Despite)
 	groups, keepP := blockedGroups(log, despite, maxPairs)
 	specs := make([]EvalSpec, nShards)
-	for s, cut := range cutGroupShards(log, groups, nShards) {
+	for s, cut := range cutGroupShards(log, groups, nil, nShards) {
 		specs[s] = EvalSpec{
 			Slice:    NewLogSlice(cut.Log, nil),
 			Global:   cut.Global,
@@ -433,6 +483,9 @@ func (s *EnumSpec) Run() (*EnumResult, error) {
 	for gi, g := range s.Groups {
 		if g.Lo < 0 || g.Hi < g.Lo || g.Hi > len(g.Members) {
 			return nil, fmt.Errorf("core: enum spec group %d has invalid outer range [%d, %d)", gi, g.Lo, g.Hi)
+		}
+		if g.Budget < 0 {
+			return nil, fmt.Errorf("core: enum spec group %d has negative budget %d", gi, g.Budget)
 		}
 		for _, li := range g.Members {
 			if li < 0 || li >= log.Len() {
@@ -488,7 +541,36 @@ func (s *EnumSpec) Run() (*EnumResult, error) {
 		})
 		aiL, biL, aiG, biG = aiL[:0], biL[:0], aiG[:0], biG[:0]
 	}
+	emit := func(li, lj int) {
+		aiL = append(aiL, li)
+		biL = append(biL, lj)
+		aiG = append(aiG, s.Global[li])
+		biG = append(biG, s.Global[lj])
+		if len(aiL) == pairBlock {
+			flush()
+		}
+	}
 	for _, g := range s.Groups {
+		n := len(g.Members)
+		if s.Stratified && g.Budget < n*(n-1) {
+			// Re-derive the whole group's draw set (identical in every
+			// straddling shard) and walk the outer positions this shard
+			// owns — a contiguous run of the sorted flat indices.
+			ts := groupDraws(s.Seed, s.Global[g.Members[0]], n, g.Budget)
+			n1 := uint64(n - 1)
+			lo := sort.Search(len(ts), func(k int) bool { return ts[k] >= uint64(g.Lo)*n1 })
+			hi := sort.Search(len(ts), func(k int) bool { return ts[k] >= uint64(g.Hi)*n1 })
+			for _, t := range ts[lo:hi] {
+				p := int(t / n1)
+				r := int(t % n1)
+				q := r
+				if r >= p {
+					q = r + 1
+				}
+				emit(g.Members[p], g.Members[q])
+			}
+			continue
+		}
 		for _, li := range g.Members[g.Lo:g.Hi] {
 			gi := s.Global[li]
 			for _, lj := range g.Members {
@@ -496,16 +578,10 @@ func (s *EnumSpec) Run() (*EnumResult, error) {
 				if gi == gj {
 					continue
 				}
-				if !keepPair(s.Seed, gi, gj, s.KeepP) {
+				if !s.Stratified && !keepPair(s.Seed, gi, gj, s.KeepP) {
 					continue
 				}
-				aiL = append(aiL, li)
-				biL = append(biL, lj)
-				aiG = append(aiG, gi)
-				biG = append(biG, gj)
-				if len(aiL) == pairBlock {
-					flush()
-				}
+				emit(li, lj)
 			}
 		}
 	}
@@ -856,10 +932,20 @@ func (s *ScoreSpec) RunWith(data *SliceData) (*ScoreResult, error) {
 // in-process walk otherwise. Both paths produce byte-identical pair
 // sets.
 func (e *Explainer) enumeratePairs(q *pxql.Query, despite pxql.Predicate, seed uint64) (*pairSet, error) {
+	stratified := e.cfg.SampleMode == SampleStratified
 	if e.cfg.Runner == nil {
+		if stratified {
+			return enumerateRelatedOpt(e.log, e.d, q, despite, seed, e.cfg.Parallelism,
+				enumOpts{stratified: true, budget: e.cfg.SampleBudget}), nil
+		}
 		return enumerateRelated(e.log, e.d, q, despite, e.cfg.MaxPairs, seed, e.cfg.Parallelism), nil
 	}
-	specs := PlanEnumShards(e.log, e.d.Level(), q, despite, e.cfg.MaxPairs, e.cfg.Shards, seed)
+	var specs []EnumSpec
+	if stratified {
+		specs = PlanEnumShardsStratified(e.log, e.d.Level(), q, despite, e.cfg.SampleBudget, e.cfg.Shards, seed)
+	} else {
+		specs = PlanEnumShards(e.log, e.d.Level(), q, despite, e.cfg.MaxPairs, e.cfg.Shards, seed)
+	}
 	results, err := e.cfg.Runner.RunEnum(specs)
 	if err != nil {
 		return nil, fmt.Errorf("core: shard enumeration: %w", err)

@@ -212,6 +212,8 @@ func (h *Harness) DespiteRelevance(widths []int) (*Table, error) {
 				DespiteWidth: maxW,
 				SampleSize:   h.SampleSize,
 				MaxPairs:     h.MaxPairs,
+				SampleMode:   h.SampleMode,
+				SampleBudget: h.SampleBudget,
 				Seed:         seed,
 				Parallelism:  inner,
 				Shards:       h.Shards,
@@ -265,6 +267,8 @@ func (h *Harness) Table3(despiteWidth int) (*Table, error) {
 				DespiteWidth: despiteWidth,
 				SampleSize:   h.SampleSize,
 				MaxPairs:     h.MaxPairs,
+				SampleMode:   h.SampleMode,
+				SampleBudget: h.SampleBudget,
 				Seed:         seed,
 				Parallelism:  inner,
 				Shards:       h.Shards,

@@ -34,6 +34,12 @@ type Harness struct {
 	Seed int64
 	// MaxPairs caps pair enumeration in training and evaluation.
 	MaxPairs int
+	// SampleMode and SampleBudget select the pair-space thinning of
+	// every PerfXplain explainer the harness builds (see core.Config):
+	// empty/"bernoulli" is the exact historical behaviour, "stratified"
+	// draws per-blocking-group quotas with Wilson bounds.
+	SampleMode   string
+	SampleBudget int
 	// SampleSize is PerfXplain's balanced-sample target (paper: 2000).
 	SampleSize int
 	// Level is the feature hierarchy level (default Level3).
@@ -186,6 +192,8 @@ func (h *Harness) explainFull(tech string, train *joblog.Log, q *pxql.Query,
 			SampleSize:   h.SampleSize,
 			Level:        level,
 			MaxPairs:     h.MaxPairs,
+			SampleMode:   h.SampleMode,
+			SampleBudget: h.SampleBudget,
 			Seed:         seed,
 			Parallelism:  workers,
 			Shards:       h.Shards,

@@ -1,0 +1,102 @@
+package joblog
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSortedIndexNumeric(t *testing.T) {
+	l := NewLog(colSchema())
+	for _, v := range []Value{Num(3), Num(1), None(), Num(3), Num(math.NaN()), Num(-2)} {
+		l.MustAppend(&Record{ID: "r", Values: []Value{v, Str("x")}})
+	}
+	c := l.Columns()
+	ix := c.SortedIndex(0)
+
+	// Present rows: 0,1,3,4,5 (row 2 missing); NaN row 4 is counted
+	// present but excluded from Perm and flagged.
+	if ix.NPresent != 5 || !ix.HasNaN {
+		t.Fatalf("NPresent=%d HasNaN=%v", ix.NPresent, ix.HasNaN)
+	}
+	want := []int32{5, 1, 0, 3} // -2, 1, 3, 3 — ties in row order
+	if len(ix.Perm) != len(want) {
+		t.Fatalf("Perm = %v", ix.Perm)
+	}
+	for i, r := range want {
+		if ix.Perm[i] != r {
+			t.Fatalf("Perm = %v, want %v", ix.Perm, want)
+		}
+	}
+	if ix.Min != -2 || ix.Max != 3 {
+		t.Errorf("zone = [%v, %v], want [-2, 3]", ix.Min, ix.Max)
+	}
+
+	if got := ix.EqualNum(3); len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Errorf("EqualNum(3) = %v", got)
+	}
+	if got := ix.EqualNum(2); len(got) != 0 {
+		t.Errorf("EqualNum(2) = %v", got)
+	}
+	if got := ix.EqualNum(math.NaN()); got != nil {
+		t.Errorf("EqualNum(NaN) = %v", got)
+	}
+	if lo, hi := ix.SeekGE(1), ix.SeekGT(1); lo != 1 || hi != 2 {
+		t.Errorf("SeekGE/GT(1) = %d, %d", lo, hi)
+	}
+	if got := ix.SeekGT(3); got != len(ix.Perm) {
+		t.Errorf("SeekGT(max) = %d", got)
+	}
+	if got := ix.SeekGE(-100); got != 0 {
+		t.Errorf("SeekGE(-100) = %d", got)
+	}
+
+	// Memoized on the view; rebuilt when the log grows.
+	if c.SortedIndex(0) != ix {
+		t.Error("index not memoized")
+	}
+	l.MustAppend(&Record{ID: "r", Values: []Value{Num(99), Str("x")}})
+	if ix2 := l.Columns().SortedIndex(0); ix2 == ix || ix2.Max != 99 {
+		t.Errorf("index not rebuilt after append (Max=%v)", ix2.Max)
+	}
+}
+
+func TestSortedIndexNominal(t *testing.T) {
+	l := NewLog(colSchema())
+	for _, s := range []string{"b", "a", "b", "c"} {
+		l.MustAppend(&Record{ID: "r", Values: []Value{Num(0), Str(s)}})
+	}
+	l.MustAppend(&Record{ID: "r", Values: []Value{Num(0), None()}})
+	c := l.Columns()
+	ix := c.SortedIndex(1)
+	if ix.NPresent != 4 || ix.HasNaN {
+		t.Fatalf("NPresent=%d HasNaN=%v", ix.NPresent, ix.HasNaN)
+	}
+	// Nominal zones are undefined.
+	if !math.IsNaN(ix.Min) || !math.IsNaN(ix.Max) {
+		t.Errorf("nominal zone = [%v, %v], want NaN", ix.Min, ix.Max)
+	}
+	id, ok := c.Intern().Lookup("b")
+	if !ok {
+		t.Fatal("b not interned")
+	}
+	if got := ix.EqualSym(id); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("EqualSym(b) = %v", got)
+	}
+	// The permutation groups equal symbols contiguously with rows
+	// ascending inside each run.
+	seen := map[uint32]uint32{}
+	var last int32 = -1
+	prev := ^uint32(0)
+	for _, r := range ix.Perm {
+		s := c.Col(1).Sym[r]
+		if s == prev {
+			if r <= last {
+				t.Fatalf("rows not ascending within symbol run: %v", ix.Perm)
+			}
+		} else if _, dup := seen[s]; dup {
+			t.Fatalf("symbol run split: %v", ix.Perm)
+		}
+		seen[s] = s
+		prev, last = s, r
+	}
+}

@@ -1,0 +1,78 @@
+package pxql
+
+import "math"
+
+// ValueRange is the set of numeric feature values satisfying a single
+// comparison atom, lowered to an interval so index layers (sorted
+// permutations, zone maps) can seek or prove emptiness instead of
+// evaluating the atom per value. An open bound excludes its endpoint.
+type ValueRange struct {
+	Lo, Hi         float64
+	LoOpen, HiOpen bool
+}
+
+// AtomNumRange lowers a numeric comparison `x <op> c` to the interval of
+// satisfying x. The second return is false when the operator has no
+// contiguous interval form (OpNe, or an unknown op) — callers must fall
+// back to per-value evaluation for those. A NaN constant satisfies no
+// comparison, which lowers to the canonical empty range.
+func AtomNumRange(op Op, c float64) (ValueRange, bool) {
+	if math.IsNaN(c) {
+		// NaN compares false under every operator: the empty interval.
+		return ValueRange{Lo: 1, Hi: 0}, true
+	}
+	inf := math.Inf(1)
+	switch op {
+	case OpEq:
+		return ValueRange{Lo: c, Hi: c}, true
+	case OpLt:
+		return ValueRange{Lo: -inf, Hi: c, HiOpen: true}, true
+	case OpLe:
+		return ValueRange{Lo: -inf, Hi: c}, true
+	case OpGt:
+		return ValueRange{Lo: c, Hi: inf, LoOpen: true}, true
+	case OpGe:
+		return ValueRange{Lo: c, Hi: inf}, true
+	default:
+		return ValueRange{}, false
+	}
+}
+
+// Empty reports whether no value lies in the range.
+func (r ValueRange) Empty() bool {
+	if r.Lo > r.Hi {
+		return true
+	}
+	return r.Lo == r.Hi && (r.LoOpen || r.HiOpen)
+}
+
+// Contains reports whether x lies in the range. NaN is in no range.
+func (r ValueRange) Contains(x float64) bool {
+	if math.IsNaN(x) {
+		return false
+	}
+	if x < r.Lo || (x == r.Lo && r.LoOpen) {
+		return false
+	}
+	if x > r.Hi || (x == r.Hi && r.HiOpen) {
+		return false
+	}
+	return true
+}
+
+// DisjointFrom reports whether the range shares no point with the closed
+// interval [min, max] — the zone-map pruning test: a column zone whose
+// [min, max] is disjoint from an atom's range cannot contain a satisfying
+// value. A NaN zone bound (empty zone) is disjoint from everything.
+func (r ValueRange) DisjointFrom(min, max float64) bool {
+	if math.IsNaN(min) || math.IsNaN(max) || r.Empty() {
+		return true
+	}
+	if max < r.Lo || (max == r.Lo && r.LoOpen) {
+		return true
+	}
+	if min > r.Hi || (min == r.Hi && r.HiOpen) {
+		return true
+	}
+	return false
+}

@@ -37,9 +37,11 @@ import (
 // field changes meaning; workers reject frames from other versions.
 // Version 2: content-addressed slices (LogSlice refs + CacheMiss) and
 // evaluation shards.
-const Version = 2
+// Version 3: stratified enumeration shards (EnumSpec.Stratified,
+// EnumGroup.Budget).
+const Version = 3
 
-//pxql:wirehash 49dc7b5412c1c07c v=2
+//pxql:wirehash 49dc7b5412c1c07c v=3
 
 // Task is one request frame: exactly one spec pointer is set.
 //

@@ -1,0 +1,49 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWilson(t *testing.T) {
+	const z = 1.96
+	// No trials: nothing is known.
+	if lo, hi := Wilson(0, 0, z); lo != 0 || hi != 1 {
+		t.Errorf("Wilson(0, 0) = [%v, %v], want [0, 1]", lo, hi)
+	}
+	// The interval brackets the point estimate and stays in [0, 1],
+	// including the degenerate proportions the naive ±z·σ interval
+	// collapses on.
+	for _, tc := range []struct{ pos, n int }{
+		{0, 10}, {10, 10}, {5, 10}, {1, 1000}, {999, 1000}, {1, 2},
+	} {
+		lo, hi := Wilson(tc.pos, tc.n, z)
+		p := float64(tc.pos) / float64(tc.n)
+		const eps = 1e-12
+		if lo < 0 || hi > 1 || lo > p+eps || hi < p-eps {
+			t.Errorf("Wilson(%d, %d) = [%v, %v] does not bracket %v in [0,1]", tc.pos, tc.n, lo, hi, p)
+		}
+		if lo >= hi {
+			t.Errorf("Wilson(%d, %d) = [%v, %v] is degenerate", tc.pos, tc.n, lo, hi)
+		}
+	}
+	// Extreme proportions still exclude the impossible certainty: zero
+	// successes leave lo = 0 but hi well above 0, and vice versa.
+	if lo, hi := Wilson(0, 20, z); lo != 0 || hi < 0.1 {
+		t.Errorf("Wilson(0, 20) = [%v, %v]", lo, hi)
+	}
+	if lo, hi := Wilson(20, 20, z); math.Abs(hi-1) > 1e-9 || lo > 0.9 {
+		t.Errorf("Wilson(20, 20) = [%v, %v]", lo, hi)
+	}
+	// Intervals shrink as n grows at fixed proportion.
+	lo1, hi1 := Wilson(5, 10, z)
+	lo2, hi2 := Wilson(500, 1000, z)
+	if hi2-lo2 >= hi1-lo1 {
+		t.Errorf("interval did not shrink with n: %v vs %v", hi2-lo2, hi1-lo1)
+	}
+	// A known reference value: Wilson(8, 10, 1.96) ≈ [0.4901, 0.9433].
+	lo, hi := Wilson(8, 10, z)
+	if math.Abs(lo-0.4901) > 5e-4 || math.Abs(hi-0.9433) > 5e-4 {
+		t.Errorf("Wilson(8, 10) = [%v, %v], want ≈ [0.4901, 0.9433]", lo, hi)
+	}
+}

@@ -210,6 +210,18 @@ type Options struct {
 	FeatureLevel int
 	// MaxPairs caps pair enumeration (0 = library default).
 	MaxPairs int
+	// SampleMode selects how an over-budget pair space is thinned:
+	// "bernoulli" (or empty, the default) keeps each candidate pair
+	// independently — the historical, golden-pinned behaviour —
+	// while "stratified" draws a fixed quota per blocking group, so
+	// rare groups survive skew, and attaches 95% Wilson confidence
+	// bounds to the explanation's training diagnostics (see
+	// AtomDetail and TrainRelevanceBounds). Both modes are
+	// deterministic per seed and byte-identical at every parallelism
+	// and shard count.
+	SampleMode string
+	// SampleBudget is the stratified total pair budget (0 = MaxPairs).
+	SampleBudget int
 	// Seed drives sampling; runs are deterministic per seed.
 	Seed int64
 	// Target selects the performance metric being explained (default
@@ -363,6 +375,8 @@ func (o Options) coreConfig() (core.Config, *shard.Pool, error) {
 		DespiteWidth:  o.DespiteWidth,
 		SampleSize:    o.SampleSize,
 		MaxPairs:      o.MaxPairs,
+		SampleMode:    o.SampleMode,
+		SampleBudget:  o.SampleBudget,
 		Seed:          o.Seed,
 		Target:        o.Target,
 		DiverseSample: o.DiverseSample,
@@ -480,6 +494,17 @@ func (x *Explanation) TrainGenerality() float64 { return x.x.TrainGenerality }
 // TrainRelevance is P(expected | despite) on the related training pairs.
 func (x *Explanation) TrainRelevance() float64 { return x.x.TrainRelevance }
 
+// TrainRelevanceBounds is the 95% Wilson score interval around
+// TrainRelevance. ok is false when the explanation was generated in
+// exact/Bernoulli mode (no interval applies: the estimate is not a
+// stratified sample statistic).
+func (x *Explanation) TrainRelevanceBounds() (lo, hi float64, ok bool) {
+	if x.x.TrainRelevanceLo == 0 && x.x.TrainRelevanceHi == 0 {
+		return 0, 0, false
+	}
+	return x.x.TrainRelevanceLo, x.x.TrainRelevanceHi, true
+}
+
 // String renders the explanation in the paper's DESPITE/BECAUSE form.
 func (x *Explanation) String() string { return x.x.String() }
 
@@ -492,6 +517,11 @@ type AtomDetail struct {
 	Precision float64
 	// Generality is P(atoms so far) on the training sample.
 	Generality float64
+	// PrecisionLo/Hi and GeneralityLo/Hi are 95% Wilson score intervals
+	// around the two estimates, populated only when the explanation was
+	// generated with Options.SampleMode = "stratified" (zero otherwise).
+	PrecisionLo, PrecisionHi   float64
+	GeneralityLo, GeneralityHi float64
 }
 
 // AtomDetails reports how each successive because-clause predicate
@@ -500,9 +530,13 @@ func (x *Explanation) AtomDetails() []AtomDetail {
 	out := make([]AtomDetail, 0, len(x.x.Atoms))
 	for _, st := range x.x.Atoms {
 		out = append(out, AtomDetail{
-			Atom:       st.Atom.String(),
-			Precision:  st.Precision,
-			Generality: st.Generality,
+			Atom:         st.Atom.String(),
+			Precision:    st.Precision,
+			Generality:   st.Generality,
+			PrecisionLo:  st.PrecisionLo,
+			PrecisionHi:  st.PrecisionHi,
+			GeneralityLo: st.GeneralityLo,
+			GeneralityHi: st.GeneralityHi,
 		})
 	}
 	return out
