@@ -1,0 +1,28 @@
+# Build, test and benchmark entry points. The bench target runs every
+# benchmark gate (columnar, pushdown, subq, seek, shard, remote) via
+# `pxqlexperiments -bench-suite`, writing the BENCH_*.json artifacts at
+# the repo root — the same artifacts CI gates on.
+
+GO ?= go
+
+.PHONY: all build test race vet bench clean-bench
+
+all: build test vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/shard ./internal/core
+
+vet:
+	$(GO) run ./cmd/pxqlvet ./...
+
+bench:
+	$(GO) run ./cmd/pxqlexperiments -bench-suite
+
+clean-bench:
+	rm -f BENCH_*.json

@@ -41,6 +41,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "sampling seed")
 	sampleMode := flag.String("sample-mode", "", "pair-space thinning: bernoulli (default) or stratified (per-blocking-group quotas with Wilson confidence bounds)")
 	sampleBudget := flag.Int("sample-budget", 0, "stratified total pair budget (0 = the library's MaxPairs default)")
+	samplePilot := flag.Float64("sample-pilot", 0, "pilot fraction in (0, 1) for Wilson-adaptive stratified budgets (0 = one-shot proportional allocation; requires -sample-mode stratified)")
 	parallelism := flag.Int("parallelism", 0, "worker goroutines for the explanation pipeline (0 = all cores); the answer is identical at every setting")
 	shards := flag.Int("shards", 0, "shard the pair pipeline into N self-contained specs (0 = off); the answer is identical at every setting")
 	shardWorkers := flag.Int("shard-workers", 0, "execute shards on K worker subprocesses instead of in-process (requires -shards)")
@@ -85,6 +86,7 @@ func main() {
 		seed:         *seed,
 		sampleMode:   *sampleMode,
 		sampleBudget: *sampleBudget,
+		samplePilot:  *samplePilot,
 		parallelism:  *parallelism,
 		shards:       *shards,
 		shardWorkers: *shardWorkers,
@@ -110,6 +112,7 @@ type cliOpts struct {
 	seed                               int64
 	sampleMode                         string
 	sampleBudget                       int
+	samplePilot                        float64
 	parallelism, shards, shardWorkers  int
 	shardRemote, shardToken            string
 	verbose                            bool
@@ -178,7 +181,7 @@ func run(o cliOpts) error {
 	}
 
 	opt := perfxplain.Options{Width: width, DespiteWidth: width, FeatureLevel: level,
-		Seed: seed, SampleMode: o.sampleMode, SampleBudget: o.sampleBudget,
+		Seed: seed, SampleMode: o.sampleMode, SampleBudget: o.sampleBudget, SamplePilot: o.samplePilot,
 		Parallelism: parallelism, Shards: shards, ShardWorkers: shardWorkers,
 		ShardAddrs: shardAddrs, ShardToken: shardToken}
 	var x *perfxplain.Explanation

@@ -101,7 +101,7 @@ func benchEnumFull(b *testing.B) {
 	b.ResetTimer()
 	for n := 0; n < b.N; n++ {
 		subqSink = len(enumerateRelatedOpt(fx.log, fx.d, fx.q, fx.q.Despite, subqSeed, 1,
-			enumOpts{noPrune: true}).refs)
+			enumOpts{noPrune: true, noSeek: true}).refs)
 	}
 }
 
@@ -143,7 +143,7 @@ func TestBenchSubqJSON(t *testing.T) {
 
 	// The benchmark is only meaningful if the two paths do identical
 	// work: assert byte-identity at full scale before timing.
-	full := enumerateRelatedOpt(fx.log, fx.d, fx.q, fx.q.Despite, subqSeed, 1, enumOpts{noPrune: true})
+	full := enumerateRelatedOpt(fx.log, fx.d, fx.q, fx.q.Despite, subqSeed, 1, enumOpts{noPrune: true, noSeek: true})
 	indexed := enumerateRelatedOpt(fx.log, fx.d, fx.q, fx.q.Despite, subqSeed, 1, enumOpts{})
 	if !reflect.DeepEqual(full.refs, indexed.refs) || !reflect.DeepEqual(full.labels, indexed.labels) {
 		t.Fatalf("indexed enumeration differs from the full walk (%d vs %d pairs)",
@@ -179,7 +179,7 @@ func TestBenchSubqJSON(t *testing.T) {
 		speedup = results["enum/full"].NsPerOp / bm
 	}
 	groups, _ := blockedGroups(fx.log, fx.q.Despite, 0)
-	allGroups, _ := blockedGroupsOpt(fx.log, fx.q.Despite, 0, false)
+	allGroups, _ := blockedGroupsOpt(fx.log, fx.q.Despite, 0, false, false)
 	out := map[string]any{
 		"jobs":          fx.log.Len(),
 		"groups":        len(allGroups),

@@ -53,6 +53,17 @@ type Config struct {
 	// SampleBudget is the stratified mode's total pair budget; <= 0
 	// defaults to MaxPairs. Ignored in Bernoulli mode.
 	SampleBudget int
+	// SamplePilot enables Wilson-adaptive two-pass stratified sampling:
+	// the fraction (0 < SamplePilot < 1) of SampleBudget spent on a pilot
+	// round allocated per the proportional rule, after which the
+	// remainder is allocated proportional to each stratum's (Wilson
+	// interval width × pair space) — budget flows to the strata whose
+	// estimates are still uncertain instead of merely large (see
+	// adaptiveBudgets). 0, the default, keeps the one-shot proportional
+	// allocation. Requires SampleMode "stratified". The sampled set
+	// remains deterministic in the seed and byte-identical at every
+	// parallelism and shard count.
+	SamplePilot float64
 	// TopK caps how many candidate predicates each growth round scores
 	// fully: candidates are ranked by information gain and only the top K
 	// enter the percentile-rank blend. 0 keeps every candidate. Defaults
@@ -161,6 +172,12 @@ func NewExplainer(log *joblog.Log, cfg Config) (*Explainer, error) {
 	if cfg.SampleMode != "" && cfg.SampleMode != SampleBernoulli && cfg.SampleMode != SampleStratified {
 		return nil, fmt.Errorf("core: unknown sample mode %q (want %q or %q)",
 			cfg.SampleMode, SampleBernoulli, SampleStratified)
+	}
+	if cfg.SamplePilot < 0 || cfg.SamplePilot >= 1 {
+		return nil, fmt.Errorf("core: sample pilot fraction %v outside [0, 1)", cfg.SamplePilot)
+	}
+	if cfg.SamplePilot > 0 && cfg.SampleMode != SampleStratified {
+		return nil, fmt.Errorf("core: sample pilot fraction requires sample mode %q", SampleStratified)
 	}
 	cfg = cfg.withDefaults()
 	if log == nil || log.Len() == 0 {

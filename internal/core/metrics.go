@@ -154,6 +154,22 @@ func EvaluateExplanationSharded(log *joblog.Log, level features.Level,
 		shards = par.Resolve(0)
 	}
 	specs := PlanEvalShards(log, level, q, x, maxPairs, shards, stats.DeriveSeed(seed, "evaluate"))
+	// Prefetch the distinct evaluation slices to every worker before
+	// fanning out: while the first specs compute, the rest of the
+	// payloads ship in the background — and repeated evaluations over
+	// the same log (a harness scoring several widths) hit the worker
+	// caches whatever the dynamic task-to-worker assignment does.
+	if pf, ok := runner.(SlicePrefetcher); ok {
+		seen := make(map[string]bool, len(specs))
+		slices := make([]LogSlice, 0, len(specs))
+		for i := range specs {
+			if h := specs[i].Slice.Hash; h != "" && !seen[h] {
+				seen[h] = true
+				slices = append(slices, specs[i].Slice)
+			}
+		}
+		pf.PrefetchSlices(slices)
+	}
 	results, err := runner.RunEval(specs)
 	if err != nil {
 		return Metrics{}, fmt.Errorf("core: shard evaluation: %w", err)

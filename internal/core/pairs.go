@@ -73,12 +73,18 @@ type pairSpace struct {
 
 // enumOpts selects how a pair space is thinned and pruned. The zero
 // value is the standard exact configuration: Bernoulli thinning to
-// maxPairs with zone-map group pruning on.
+// maxPairs with zone-map group pruning and seek-driven row filtering on.
 type enumOpts struct {
 	maxPairs   int  // Bernoulli cap on the sampled pair count (<=0: keep all)
 	stratified bool // per-group stratified draws instead of Bernoulli thinning
 	budget     int  // stratified total pair budget (<=0: keep all)
-	noPrune    bool // disable zone-map group pruning (benchmark baselines)
+	// budgets, when non-nil, carries explicit per-group budgets (parallel
+	// to the blocked group list this log and despite clause produce) and
+	// bypasses stratifyBudgets — the Wilson-adaptive two-pass scheme
+	// computes pilot and final allocations itself.
+	budgets []int
+	noPrune bool // disable zone-map group pruning (benchmark baselines)
+	noSeek  bool // disable seek-driven within-group row filtering (benchmark baselines)
 }
 
 // blockIndexes extracts the raw schema indices of despite conjuncts of
@@ -109,17 +115,19 @@ func blockIndexes(log *joblog.Log, despite pxql.Predicate) []int {
 // deterministically from the records), so repeated calls — before or
 // after any cache invalidation — produce identical groups.
 func blockedGroups(log *joblog.Log, despite pxql.Predicate, maxPairs int) (groups [][]int, keepP float64) {
-	return blockedGroupsOpt(log, despite, maxPairs, true)
+	return blockedGroupsOpt(log, despite, maxPairs, true, true)
 }
 
-// blockedGroupsOpt is blockedGroups with zone-map group pruning
-// switchable (the benchmark baseline runs unpruned). keepP is computed
-// over the UNPRUNED candidate pair count before any group is dropped:
-// pruned groups contain no despite-satisfying pair and each keep
-// decision is a pure function of (seed, i, j), so pruning changes
-// neither the probability nor any surviving pair's fate — enumeration
-// output is byte-identical either way.
-func blockedGroupsOpt(log *joblog.Log, despite pxql.Predicate, maxPairs int, prune bool) (groups [][]int, keepP float64) {
+// blockedGroupsOpt is blockedGroups with zone-map group pruning and
+// seek-driven row filtering switchable (the benchmark baselines run
+// with either or both off; stratified planning must disable seek — see
+// seek.go). keepP is computed over the UNPRUNED, UNFILTERED candidate
+// pair count before any group is dropped or thinned: pruned groups and
+// filtered rows contribute no despite-satisfying pair and each keep
+// decision is a pure function of (seed, i, j), so neither cut changes
+// the probability or any surviving pair's fate — enumeration output is
+// byte-identical either way.
+func blockedGroupsOpt(log *joblog.Log, despite pxql.Predicate, maxPairs int, prune, seek bool) (groups [][]int, keepP float64) {
 	recs := candidateRecords(log, despite)
 	blockIdx := blockIndexes(log, despite)
 
@@ -141,13 +149,14 @@ func blockedGroupsOpt(log *joblog.Log, despite pxql.Predicate, maxPairs int, pru
 	}
 
 	// Candidate ordered pair count, for the subsampling probability —
-	// always over the full candidate space, never the pruned one.
-	total := 0
+	// always over the full candidate space, never the pruned or filtered
+	// one. Saturating uint64: huge synthetic logs overflow an int product.
+	var total uint64
 	for _, g := range groups {
-		total += len(g) * (len(g) - 1)
+		total = satAdd64(total, pairCount64(len(g)))
 	}
 	keepP = 1.0
-	if maxPairs > 0 && total > maxPairs {
+	if maxPairs > 0 && total > uint64(maxPairs) {
 		keepP = float64(maxPairs) / float64(total)
 	}
 
@@ -162,7 +171,53 @@ func blockedGroupsOpt(log *joblog.Log, despite pxql.Predicate, maxPairs int, pru
 			groups = kept
 		}
 	}
+	if seek {
+		if s := newRowSeeker(log, despite); s != nil {
+			kept := groups[:0]
+			for _, g := range groups {
+				// A filtered row can be neither side of a satisfying pair,
+				// and an ordered pair needs two distinct surviving rows.
+				if g = s.filter(g); len(g) >= 2 {
+					kept = append(kept, g)
+				}
+			}
+			groups = kept
+		}
+	}
 	return groups, keepP
+}
+
+// pairCount64 is a group's ordered-pair count n·(n−1) computed with
+// uint64 saturation, so pair-space products on huge synthetic logs
+// clamp instead of wrapping (they only feed probabilities and budget
+// proportions, where MaxUint64 is an honest "effectively infinite").
+func pairCount64(n int) uint64 {
+	if n < 2 {
+		return 0
+	}
+	hi, lo := bits.Mul64(uint64(n), uint64(n-1))
+	if hi != 0 {
+		return ^uint64(0)
+	}
+	return lo
+}
+
+// satAdd64 adds with uint64 saturation.
+func satAdd64(a, b uint64) uint64 {
+	if s := a + b; s >= a {
+		return s
+	}
+	return ^uint64(0)
+}
+
+// clampInt converts a saturating uint64 count back to a non-negative
+// int budget without wrapping.
+func clampInt(x uint64) int {
+	const maxInt = int(^uint(0) >> 1)
+	if x > uint64(maxInt) {
+		return maxInt
+	}
+	return int(x)
 }
 
 // buildPairSpace blocks the candidate records into groups and cuts the
@@ -181,7 +236,9 @@ func buildPairSpaceOpt(log *joblog.Log, despite pxql.Predicate, workers int, see
 	if o.stratified {
 		maxPairs = 0 // budgets replace the Bernoulli cap
 	}
-	groups, keepP := blockedGroupsOpt(log, despite, maxPairs, !o.noPrune)
+	// Stratified draws are keyed on each group's first member and size
+	// (groupDraws), so seek filtering is Bernoulli-only.
+	groups, keepP := blockedGroupsOpt(log, despite, maxPairs, !o.noPrune, !o.stratified && !o.noSeek)
 	units := 0
 	for _, g := range groups {
 		units += len(g)
@@ -194,12 +251,14 @@ func buildPairSpaceOpt(log *joblog.Log, despite pxql.Predicate, workers int, see
 	}
 	var budgets []int
 	if o.stratified {
-		budgets = stratifyBudgets(groups, o.budget)
+		if budgets = o.budgets; budgets == nil {
+			budgets = stratifyBudgets(groups, o.budget)
+		}
 	}
 	sp := pairSpace{keepP: keepP}
 	for gi, g := range groups {
 		var ts []uint64
-		if o.stratified && budgets[gi] < len(g)*(len(g)-1) {
+		if o.stratified && uint64(budgets[gi]) < pairCount64(len(g)) {
 			ts = groupDraws(seed, g[0], len(g), budgets[gi])
 		}
 		for lo := 0; lo < len(g); lo += chunk {
@@ -241,12 +300,12 @@ func stratifyBudgets(groups [][]int, budget int) []int {
 	bs := make([]int, len(groups))
 	var total uint64
 	for _, g := range groups {
-		total += uint64(len(g)) * uint64(len(g)-1)
+		total = satAdd64(total, pairCount64(len(g)))
 	}
 	for gi, g := range groups {
-		m := uint64(len(g)) * uint64(len(g)-1)
+		m := pairCount64(len(g))
 		if budget <= 0 || total <= uint64(budget) {
-			bs[gi] = int(m)
+			bs[gi] = clampInt(m)
 			continue
 		}
 		hi, lo := bits.Mul64(uint64(budget), m)
@@ -254,10 +313,11 @@ func stratifyBudgets(groups [][]int, budget int) []int {
 		if b < stratumFloor {
 			b = stratumFloor
 		}
-		if 4*b >= 3*m {
+		// b >= ceil(3m/4), the overflow-free form of 4·b >= 3·m.
+		if b >= m-m/4 {
 			b = m
 		}
-		bs[gi] = int(b)
+		bs[gi] = clampInt(b)
 	}
 	return bs
 }
@@ -271,7 +331,7 @@ func stratifyBudgets(groups [][]int, budget int) []int {
 // drawn set. A pure function of (seed, g0, n, budget): every shard,
 // process and worker count derives the identical draw set.
 func groupDraws(seed uint64, g0, n, budget int) []uint64 {
-	m := uint64(n) * uint64(n-1)
+	m := pairCount64(n)
 	if budget <= 0 || m == 0 {
 		return []uint64{}
 	}
@@ -280,7 +340,8 @@ func groupDraws(seed uint64, g0, n, budget int) []uint64 {
 	ts := make([]uint64, 0, budget)
 	// Rejection-sample the counter stream; the bound keeps pathological
 	// near-exhaustive budgets from spinning on duplicates.
-	for ctr := uint64(0); len(ts) < budget && ctr < 4*m+64; ctr++ {
+	ctrMax := satAdd64(satAdd64(m, m), satAdd64(satAdd64(m, m), 64))
+	for ctr := uint64(0); len(ts) < budget && ctr < ctrMax; ctr++ {
 		t := stats.SplitMix64(gseed+ctr) % m
 		if _, dup := drawn[t]; dup {
 			continue

@@ -1,0 +1,173 @@
+package core
+
+// Tests for seek-driven within-group enumeration (seek.go): filtering a
+// surviving group to the rows the sorted index proves able to satisfy
+// the despite clause must leave enumeration byte-identical — the twin
+// of TestZonePruneExact one level down, rows instead of groups.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"perfxplain/internal/features"
+	"perfxplain/internal/joblog"
+	"perfxplain/internal/pxql"
+)
+
+// needleLog builds the seek fixture: nGroups wide blocking groups
+// (blocked by `script`) where `mem` varies WITHIN each group — ~2% of
+// rows hold the needle value 8, the rest {1, 2, 3}, with a sprinkle of
+// missing and NaN cells — so a `mem > 3.5` conjunct cannot kill any
+// group via zone maps (every group's zone spans [1, 8]) but proves all
+// non-needle rows unable to sit on either side of a qualifying pair.
+func needleLog(n, nGroups int, rng *rand.Rand) *joblog.Log {
+	schema := joblog.NewSchema([]joblog.Field{
+		{Name: "script", Kind: joblog.Nominal},
+		{Name: "mem", Kind: joblog.Numeric},
+		{Name: "duration", Kind: joblog.Numeric},
+	})
+	log := joblog.NewLog(schema)
+	for i := 0; i < n; i++ {
+		mem := joblog.Num(float64(1 + i%3))
+		switch {
+		case i%50 == 7:
+			mem = joblog.Num(8)
+		case i%97 == 13:
+			mem = joblog.Value{} // missing: can never make the base present
+		case i%89 == 11:
+			mem = joblog.Num(math.NaN()) // NaN: never equal to itself
+		}
+		log.MustAppend(&joblog.Record{ID: fmt.Sprintf("n%05d", i), Values: []joblog.Value{
+			joblog.Str(fmt.Sprintf("script-%02d", i%nGroups)),
+			mem,
+			joblog.Num(10 + rng.Float64()*1000),
+		}})
+	}
+	return log
+}
+
+func needleQuery() *pxql.Query {
+	return &pxql.Query{
+		Despite: pxql.Predicate{
+			{Feature: "script_issame", Op: pxql.OpEq, Value: features.ValT},
+			{Feature: "mem", Op: pxql.OpGt, Value: joblog.Num(3.5)},
+		},
+		Observed: pxql.Predicate{{Feature: "duration_compare", Op: pxql.OpEq, Value: joblog.Str("GT")}},
+		Expected: pxql.Predicate{{Feature: "duration_compare", Op: pxql.OpEq, Value: joblog.Str("SIM")}},
+	}
+}
+
+// TestSeekEnumExact pins the seeker's exactness contract: enumeration
+// with seek-driven row filtering is byte-identical to the unfiltered
+// walk — uncapped and Bernoulli-capped — while actually shrinking the
+// walked groups.
+func TestSeekEnumExact(t *testing.T) {
+	log := needleLog(600, 3, rand.New(rand.NewSource(43)))
+	d := features.NewDeriver(log.Schema, features.Level3)
+	q := needleQuery()
+
+	rows := func(gs [][]int) int {
+		n := 0
+		for _, g := range gs {
+			n += len(g)
+		}
+		return n
+	}
+	seeked, _ := blockedGroupsOpt(log, q.Despite, 0, true, true)
+	all, _ := blockedGroupsOpt(log, q.Despite, 0, true, false)
+	if len(all) == 0 || rows(seeked) >= rows(all) {
+		t.Fatalf("seeker filtered no rows (%d of %d kept across %d groups); the fixture is toothless",
+			rows(seeked), rows(all), len(all))
+	}
+
+	for _, maxPairs := range []int{0, 500} {
+		base := enumerateRelatedOpt(log, d, q, q.Despite, 77, 1, enumOpts{maxPairs: maxPairs, noSeek: true})
+		got := enumerateRelatedOpt(log, d, q, q.Despite, 77, 1, enumOpts{maxPairs: maxPairs})
+		if maxPairs == 0 && len(base.refs) == 0 {
+			t.Fatal("unfiltered enumeration found no related pairs; fixture is toothless")
+		}
+		if !reflect.DeepEqual(got.refs, base.refs) || !reflect.DeepEqual(got.labels, base.labels) {
+			t.Errorf("maxPairs=%d: seeked enumeration differs from unfiltered (%d vs %d pairs)",
+				maxPairs, len(got.refs), len(base.refs))
+		}
+	}
+}
+
+// TestRowSeekerLowering pins which conjuncts produce a filter: numeric
+// base ranges do; OpNe, nominal columns, kind mismatches and unknown
+// features must not (they cannot be lowered to one exact range).
+func TestRowSeekerLowering(t *testing.T) {
+	log := needleLog(100, 2, rand.New(rand.NewSource(47)))
+	if s := newRowSeeker(log, needleQuery().Despite); s == nil {
+		t.Error("numeric base range conjunct produced no seeker")
+	}
+	for _, tc := range []struct {
+		name string
+		a    pxql.Atom
+	}{
+		{"ne", pxql.Atom{Feature: "mem", Op: pxql.OpNe, Value: joblog.Num(3)}},
+		{"nominal", pxql.Atom{Feature: "script", Op: pxql.OpEq, Value: joblog.Str("script-00")}},
+		{"kind-mismatch", pxql.Atom{Feature: "mem", Op: pxql.OpGt, Value: joblog.Str("8")}},
+		{"missing-const", pxql.Atom{Feature: "mem", Op: pxql.OpGt, Value: joblog.Value{}}},
+		{"unknown", pxql.Atom{Feature: "nope", Op: pxql.OpGt, Value: joblog.Num(1)}},
+		{"issame", pxql.Atom{Feature: "mem_issame", Op: pxql.OpEq, Value: features.ValT}},
+	} {
+		if s := newRowSeeker(log, pxql.Predicate{tc.a}); s != nil {
+			t.Errorf("%s: conjunct %v produced a seeker; it has no exact one-range lowering", tc.name, tc.a)
+		}
+	}
+
+	// An unsatisfiable range (NaN constant) filters every row, so every
+	// group dies — still exact: no pair can satisfy the conjunct.
+	s := newRowSeeker(log, pxql.Predicate{{Feature: "mem", Op: pxql.OpEq, Value: joblog.Num(math.NaN())}})
+	if s == nil {
+		t.Fatal("NaN equality lowered to no seeker; want the empty range")
+	}
+	if g := s.filter([]int{0, 1, 2, 3}); len(g) != 0 {
+		t.Errorf("NaN equality kept rows %v; the range is empty", g)
+	}
+}
+
+// TestPairCountSaturation pins the overflow satellites: pair-space
+// products on huge synthetic group sizes clamp instead of wrapping.
+func TestPairCountSaturation(t *testing.T) {
+	const maxU64 = ^uint64(0)
+	if got := pairCount64(0); got != 0 {
+		t.Errorf("pairCount64(0) = %d", got)
+	}
+	if got := pairCount64(1); got != 0 {
+		t.Errorf("pairCount64(1) = %d", got)
+	}
+	if got := pairCount64(5); got != 20 {
+		t.Errorf("pairCount64(5) = %d, want 20", got)
+	}
+	// 2^33 rows: n·(n−1) ≈ 2^66 overflows uint64 and must saturate (it
+	// would wrap to a small value and corrupt keep probabilities).
+	if got := pairCount64(1 << 33); got != maxU64 {
+		t.Errorf("pairCount64(1<<33) = %d, want saturation", got)
+	}
+	if got := satAdd64(maxU64-1, 5); got != maxU64 {
+		t.Errorf("satAdd64 overflow = %d, want saturation", got)
+	}
+	if got := satAdd64(3, 4); got != 7 {
+		t.Errorf("satAdd64(3, 4) = %d", got)
+	}
+	if got := clampInt(maxU64); got != int(^uint(0)>>1) {
+		t.Errorf("clampInt(max) = %d, want MaxInt", got)
+	}
+	if got := clampInt(42); got != 42 {
+		t.Errorf("clampInt(42) = %d", got)
+	}
+	// The absorption threshold b >= m−m/4 must still mean 4b >= 3m.
+	for _, m := range []uint64{4, 5, 7, 8, 21, 100} {
+		for b := uint64(0); b <= m; b++ {
+			want := 4*b >= 3*m
+			if got := b >= m-m/4; got != want {
+				t.Errorf("m=%d b=%d: overflow-free absorption %v, want %v", m, b, got, want)
+			}
+		}
+	}
+}

@@ -40,6 +40,19 @@ type ShardRunner interface {
 	RunEval(specs []EvalSpec) ([]EvalResult, error)
 }
 
+// SlicePrefetcher is optionally implemented by shard runners that can
+// ship content-addressed slice payloads to their workers ahead of the
+// specs that reference them, overlapping the transfer with compute the
+// coordinator is doing meanwhile. The call must be advisory and
+// asynchronous: it may do nothing at all, and a spec whose slice never
+// arrived simply ships the payload with its own task frame — results
+// are byte-identical whether a prefetch landed, raced, or was dropped.
+// The pipeline type-asserts this on Config.Runner at the points where
+// the next round's slices are known before the current round finishes.
+type SlicePrefetcher interface {
+	PrefetchSlices(slices []LogSlice)
+}
+
 // LogSlice is the shippable unit of execution-log data: a wire-form
 // record slice plus the coordinator's intern table, content-addressed by
 // joblog.HashSlice. The hash makes slice shipping cacheable: a runtime
@@ -49,7 +62,7 @@ type ShardRunner interface {
 // payload is resent. Execution is byte-identical either way: the hash
 // covers every bit of the payload, so a hit decodes to exactly what a
 // fresh ship would have.
-//pxql:wirehash 07c32cc46194dc05 v=3
+//pxql:wirehash c829f5bd63826c6a v=4
 
 //pxql:wire decode=Data
 type LogSlice struct {
@@ -150,17 +163,29 @@ type EnumSpec struct {
 	// Stratified switches the walk from Bernoulli thinning (keepPair over
 	// KeepP) to per-group budgeted draws (groupDraws over each group's
 	// Budget, seeded by the first member's global index).
-	Stratified bool               `json:"stratified,omitempty"`
-	Level      features.Level     `json:"level"`
-	Despite    pxql.PredicateSpec `json:"despite"`
-	Observed   pxql.PredicateSpec `json:"observed"`
-	Expected   pxql.PredicateSpec `json:"expected"`
+	Stratified bool `json:"stratified,omitempty"`
+	// Round marks which pass of a Wilson-adaptive two-pass enumeration
+	// this spec belongs to: RoundFinal (0, also the one-shot mode) or
+	// RoundPilot (1). The walk itself is identical — budgets differ —
+	// but workers and traces can tell the passes apart, and the marker
+	// keeps a pilot result from ever being mistaken for the final set.
+	Round    int                `json:"round,omitempty"`
+	Level    features.Level     `json:"level"`
+	Despite  pxql.PredicateSpec `json:"despite"`
+	Observed pxql.PredicateSpec `json:"observed"`
+	Expected pxql.PredicateSpec `json:"expected"`
 }
+
+// Enumeration round markers (EnumSpec.Round).
+const (
+	RoundFinal = 0 // the output pass: its pairs are the sampled set
+	RoundPilot = 1 // the pilot pass feeding Wilson-adaptive budgets
+)
 
 // EnumResult lists a shard's related pairs in iteration order, addressed
 // by global record index.
 //
-//pxql:wire decode=Explainer.enumeratePairs
+//pxql:wire decode=Explainer.runEnumSpecs
 type EnumResult struct {
 	RefA   []int  `json:"ref_a,omitempty"`
 	RefB   []int  `json:"ref_b,omitempty"`
@@ -410,8 +435,22 @@ func PlanEnumShardsStratified(log *joblog.Log, level features.Level, q *pxql.Que
 	if nShards < 1 {
 		nShards = 1
 	}
-	groups, _ := blockedGroups(log, despite, 0)
-	budgets := stratifyBudgets(groups, budget)
+	// seek=false: stratified draws are keyed on each group's first global
+	// member and size, so row filtering would change the draw set.
+	groups, _ := blockedGroupsOpt(log, despite, 0, true, false)
+	return planEnumStratified(log, level, q, despite, groups, stratifyBudgets(groups, budget), nShards, seed, RoundFinal)
+}
+
+// planEnumStratified cuts a stratified enumeration round with explicit
+// per-group budgets — the shared tail of PlanEnumShardsStratified and
+// the Wilson-adaptive two-pass planner (which computes pilot and final
+// budgets itself). budgets is parallel to groups.
+func planEnumStratified(log *joblog.Log, level features.Level, q *pxql.Query,
+	despite pxql.Predicate, groups [][]int, budgets []int, nShards int, seed uint64, round int) []EnumSpec {
+
+	if nShards < 1 {
+		nShards = 1
+	}
 	specs := make([]EnumSpec, nShards)
 	for s, cut := range cutGroupShards(log, groups, budgets, nShards) {
 		specs[s] = EnumSpec{
@@ -421,6 +460,7 @@ func PlanEnumShardsStratified(log *joblog.Log, level features.Level, q *pxql.Que
 			KeepP:      1,
 			Seed:       seed,
 			Stratified: true,
+			Round:      round,
 			Level:      level,
 			Despite:    despite.Spec(),
 			Observed:   q.Observed.Spec(),
@@ -479,6 +519,12 @@ func (s *EnumSpec) Run() (*EnumResult, error) {
 	}
 	if s.Level < features.Level1 || s.Level > features.Level3 {
 		return nil, fmt.Errorf("core: enum spec has invalid feature level %d", s.Level)
+	}
+	if s.Round != RoundFinal && s.Round != RoundPilot {
+		return nil, fmt.Errorf("core: enum spec has invalid round %d", s.Round)
+	}
+	if s.Round != RoundFinal && !s.Stratified {
+		return nil, fmt.Errorf("core: enum spec marks a pilot round without stratified mode")
 	}
 	for gi, g := range s.Groups {
 		if g.Lo < 0 || g.Hi < g.Lo || g.Hi > len(g.Members) {
@@ -552,7 +598,7 @@ func (s *EnumSpec) Run() (*EnumResult, error) {
 	}
 	for _, g := range s.Groups {
 		n := len(g.Members)
-		if s.Stratified && g.Budget < n*(n-1) {
+		if s.Stratified && uint64(g.Budget) < pairCount64(n) {
 			// Re-derive the whole group's draw set (identical in every
 			// straddling shard) and walk the outer positions this shard
 			// owns — a contiguous run of the sorted flat indices.
@@ -724,7 +770,15 @@ func (e *Explainer) planSample(sample *pairSet) *plannedSample {
 	}
 	wire, pa, pb := pairSlice(e.log, sample.refs)
 	intern := e.log.Columns().Intern().Strings()
-	return &plannedSample{slice: NewLogSlice(wire, intern), pa: pa, pb: pb}
+	plan := &plannedSample{slice: NewLogSlice(wire, intern), pa: pa, pb: pb}
+	// Start shipping the sample slice to every worker now: every
+	// materialization and scoring spec of the growth loop references it,
+	// and a capable runner overlaps the transfer with the planning and
+	// compute between here and each worker's first task.
+	if pf, ok := e.cfg.Runner.(SlicePrefetcher); ok {
+		pf.PrefetchSlices([]LogSlice{plan.slice})
+	}
+	return plan
 }
 
 // planMatShards cuts the sample's rows into nShards contiguous
@@ -930,9 +984,13 @@ func (s *ScoreSpec) RunWith(data *SliceData) (*ScoreResult, error) {
 // enumeratePairs enumerates the related pairs of (q, despite), routing
 // through the configured shard runner when one is set and the direct
 // in-process walk otherwise. Both paths produce byte-identical pair
-// sets.
+// sets. A configured pilot fraction switches the stratified mode to the
+// Wilson-adaptive two-pass scheme (see adaptive.go).
 func (e *Explainer) enumeratePairs(q *pxql.Query, despite pxql.Predicate, seed uint64) (*pairSet, error) {
 	stratified := e.cfg.SampleMode == SampleStratified
+	if stratified && e.cfg.SamplePilot > 0 && e.cfg.SampleBudget > 0 {
+		return e.enumerateAdaptive(q, despite, seed)
+	}
 	if e.cfg.Runner == nil {
 		if stratified {
 			return enumerateRelatedOpt(e.log, e.d, q, despite, seed, e.cfg.Parallelism,
@@ -946,6 +1004,13 @@ func (e *Explainer) enumeratePairs(q *pxql.Query, despite pxql.Predicate, seed u
 	} else {
 		specs = PlanEnumShards(e.log, e.d.Level(), q, despite, e.cfg.MaxPairs, e.cfg.Shards, seed)
 	}
+	return e.runEnumSpecs(specs)
+}
+
+// runEnumSpecs executes planned enumeration specs on the configured
+// runner and merges the validated results in spec order — the shared
+// tail of every runner-backed enumeration round.
+func (e *Explainer) runEnumSpecs(specs []EnumSpec) (*pairSet, error) {
 	results, err := e.cfg.Runner.RunEnum(specs)
 	if err != nil {
 		return nil, fmt.Errorf("core: shard enumeration: %w", err)

@@ -78,14 +78,14 @@ func TestZonePruneExact(t *testing.T) {
 	d := features.NewDeriver(log.Schema, features.Level3)
 	q := zoneQuery()
 
-	pruned, _ := blockedGroupsOpt(log, q.Despite, 0, true)
-	all, _ := blockedGroupsOpt(log, q.Despite, 0, false)
+	pruned, _ := blockedGroupsOpt(log, q.Despite, 0, true, false)
+	all, _ := blockedGroupsOpt(log, q.Despite, 0, false, false)
 	if len(pruned) >= len(all) {
 		t.Fatalf("pruner dropped no groups (%d of %d kept); the fixture is toothless", len(pruned), len(all))
 	}
 
 	for _, maxPairs := range []int{0, 500} {
-		base := enumerateRelatedOpt(log, d, q, q.Despite, 77, 1, enumOpts{maxPairs: maxPairs, noPrune: true})
+		base := enumerateRelatedOpt(log, d, q, q.Despite, 77, 1, enumOpts{maxPairs: maxPairs, noPrune: true, noSeek: true})
 		got := enumerateRelatedOpt(log, d, q, q.Despite, 77, 1, enumOpts{maxPairs: maxPairs})
 		if !reflect.DeepEqual(got.refs, base.refs) || !reflect.DeepEqual(got.labels, base.labels) {
 			t.Errorf("maxPairs=%d: pruned enumeration differs from unpruned (%d vs %d pairs)",
@@ -139,7 +139,7 @@ func TestStratifiedBudgetCoverage(t *testing.T) {
 	q := zoneQuery()
 	// Unpruned groups: the allocator's contract is over whatever group
 	// list it is handed, and the unpruned one has the size skew we want.
-	groups, _ := blockedGroupsOpt(log, q.Despite, 0, false)
+	groups, _ := blockedGroupsOpt(log, q.Despite, 0, false, false)
 	space := 0
 	for _, g := range groups {
 		space += len(g) * (len(g) - 1)

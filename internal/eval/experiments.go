@@ -214,6 +214,7 @@ func (h *Harness) DespiteRelevance(widths []int) (*Table, error) {
 				MaxPairs:     h.MaxPairs,
 				SampleMode:   h.SampleMode,
 				SampleBudget: h.SampleBudget,
+				SamplePilot:  h.SamplePilot,
 				Seed:         seed,
 				Parallelism:  inner,
 				Shards:       h.Shards,
@@ -269,6 +270,7 @@ func (h *Harness) Table3(despiteWidth int) (*Table, error) {
 				MaxPairs:     h.MaxPairs,
 				SampleMode:   h.SampleMode,
 				SampleBudget: h.SampleBudget,
+				SamplePilot:  h.SamplePilot,
 				Seed:         seed,
 				Parallelism:  inner,
 				Shards:       h.Shards,

@@ -40,6 +40,11 @@ type Harness struct {
 	// draws per-blocking-group quotas with Wilson bounds.
 	SampleMode   string
 	SampleBudget int
+	// SamplePilot, in (0, 1), makes stratified sampling two-pass: a
+	// pilot fraction of the budget is spent proportionally, then the
+	// remainder follows the pilot's Wilson interval widths (see
+	// core.Config.SamplePilot). 0 keeps the one-shot rule.
+	SamplePilot float64
 	// SampleSize is PerfXplain's balanced-sample target (paper: 2000).
 	SampleSize int
 	// Level is the feature hierarchy level (default Level3).
@@ -194,6 +199,7 @@ func (h *Harness) explainFull(tech string, train *joblog.Log, q *pxql.Query,
 			MaxPairs:     h.MaxPairs,
 			SampleMode:   h.SampleMode,
 			SampleBudget: h.SampleBudget,
+			SamplePilot:  h.SamplePilot,
 			Seed:         seed,
 			Parallelism:  workers,
 			Shards:       h.Shards,

@@ -100,3 +100,146 @@ func TestSortedIndexNominal(t *testing.T) {
 		prev, last = s, r
 	}
 }
+
+func TestSortedIndexAllNaN(t *testing.T) {
+	l := NewLog(colSchema())
+	for i := 0; i < 3; i++ {
+		l.MustAppend(&Record{ID: "r", Values: []Value{Num(math.NaN()), Str("x")}})
+	}
+	ix := l.Columns().SortedIndex(0)
+	// Every cell is present but NaN: counted, flagged, excluded from Perm.
+	if ix.NPresent != 3 || !ix.HasNaN || len(ix.Perm) != 0 {
+		t.Fatalf("NPresent=%d HasNaN=%v Perm=%v", ix.NPresent, ix.HasNaN, ix.Perm)
+	}
+	if !math.IsNaN(ix.Min) || !math.IsNaN(ix.Max) {
+		t.Errorf("zone = [%v, %v], want NaN (no orderable values)", ix.Min, ix.Max)
+	}
+	if got := ix.EqualNum(0); len(got) != 0 {
+		t.Errorf("EqualNum(0) = %v", got)
+	}
+	if got := ix.RangeBetween(math.Inf(-1), math.Inf(1), false, false); len(got) != 0 {
+		t.Errorf("RangeBetween(-inf, +inf) = %v", got)
+	}
+}
+
+func TestSortedIndexAllMissing(t *testing.T) {
+	l := NewLog(colSchema())
+	for i := 0; i < 4; i++ {
+		l.MustAppend(&Record{ID: "r", Values: []Value{None(), Str("x")}})
+	}
+	ix := l.Columns().SortedIndex(0)
+	if ix.NPresent != 0 || ix.HasNaN || len(ix.Perm) != 0 {
+		t.Fatalf("NPresent=%d HasNaN=%v Perm=%v", ix.NPresent, ix.HasNaN, ix.Perm)
+	}
+	if !math.IsNaN(ix.Min) || !math.IsNaN(ix.Max) {
+		t.Errorf("zone = [%v, %v], want NaN", ix.Min, ix.Max)
+	}
+	if got := ix.SeekGE(math.Inf(-1)); got != 0 {
+		t.Errorf("SeekGE(-inf) = %d, want 0 on empty Perm", got)
+	}
+	if got := ix.RangeGE(0); len(got) != 0 {
+		t.Errorf("RangeGE(0) = %v", got)
+	}
+}
+
+func TestSortedIndexEmptyLog(t *testing.T) {
+	l := NewLog(colSchema())
+	for f := 0; f < 2; f++ {
+		ix := l.Columns().SortedIndex(f)
+		if ix.NPresent != 0 || ix.HasNaN || len(ix.Perm) != 0 {
+			t.Fatalf("field %d: NPresent=%d HasNaN=%v Perm=%v", f, ix.NPresent, ix.HasNaN, ix.Perm)
+		}
+	}
+	ix := l.Columns().SortedIndex(0)
+	if got := ix.EqualNum(1); len(got) != 0 {
+		t.Errorf("EqualNum on empty log = %v", got)
+	}
+	if got := ix.RangeLT(5); len(got) != 0 {
+		t.Errorf("RangeLT on empty log = %v", got)
+	}
+	sx := l.Columns().SortedIndex(1)
+	if got := sx.EqualSym(0); len(got) != 0 {
+		t.Errorf("EqualSym on empty log = %v", got)
+	}
+}
+
+func TestSortedIndexSingleRow(t *testing.T) {
+	l := NewLog(colSchema())
+	l.MustAppend(&Record{ID: "r", Values: []Value{Num(7), Str("only")}})
+	ix := l.Columns().SortedIndex(0)
+	if ix.NPresent != 1 || len(ix.Perm) != 1 || ix.Perm[0] != 0 {
+		t.Fatalf("NPresent=%d Perm=%v", ix.NPresent, ix.Perm)
+	}
+	if ix.Min != 7 || ix.Max != 7 {
+		t.Errorf("zone = [%v, %v], want [7, 7]", ix.Min, ix.Max)
+	}
+	if lo, hi := ix.SeekGE(7), ix.SeekGT(7); lo != 0 || hi != 1 {
+		t.Errorf("SeekGE/GT(7) = %d, %d", lo, hi)
+	}
+	if got := ix.EqualNum(7); len(got) != 1 || got[0] != 0 {
+		t.Errorf("EqualNum(7) = %v", got)
+	}
+	if got := ix.RangeBetween(7, 7, false, false); len(got) != 1 {
+		t.Errorf("RangeBetween[7, 7] = %v", got)
+	}
+	// Either bound open excludes the single value.
+	if got := ix.RangeBetween(7, 7, true, false); len(got) != 0 {
+		t.Errorf("RangeBetween(7, 7] = %v", got)
+	}
+	if got := ix.RangeBetween(7, 7, false, true); len(got) != 0 {
+		t.Errorf("RangeBetween[7, 7) = %v", got)
+	}
+}
+
+func TestSortedIndexEqualSymAbsent(t *testing.T) {
+	l := NewLog(colSchema())
+	for _, s := range []string{"a", "b", "c"} {
+		l.MustAppend(&Record{ID: "r", Values: []Value{Num(0), Str(s)}})
+	}
+	c := l.Columns()
+	ix := c.SortedIndex(1)
+	// A symbol id interned by some other column (or never interned at
+	// all) has no run in this column's permutation.
+	for _, id := range []uint32{9999, ^uint32(0)} {
+		if got := ix.EqualSym(id); len(got) != 0 {
+			t.Errorf("EqualSym(%d) = %v, want empty", id, got)
+		}
+	}
+}
+
+func TestSortedIndexRangeBounds(t *testing.T) {
+	l := NewLog(colSchema())
+	for _, v := range []float64{10, 20, 20, 30} {
+		l.MustAppend(&Record{ID: "r", Values: []Value{Num(v), Str("x")}})
+	}
+	ix := l.Columns().SortedIndex(0)
+
+	if got := ix.RangeGE(20); len(got) != 3 {
+		t.Errorf("RangeGE(20) = %v, want 3 rows", got)
+	}
+	if got := ix.RangeLT(20); len(got) != 1 || got[0] != 0 {
+		t.Errorf("RangeLT(20) = %v, want [0]", got)
+	}
+	if got := ix.RangeBetween(20, 30, true, true); len(got) != 0 {
+		t.Errorf("RangeBetween(20, 30) open = %v, want empty", got)
+	}
+	if got := ix.RangeBetween(10, 30, true, true); len(got) != 2 {
+		t.Errorf("RangeBetween(10, 30) open = %v, want the two 20s", got)
+	}
+	if got := ix.RangeBetween(math.Inf(-1), math.Inf(1), false, false); len(got) != 4 {
+		t.Errorf("RangeBetween(-inf, +inf) = %v, want all rows", got)
+	}
+	// Inverted and NaN intervals match nothing.
+	if got := ix.RangeBetween(30, 10, false, false); got != nil {
+		t.Errorf("inverted RangeBetween = %v, want nil", got)
+	}
+	if got := ix.RangeBetween(math.NaN(), 30, false, false); got != nil {
+		t.Errorf("RangeBetween(NaN, 30) = %v, want nil", got)
+	}
+	if got := ix.RangeGE(math.NaN()); got != nil {
+		t.Errorf("RangeGE(NaN) = %v, want nil", got)
+	}
+	if got := ix.RangeLT(math.NaN()); got != nil {
+		t.Errorf("RangeLT(NaN) = %v, want nil", got)
+	}
+}

@@ -40,8 +40,12 @@ func startListener(tb testing.TB, token string) string {
 }
 
 // remoteWorkload drives one full explanation plus evalRounds sharded
-// metric evaluations — the shape of a harness cell — through the pool.
-func remoteWorkload(tb testing.TB, log *joblog.Log, q *pxql.Query, pool *shard.Pool, shards, evalRounds int) {
+// metric evaluations — the shape of a harness cell — through the pool,
+// returning each evaluation round's wall-clock latency. With the slice
+// cache (and prefetch) active, rounds after the first reference cached
+// slices instead of re-shipping them, so the per-round tail should not
+// exceed the first round.
+func remoteWorkload(tb testing.TB, log *joblog.Log, q *pxql.Query, pool *shard.Pool, shards, evalRounds int) []time.Duration {
 	tb.Helper()
 	ex, err := core.NewExplainer(log, core.Config{
 		Width:       3,
@@ -58,11 +62,15 @@ func remoteWorkload(tb testing.TB, log *joblog.Log, q *pxql.Query, pool *shard.P
 	if err != nil {
 		tb.Fatal(err)
 	}
+	rounds := make([]time.Duration, evalRounds)
 	for round := 0; round < evalRounds; round++ {
+		r0 := time.Now()
 		if _, err := core.EvaluateExplanationSharded(log, features.Level3, q, x, 0, 7, shards, pool); err != nil {
 			tb.Fatal(err)
 		}
+		rounds[round] = time.Since(r0)
 	}
+	return rounds
 }
 
 func TestBenchRemoteJSON(t *testing.T) {
@@ -80,7 +88,7 @@ func TestBenchRemoteJSON(t *testing.T) {
 	q := equivQuery(t, log)
 	addr := startListener(t, token)
 
-	runPool := func(disableCache bool) (shard.StatsSnapshot, time.Duration) {
+	runPool := func(disableCache bool) (shard.StatsSnapshot, time.Duration, []time.Duration) {
 		pool := &shard.Pool{
 			Dialer:            &shard.SocketDialer{Addrs: []string{addr}, Token: token},
 			Workers:           workers,
@@ -88,12 +96,12 @@ func TestBenchRemoteJSON(t *testing.T) {
 		}
 		defer pool.Close()
 		t0 := time.Now()
-		remoteWorkload(t, log, q, pool, shards, evalRounds)
-		return pool.Stats(), time.Since(t0)
+		rounds := remoteWorkload(t, log, q, pool, shards, evalRounds)
+		return pool.Stats(), time.Since(t0), rounds
 	}
 
-	on, onDur := runPool(false)
-	off, _ := runPool(true)
+	on, onDur, onRounds := runPool(false)
+	off, _, _ := runPool(true)
 
 	if on.SliceHits == 0 {
 		t.Fatalf("cache-on run recorded no slice hits: %+v", on)
@@ -107,6 +115,14 @@ func TestBenchRemoteJSON(t *testing.T) {
 		t.Errorf("slice cache saved only %.2fx bytes (on=%d off=%d), want >= 2x", ratio, on.BytesSent, off.BytesSent)
 	}
 	frames := on.FramesSent + on.FramesReceived
+	// Per-round evaluation latency is informational: timing on shared CI
+	// runners is too noisy to gate, but the series documents the shape
+	// prefetch and caching produce — the first round ships payloads, the
+	// tail references them.
+	roundMs := make([]float64, len(onRounds))
+	for i, d := range onRounds {
+		roundMs[i] = float64(d.Microseconds()) / 1000
+	}
 	out := map[string]any{
 		"records":              log.Len(),
 		"shards":               shards,
@@ -120,7 +136,10 @@ func TestBenchRemoteJSON(t *testing.T) {
 		"slice_bytes_saved":    on.SliceBytesSaved,
 		"frames":               frames,
 		"frames_per_sec":       float64(frames) / onDur.Seconds(),
-		"note":                 "bytes_ratio >= 2x is gated (deterministic gob sizes); frames_per_sec is informational on shared runners",
+		"prefetch_sent":        on.PrefetchSent,
+		"prefetch_hits":        on.PrefetchHits,
+		"eval_round_ms":        roundMs,
+		"note":                 "bytes_ratio >= 2x is gated (deterministic gob sizes); frames_per_sec, prefetch counters and eval_round_ms are informational on shared runners",
 	}
 	f, err := os.Create(path)
 	if err != nil {

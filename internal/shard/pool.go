@@ -52,6 +52,10 @@ type Pool struct {
 	closed bool
 	procs  []*workerProc
 	stats  Stats
+
+	// prefetchSeq numbers prefetch frames; they round-trip on their own,
+	// outside any batch's 0..n-1 task numbering.
+	prefetchSeq atomic.Int64
 }
 
 // workerProc is one leased connection: a transport plus the
@@ -63,6 +67,11 @@ type workerProc struct {
 	mu   sync.Mutex
 	tr   Transport
 	sent map[string]int
+	// prefetched marks hashes in sent that were shipped by a Prefetch
+	// frame and not yet referenced by a task — each mark converts to one
+	// prefetch-hit counter tick on first use, so the stats report how
+	// much prefetched payload actually paid off.
+	prefetched map[string]bool
 }
 
 // Stats returns a snapshot of the pool's runtime counters.
@@ -102,7 +111,7 @@ func (p *Pool) lease() ([]*workerProc, error) {
 		if err != nil {
 			return nil, err
 		}
-		p.procs = append(p.procs, &workerProc{tr: tr, sent: make(map[string]int)})
+		p.procs = append(p.procs, &workerProc{tr: tr, sent: make(map[string]int), prefetched: make(map[string]bool)})
 	}
 	return append([]*workerProc(nil), p.procs...), nil
 }
@@ -179,9 +188,15 @@ func (w *workerProc) roundTrip(p *Pool, t *Task) (*Result, error) {
 		}
 		if !res.CacheMiss {
 			p.stats.sliceHit(size)
+			if w.prefetched[slice.Hash] {
+				delete(w.prefetched, slice.Hash)
+				p.stats.prefetchHit()
+			}
 			return res, nil
 		}
-		// Evicted worker-side: fall through to a full re-ship.
+		// Evicted worker-side: fall through to a full re-ship (and the
+		// prefetched payload, if that is what was evicted, never paid off).
+		delete(w.prefetched, slice.Hash)
 	}
 	res, err := w.exchange(p, t)
 	if err != nil {
@@ -194,6 +209,55 @@ func (w *workerProc) roundTrip(p *Pool, t *Task) (*Result, error) {
 	p.stats.sliceMiss()
 	w.sent[slice.Hash] = slice.SizeEstimate()
 	return res, nil
+}
+
+// PrefetchSlices ships content-addressed slice payloads to every pooled
+// worker ahead of the tasks that will reference them — it implements
+// core.SlicePrefetcher, the seam the explanation pipeline uses to
+// overlap round N+1's slice transfer with round N's compute. Shipping
+// is asynchronous (one goroutine per worker, each frame its own
+// round-trip under the worker's round-trip mutex) and purely advisory:
+// slices already shipped on a connection are skipped, transport errors
+// discard the failed worker and abandon its remaining prefetches, and a
+// task racing ahead of its prefetch simply ships the payload itself —
+// results are byte-identical with prefetching on, off, or half-landed.
+func (p *Pool) PrefetchSlices(slices []core.LogSlice) {
+	if p.DisableSliceCache || len(slices) == 0 {
+		return
+	}
+	procs, err := p.lease()
+	if err != nil {
+		return
+	}
+	for _, w := range procs {
+		w := w
+		go func() {
+			for i := range slices {
+				s := slices[i] // copy: the frame must outlive the caller's slice
+				if s.Hash == "" || s.Ref {
+					continue
+				}
+				w.mu.Lock()
+				if _, shipped := w.sent[s.Hash]; shipped {
+					w.mu.Unlock()
+					continue
+				}
+				t := &Task{Version: Version, Seq: int(p.prefetchSeq.Add(1)), Prefetch: &s}
+				res, err := w.exchange(p, t)
+				if err != nil {
+					w.mu.Unlock()
+					p.discard(w)
+					return
+				}
+				if res.Err == "" && !res.CacheMiss {
+					w.sent[s.Hash] = s.SizeEstimate()
+					w.prefetched[s.Hash] = true
+					p.stats.prefetchSentInc()
+				}
+				w.mu.Unlock()
+			}
+		}()
+	}
 }
 
 // Close terminates every worker and marks the pool closed: subsequent

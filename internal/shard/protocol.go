@@ -39,20 +39,28 @@ import (
 // evaluation shards.
 // Version 3: stratified enumeration shards (EnumSpec.Stratified,
 // EnumGroup.Budget).
-const Version = 3
+// Version 4: Wilson-adaptive enumeration rounds (EnumSpec.Round) and
+// pipelined slice prefetch (Task.Prefetch).
+const Version = 4
 
-//pxql:wirehash 49dc7b5412c1c07c v=3
+//pxql:wirehash a8a230bd3147c114 v=4
 
-// Task is one request frame: exactly one spec pointer is set.
+// Task is one request frame: exactly one spec pointer is set — or
+// Prefetch alone, a payload-only frame that warms the worker's
+// decoded-slice cache ahead of the tasks that will reference the slice.
+// The worker acks a prefetch with an empty result (no spec result
+// pointers); prefetching can therefore never change results, only when
+// payload bytes cross the wire.
 //
 //pxql:wire decode=workerState.dispatch
 type Task struct {
-	Version int
-	Seq     int
-	Enum    *core.EnumSpec
-	Mat     *core.MatSpec
-	Score   *core.ScoreSpec
-	Eval    *core.EvalSpec
+	Version  int
+	Seq      int
+	Enum     *core.EnumSpec
+	Mat      *core.MatSpec
+	Score    *core.ScoreSpec
+	Eval     *core.EvalSpec
+	Prefetch *core.LogSlice
 }
 
 // slice returns the task's content-addressed log slice, nil for specs

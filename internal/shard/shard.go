@@ -118,6 +118,20 @@ func (ws *workerState) dispatch(t *Task) *Result {
 		res.Err = fmt.Sprintf("shard: protocol version %d, want %d", t.Version, Version)
 		return res
 	}
+	if t.Prefetch != nil {
+		// A prefetch frame only warms the cache: decode the payload into
+		// the LRU and ack with an empty result. A reference frame here is
+		// a coordinator bug; report it as a miss so the sender never
+		// records the hash as shipped.
+		if t.Prefetch.Ref {
+			res.CacheMiss = true
+			return res
+		}
+		if _, _, err := ws.resolve(t.Prefetch); err != nil {
+			res.Err = err.Error()
+		}
+		return res
+	}
 	var data *core.SliceData
 	if s := t.slice(); s != nil {
 		var miss bool

@@ -24,6 +24,8 @@ type Stats struct {
 	sliceHits       atomic.Int64
 	sliceMisses     atomic.Int64
 	sliceBytesSaved atomic.Int64
+	prefetchSent    atomic.Int64
+	prefetchHits    atomic.Int64
 }
 
 // StatsSnapshot is a point-in-time copy of the counters.
@@ -41,13 +43,18 @@ type StatsSnapshot struct {
 	// SliceBytesSaved estimates the payload bytes the cache avoided
 	// re-shipping.
 	SliceBytesSaved int64
+	// PrefetchSent counts slice payloads shipped ahead of need via
+	// Prefetch frames; PrefetchHits counts task frames whose slice
+	// arrived stripped because a prefetch had already shipped it (each
+	// prefetched slice is counted at most once per connection).
+	PrefetchSent, PrefetchHits int64
 }
 
 // String renders the snapshot in the -verbose format of the CLIs.
 func (s StatsSnapshot) String() string {
-	return fmt.Sprintf("frames sent=%d received=%d; bytes sent=%d received=%d; slice cache hits=%d misses=%d bytes-saved=%d",
+	return fmt.Sprintf("frames sent=%d received=%d; bytes sent=%d received=%d; slice cache hits=%d misses=%d bytes-saved=%d; prefetch sent=%d hits=%d",
 		s.FramesSent, s.FramesReceived, s.BytesSent, s.BytesReceived,
-		s.SliceHits, s.SliceMisses, s.SliceBytesSaved)
+		s.SliceHits, s.SliceMisses, s.SliceBytesSaved, s.PrefetchSent, s.PrefetchHits)
 }
 
 // Snapshot copies the counters.
@@ -63,6 +70,8 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		SliceHits:       s.sliceHits.Load(),
 		SliceMisses:     s.sliceMisses.Load(),
 		SliceBytesSaved: s.sliceBytesSaved.Load(),
+		PrefetchSent:    s.prefetchSent.Load(),
+		PrefetchHits:    s.prefetchHits.Load(),
 	}
 }
 
@@ -88,6 +97,18 @@ func (s *Stats) sliceHit(bytesSaved int) {
 func (s *Stats) sliceMiss() {
 	if s != nil {
 		s.sliceMisses.Add(1)
+	}
+}
+
+func (s *Stats) prefetchSentInc() {
+	if s != nil {
+		s.prefetchSent.Add(1)
+	}
+}
+
+func (s *Stats) prefetchHit() {
+	if s != nil {
+		s.prefetchHits.Add(1)
 	}
 }
 

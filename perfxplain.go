@@ -222,6 +222,15 @@ type Options struct {
 	SampleMode string
 	// SampleBudget is the stratified total pair budget (0 = MaxPairs).
 	SampleBudget int
+	// SamplePilot, in (0, 1), turns the stratified mode two-pass: that
+	// fraction of SampleBudget is spent on a pilot round under the
+	// proportional allocation, and the remainder is re-allocated toward
+	// the strata whose pilot estimates carry the widest Wilson
+	// intervals — uncertain strata get the draws, settled ones stop
+	// early. 0 (the default) keeps the one-shot proportional rule.
+	// Requires SampleMode "stratified"; determinism guarantees are
+	// unchanged (byte-identical at every parallelism and shard count).
+	SamplePilot float64
 	// Seed drives sampling; runs are deterministic per seed.
 	Seed int64
 	// Target selects the performance metric being explained (default
@@ -331,13 +340,16 @@ func (wp *WorkerPool) Close() { wp.p.Close() }
 func (wp *WorkerPool) Stats() ShardStats { return newShardStats(wp.p.Stats()) }
 
 // ShardStats are the shard runtime's counters: protocol frames, frame
-// bytes on metered transports, and the content-addressed slice cache's
-// behaviour (hits = payloads not re-shipped; misses = full ships).
+// bytes on metered transports, the content-addressed slice cache's
+// behaviour (hits = payloads not re-shipped; misses = full ships), and
+// the prefetch pipeline's (sent = payloads shipped ahead of need;
+// hits = task frames that found their slice already prefetched).
 type ShardStats struct {
 	FramesSent, FramesReceived int64
 	BytesSent, BytesReceived   int64
 	SliceHits, SliceMisses     int64
 	SliceBytesSaved            int64
+	PrefetchSent, PrefetchHits int64
 }
 
 func newShardStats(s shard.StatsSnapshot) ShardStats {
@@ -349,6 +361,8 @@ func newShardStats(s shard.StatsSnapshot) ShardStats {
 		SliceHits:       s.SliceHits,
 		SliceMisses:     s.SliceMisses,
 		SliceBytesSaved: s.SliceBytesSaved,
+		PrefetchSent:    s.PrefetchSent,
+		PrefetchHits:    s.PrefetchHits,
 	}
 }
 
@@ -363,6 +377,8 @@ func (s ShardStats) String() string {
 		SliceHits:       s.SliceHits,
 		SliceMisses:     s.SliceMisses,
 		SliceBytesSaved: s.SliceBytesSaved,
+		PrefetchSent:    s.PrefetchSent,
+		PrefetchHits:    s.PrefetchHits,
 	}.String()
 }
 
@@ -377,6 +393,7 @@ func (o Options) coreConfig() (core.Config, *shard.Pool, error) {
 		MaxPairs:      o.MaxPairs,
 		SampleMode:    o.SampleMode,
 		SampleBudget:  o.SampleBudget,
+		SamplePilot:   o.SamplePilot,
 		Seed:          o.Seed,
 		Target:        o.Target,
 		DiverseSample: o.DiverseSample,
