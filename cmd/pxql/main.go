@@ -16,8 +16,10 @@
 // shard specs, executed in-process by default, on subprocess workers
 // with -shard-workers, or on remote machines with -shard-remote — each
 // remote runs `pxql -shard-worker -listen :9071` with a matching
-// -shard-token (or PXQL_SHARD_TOKEN). Output is byte-identical in every
-// mode; -verbose reports frames, bytes shipped and slice-cache counters.
+// -shard-token (or PXQL_SHARD_TOKEN). -seal N queries the log through a
+// segment store (sealed every N records), shipping per-segment hashed
+// slices to the workers. Output is byte-identical in every mode;
+// -verbose reports frames, bytes shipped and slice-cache counters.
 package main
 
 import (
@@ -43,6 +45,7 @@ func main() {
 	sampleBudget := flag.Int("sample-budget", 0, "stratified total pair budget (0 = the library's MaxPairs default)")
 	samplePilot := flag.Float64("sample-pilot", 0, "pilot fraction in (0, 1) for Wilson-adaptive stratified budgets (0 = one-shot proportional allocation; requires -sample-mode stratified)")
 	parallelism := flag.Int("parallelism", 0, "worker goroutines for the explanation pipeline (0 = all cores); the answer is identical at every setting")
+	seal := flag.Int("seal", 0, "ingest the log into a segment store sealing every N records and query its snapshot (0 = off); the answer is identical, but shard workers cache sealed segments across queries")
 	shards := flag.Int("shards", 0, "shard the pair pipeline into N self-contained specs (0 = off); the answer is identical at every setting")
 	shardWorkers := flag.Int("shard-workers", 0, "execute shards on K worker subprocesses instead of in-process (requires -shards)")
 	shardWorker := flag.Bool("shard-worker", false, "serve shard tasks on stdin/stdout and exit (internal: spawned by -shard-workers), or on a TCP listener with -listen")
@@ -88,6 +91,7 @@ func main() {
 		sampleBudget: *sampleBudget,
 		samplePilot:  *samplePilot,
 		parallelism:  *parallelism,
+		seal:         *seal,
 		shards:       *shards,
 		shardWorkers: *shardWorkers,
 		shardRemote:  *shardRemote,
@@ -114,6 +118,7 @@ type cliOpts struct {
 	sampleBudget                       int
 	samplePilot                        float64
 	parallelism, shards, shardWorkers  int
+	seal                               int
 	shardRemote, shardToken            string
 	verbose                            bool
 	technique                          string
@@ -151,6 +156,22 @@ func run(o cliOpts) error {
 	log, err := readLog(logPath)
 	if err != nil {
 		return err
+	}
+	// -seal routes the flat CSV log through a segment store and queries
+	// its watermark snapshot — the shard planners then cut along segment
+	// boundaries and ship per-segment hashed slices. The explanation is
+	// byte-identical to the flat path.
+	segmented := func(l *perfxplain.Log) (*perfxplain.Log, error) {
+		st := perfxplain.NewStore(l, o.seal)
+		if err := st.Ingest(l); err != nil {
+			return nil, err
+		}
+		return st.Snapshot(), nil
+	}
+	if o.seal > 0 {
+		if log, err = segmented(log); err != nil {
+			return err
+		}
 	}
 
 	src, err := querySource(querySrc, queryFile)
@@ -239,6 +260,11 @@ func run(o cliOpts) error {
 		evalLog, err := readLog(evalPath)
 		if err != nil {
 			return err
+		}
+		if o.seal > 0 {
+			if evalLog, err = segmented(evalLog); err != nil {
+				return err
+			}
 		}
 		m, err := evaluate(evalLog)
 		if err != nil {

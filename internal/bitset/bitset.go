@@ -117,6 +117,35 @@ func (s Set) ForEach(fn func(i int)) {
 	}
 }
 
+// BlitFrom copies the first n bits of src into s starting at bit offset
+// off, leaving every other bit of s untouched — the concatenation
+// primitive for stitching per-segment bitmaps (whose lengths are rarely
+// word-aligned) into one log-wide bitmap. s must have capacity for
+// off+n bits.
+func (s Set) BlitFrom(src Set, off, n int) {
+	if n <= 0 {
+		return
+	}
+	if uint(off)&63 == 0 {
+		// Word-aligned fast path: whole-word copies plus a masked tail.
+		w := off >> 6
+		full := n >> 6
+		copy(s[w:w+full], src[:full])
+		if tail := uint(n) & 63; tail != 0 {
+			mask := uint64(1)<<tail - 1
+			s[w+full] = s[w+full]&^mask | src[full]&mask
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		if src.Get(i) {
+			s.SetBit(off + i)
+		} else {
+			s[(off+i)>>6] &^= 1 << (uint(off+i) & 63)
+		}
+	}
+}
+
 // FromBools builds a set from a bool slice (bit i = bs[i]).
 func FromBools(bs []bool) Set {
 	s := Make(len(bs))

@@ -119,3 +119,31 @@ func TestB2u(t *testing.T) {
 		t.Fatal("B2u broken")
 	}
 }
+
+// TestBlitFromMatchesBoolModel checks the aligned fast path and the
+// unaligned fallback against the boolean model: the first n bits of src
+// land at off, and every bit outside [off, off+n) survives untouched.
+func TestBlitFromMatchesBoolModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, total := range []int{1, 64, 65, 130, 300} {
+		for _, off := range []int{0, 1, 63, 64, 65, 128, 129} {
+			for _, n := range []int{0, 1, 63, 64, 65, 127, 130} {
+				if off >= total || off+n > total {
+					continue
+				}
+				dsts, dst := refBits(total, rng)
+				srcs, src := refBits(n, rng)
+				want := append([]bool(nil), dsts...)
+				copy(want[off:off+n], srcs)
+
+				dst.BlitFrom(src, off, n)
+				for i := 0; i < total; i++ {
+					if dst.Get(i) != want[i] {
+						t.Fatalf("total=%d off=%d n=%d: bit %d = %v, want %v",
+							total, off, n, i, dst.Get(i), want[i])
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package collect
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"perfxplain/internal/joblog"
+	"perfxplain/internal/mapreduce"
+	"perfxplain/internal/par"
+)
+
+// StreamResult bundles the artifacts of a streaming sweep: segment
+// stores instead of flat logs, so queries can start against a watermark
+// snapshot while later grid cells are still simulating — and so sealed
+// segments keep their content hashes (and the shard workers' caches)
+// warm as the sweep grows the log.
+type StreamResult struct {
+	Jobs    *joblog.Store
+	Tasks   *joblog.Store
+	Results []*mapreduce.JobResult
+}
+
+// CollectStream runs the grid like Collect but tails the simulator:
+// each grid cell's records stream into the segment stores as soon as
+// every earlier cell has landed, instead of waiting for the whole grid.
+// Cells simulate concurrently; assembly consumes them in grid order
+// with the same cumulative timeline offset as Collect, so the stores'
+// snapshot logs are byte-identical to Collect's logs at every worker
+// count. sealEvery is the stores' seal threshold (non-positive selects
+// joblog.DefaultSealThreshold).
+func (s Sweep) CollectStream(sealEvery int) (*StreamResult, error) {
+	if s.GapSeconds == 0 {
+		s.GapSeconds = 60
+	}
+	specs, err := s.specs()
+	if err != nil {
+		return nil, err
+	}
+
+	results := make([]*mapreduce.JobResult, len(specs))
+	errs := make([]error, len(specs))
+	done := make([]chan struct{}, len(specs))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	var next atomic.Int64
+	workers := par.Resolve(s.Parallelism)
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	for w := 0; w < workers; w++ {
+		go func() {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(specs) {
+					return
+				}
+				results[i], errs[i] = mapreduce.Run(specs[i])
+				close(done[i])
+			}
+		}()
+	}
+
+	out := &StreamResult{
+		Jobs:  joblog.NewStore(JobSchema(), sealEvery),
+		Tasks: joblog.NewStore(TaskSchema(), sealEvery),
+	}
+	jobSchema, taskSchema := out.Jobs.Schema(), out.Tasks.Schema()
+	offset := 0.0
+	for i := range specs {
+		<-done[i]
+		if errs[i] != nil {
+			// Park the shared counter past the end so idle workers exit;
+			// in-flight cells drain on their own.
+			next.Store(int64(len(specs)))
+			return nil, fmt.Errorf("collect: %s: %w", specs[i].ID, errs[i])
+		}
+		res := results[i]
+		if err := out.Jobs.Append(JobRecord(jobSchema, res, offset)); err != nil {
+			return nil, err
+		}
+		for _, tr := range TaskRecords(taskSchema, res, offset) {
+			if err := out.Tasks.Append(tr); err != nil {
+				return nil, err
+			}
+		}
+		out.Results = append(out.Results, res)
+		// The receive at the top of this loop gates on done[i] in index
+		// order, so the accumulation runs in fixed grid order — cells
+		// finish out of order but never land out of order.
+		//pxql:orderinvariant
+		offset += res.Duration() + s.GapSeconds
+	}
+	return out, nil
+}

@@ -56,7 +56,8 @@ func (e *Explainer) runStratifiedRound(q *pxql.Query, despite pxql.Predicate, se
 		return enumerateRelatedOpt(e.log, e.d, q, despite, seed, e.cfg.Parallelism,
 			enumOpts{stratified: true, budgets: budgets}), nil
 	}
-	specs := planEnumStratified(e.log, e.d.Level(), q, despite, groups, budgets, e.cfg.Shards, seed, round)
+	e.prefetchLayout()
+	specs := planEnumStratifiedOver(e.cfg.Layout, e.log, e.d.Level(), q, despite, groups, budgets, e.cfg.Shards, seed, round)
 	return e.runEnumSpecs(specs)
 }
 

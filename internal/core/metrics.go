@@ -144,16 +144,32 @@ func EvaluateExplanationSharded(log *joblog.Log, level features.Level,
 	q *pxql.Query, x *Explanation, maxPairs int, seed int64,
 	shards int, runner ShardRunner) (Metrics, error) {
 
+	return EvaluateExplanationShardedOver(nil, log, level, q, x, maxPairs, seed, shards, runner)
+}
+
+// EvaluateExplanationShardedOver is EvaluateExplanationSharded against a
+// segment layout: eval specs then carry the layout's per-segment
+// hashed slices (shared by every spec and every repeat evaluation at
+// the same watermark) instead of per-shard record cuts. A nil layout
+// plans statically; counts and metrics are identical either way.
+func EvaluateExplanationShardedOver(layout *SegmentLayout, log *joblog.Log, level features.Level,
+	q *pxql.Query, x *Explanation, maxPairs int, seed int64,
+	shards int, runner ShardRunner) (Metrics, error) {
+
 	if runner == nil {
 		return EvaluateExplanationP(log, level, q, x, maxPairs, seed, 0)
 	}
 	if err := validateEvaluation(log, level, q, x); err != nil {
 		return Metrics{}, err
 	}
+	if layout != nil && layout.Total() != log.Len() {
+		return Metrics{}, fmt.Errorf("core: segment layout covers %d records, evaluation log has %d",
+			layout.Total(), log.Len())
+	}
 	if shards <= 0 {
 		shards = par.Resolve(0)
 	}
-	specs := PlanEvalShards(log, level, q, x, maxPairs, shards, stats.DeriveSeed(seed, "evaluate"))
+	specs := PlanEvalShardsOver(layout, log, level, q, x, maxPairs, shards, stats.DeriveSeed(seed, "evaluate"))
 	// Prefetch the distinct evaluation slices to every worker before
 	// fanning out: while the first specs compute, the rest of the
 	// payloads ship in the background — and repeated evaluations over
@@ -162,10 +178,19 @@ func EvaluateExplanationSharded(log *joblog.Log, level features.Level,
 	if pf, ok := runner.(SlicePrefetcher); ok {
 		seen := make(map[string]bool, len(specs))
 		slices := make([]LogSlice, 0, len(specs))
+		add := func(s LogSlice) {
+			if s.Hash != "" && !seen[s.Hash] {
+				seen[s.Hash] = true
+				slices = append(slices, s)
+			}
+		}
 		for i := range specs {
-			if h := specs[i].Slice.Hash; h != "" && !seen[h] {
-				seen[h] = true
-				slices = append(slices, specs[i].Slice)
+			if len(specs[i].Slices) > 0 {
+				for _, s := range specs[i].Slices {
+					add(s)
+				}
+			} else {
+				add(specs[i].Slice)
 			}
 		}
 		pf.PrefetchSlices(slices)

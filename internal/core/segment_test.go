@@ -1,0 +1,215 @@
+package core
+
+// Equivalence suite for segmented planning: plans cut over a segment
+// layout — per-segment hashed slices plus global group indices — must
+// merge to exactly the static planners' output at every shard count,
+// seal threshold, and sampling mode, including seal boundaries that
+// straddle blocking groups.
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"perfxplain/internal/features"
+	"perfxplain/internal/joblog"
+	"perfxplain/internal/pxql"
+	"perfxplain/internal/stats"
+)
+
+// storeOver replays log's records through a segment store sealing every
+// sealEvery records and returns the snapshot log plus its shard layout.
+func storeOver(t *testing.T, log *joblog.Log, sealEvery int) (*joblog.Log, *SegmentLayout) {
+	t.Helper()
+	st := joblog.NewStore(log.Schema, sealEvery)
+	for _, r := range log.Records {
+		st.MustAppend(r)
+	}
+	snap := st.Snapshot()
+	layout, err := NewSegmentLayout(snap.Segments())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if layout.Total() != log.Len() {
+		t.Fatalf("layout covers %d records, log has %d", layout.Total(), log.Len())
+	}
+	return snap.Log(), layout
+}
+
+var segSealEveries = []int{5, 17, 40, 200} // several segments + tail ... single tail view
+
+func TestPlanEnumShardsOverMatchesStatic(t *testing.T) {
+	log := groupedLog(90, rand.New(rand.NewSource(21)))
+	q := blockedQuery()
+	for _, maxPairs := range []int{0, 500} {
+		pairSeed := stats.DeriveSeed(5, "seg-test")
+		staticSpecs := PlanEnumShards(log, features.Level3, q, q.Despite, maxPairs, 1, pairSeed)
+		wantRefs, wantLabels := runPlan(t, staticSpecs)
+		for _, sealEvery := range segSealEveries {
+			snapLog, layout := storeOver(t, log, sealEvery)
+			for _, nShards := range []int{1, 2, 7} {
+				name := fmt.Sprintf("maxPairs=%d seal=%d shards=%d", maxPairs, sealEvery, nShards)
+				specs := PlanEnumShardsOver(layout, snapLog, features.Level3, q, q.Despite, maxPairs, nShards, pairSeed)
+				if len(specs) != nShards {
+					t.Fatalf("%s: planned %d specs", name, len(specs))
+				}
+				for si := range specs {
+					if len(specs[si].Slices) != len(layout.Slices) {
+						t.Fatalf("%s: spec %d carries %d slices, want %d", name, si, len(specs[si].Slices), len(layout.Slices))
+					}
+					if specs[si].Log.Records != nil || len(specs[si].Global) != 0 {
+						t.Fatalf("%s: spec %d still ships a per-shard record cut", name, si)
+					}
+				}
+				refs, labels := runPlan(t, specs)
+				if !reflect.DeepEqual(refs, wantRefs) || !reflect.DeepEqual(labels, wantLabels) {
+					t.Errorf("%s: segmented plan output differs from static (%d pairs vs %d)",
+						name, len(refs), len(wantRefs))
+				}
+			}
+		}
+	}
+}
+
+func TestPlanEnumShardsStratifiedOverMatchesStatic(t *testing.T) {
+	log := groupedLog(90, rand.New(rand.NewSource(22)))
+	q := blockedQuery()
+	pairSeed := stats.DeriveSeed(6, "seg-strat")
+	staticSpecs := PlanEnumShardsStratified(log, features.Level3, q, q.Despite, 300, 1, pairSeed)
+	wantRefs, wantLabels := runPlan(t, staticSpecs)
+	for _, sealEvery := range segSealEveries {
+		snapLog, layout := storeOver(t, log, sealEvery)
+		for _, nShards := range []int{1, 2, 7} {
+			name := fmt.Sprintf("seal=%d shards=%d", sealEvery, nShards)
+			specs := PlanEnumShardsStratifiedOver(layout, snapLog, features.Level3, q, q.Despite, 300, nShards, pairSeed)
+			refs, labels := runPlan(t, specs)
+			if !reflect.DeepEqual(refs, wantRefs) || !reflect.DeepEqual(labels, wantLabels) {
+				t.Errorf("%s: stratified segmented plan differs from static (%d pairs vs %d)",
+					name, len(refs), len(wantRefs))
+			}
+		}
+	}
+}
+
+func TestPlanEvalShardsOverMatchesStatic(t *testing.T) {
+	log := groupedLog(90, rand.New(rand.NewSource(23)))
+	q := blockedQuery()
+	x := &Explanation{Because: pxql.Predicate{{Feature: "x_compare", Op: pxql.OpEq, Value: joblog.Str("GT")}}}
+	serial, err := EvaluateExplanationP(log, features.Level3, q, x, 500, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sealEvery := range segSealEveries {
+		snapLog, layout := storeOver(t, log, sealEvery)
+		for _, nShards := range []int{1, 2, 7} {
+			name := fmt.Sprintf("seal=%d shards=%d", sealEvery, nShards)
+			specs := PlanEvalShardsOver(layout, snapLog, features.Level3, q, x, 500, nShards, stats.DeriveSeed(3, "evaluate"))
+			var context, exp, bec, obs int
+			for si := range specs {
+				res, err := specs[si].Run()
+				if err != nil {
+					t.Fatalf("%s: spec %d: %v", name, si, err)
+				}
+				context += res.Context
+				exp += res.Exp
+				bec += res.Bec
+				obs += res.ObsGivenBec
+			}
+			merged, err := metricsFromCounts(context, exp, bec, obs)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if merged != serial {
+				t.Errorf("%s: merged metrics %+v differ from serial %+v", name, merged, serial)
+			}
+
+			// The public entry point with a layout must agree too.
+			got, err := EvaluateExplanationShardedOver(layout, snapLog, features.Level3, q, x, 500, 3, nShards, serialEvalRunner{})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if got != serial {
+				t.Errorf("%s: ShardedOver metrics %+v differ from serial %+v", name, got, serial)
+			}
+		}
+	}
+}
+
+// TestExplainerWithLayoutByteIdentical pins the end-to-end contract:
+// an explainer configured with a segment layout produces exactly the
+// explanation of the static path, at several shard counts and seal
+// thresholds.
+func TestExplainerWithLayoutByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	log := twoFactorLog(90, rng)
+
+	explain := func(l *joblog.Log, cfg Config) string {
+		t.Helper()
+		ex, err := NewExplainer(l, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := gtQuery(l, ex.Deriver())
+		if q == nil {
+			t.Fatal("no pair of interest")
+		}
+		x, err := ex.ExplainWithDespite(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return x.String()
+	}
+
+	for _, mode := range []string{"", "stratified"} {
+		base := explain(log, Config{Width: 3, DespiteWidth: 2, Seed: 13, MaxPairs: 2000, SampleMode: mode})
+		for _, sealEvery := range []int{17, 40} {
+			snapLog, layout := storeOver(t, log, sealEvery)
+			for _, nShards := range []int{1, 2, 7} {
+				got := explain(snapLog, Config{Width: 3, DespiteWidth: 2, Seed: 13, MaxPairs: 2000,
+					SampleMode: mode, Shards: nShards, Runner: serialEvalRunner{}, Layout: layout})
+				if got != base {
+					t.Errorf("mode=%q seal=%d shards=%d: segmented explanation differs:\n%s\nvs static:\n%s",
+						mode, sealEvery, nShards, got, base)
+				}
+			}
+		}
+	}
+}
+
+func TestNewSegmentLayoutValidates(t *testing.T) {
+	schema := joblog.NewSchema([]joblog.Field{{Name: "x", Kind: joblog.Numeric}})
+	rec := func(id string) *joblog.Record {
+		return &joblog.Record{ID: id, Values: []joblog.Value{joblog.Num(1)}}
+	}
+	st := joblog.NewStore(schema, 2)
+	for i := 0; i < 5; i++ {
+		st.MustAppend(rec(fmt.Sprintf("r%d", i)))
+	}
+	views := st.Snapshot().Segments()
+
+	if _, err := NewSegmentLayout(views); err != nil {
+		t.Fatalf("valid views rejected: %v", err)
+	}
+	if empty, err := NewSegmentLayout(nil); err != nil || empty.Total() != 0 {
+		t.Errorf("empty view list: layout %v, err %v; want empty layout", empty, err)
+	}
+	if _, err := NewSegmentLayout(views[1:]); err == nil {
+		t.Error("views not starting at 0 accepted")
+	}
+	gap := []joblog.SegmentView{views[0], views[2]}
+	if _, err := NewSegmentLayout(gap); err == nil {
+		t.Error("non-contiguous views accepted")
+	}
+
+	// NewExplainer rejects a layout that does not cover the log.
+	log := joblog.NewLog(schema)
+	log.MustAppend(rec("a"))
+	layout, err := NewSegmentLayout(views)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewExplainer(log, Config{Layout: layout}); err == nil {
+		t.Error("explainer accepted a layout covering a different record count")
+	}
+}

@@ -62,7 +62,7 @@ type SlicePrefetcher interface {
 // payload is resent. Execution is byte-identical either way: the hash
 // covers every bit of the payload, so a hit decodes to exactly what a
 // fresh ship would have.
-//pxql:wirehash c829f5bd63826c6a v=4
+//pxql:wirehash f9b339a4bd393892 v=5
 
 //pxql:wire decode=Data
 type LogSlice struct {
@@ -155,11 +155,17 @@ type EnumGroup struct {
 //
 //pxql:wire decode=Run
 type EnumSpec struct {
-	Log    joblog.WireLog `json:"log"`    // records of this shard's groups
-	Global []int          `json:"global"` // global record index per local record
-	Groups []EnumGroup    `json:"groups,omitempty"`
-	KeepP  float64        `json:"keep_p"` // global Bernoulli keep probability
-	Seed   uint64         `json:"seed"`   // splitmix seed; counters key on Global
+	Log joblog.WireLog `json:"log"` // records of this shard's groups
+	// Slices, when non-empty, replaces Log as the record carriage: the
+	// content-addressed segment slices of a watermark snapshot (see
+	// SegmentLayout), concatenating in order to the whole log. Group
+	// members then address records globally and Global may be empty
+	// (identity).
+	Slices []LogSlice  `json:"slices,omitempty"`
+	Global []int       `json:"global"` // global record index per local record
+	Groups []EnumGroup `json:"groups,omitempty"`
+	KeepP  float64     `json:"keep_p"` // global Bernoulli keep probability
+	Seed   uint64      `json:"seed"`   // splitmix seed; counters key on Global
 	// Stratified switches the walk from Bernoulli thinning (keepPair over
 	// KeepP) to per-group budgeted draws (groupDraws over each group's
 	// Budget, seeded by the first member's global index).
@@ -272,7 +278,10 @@ type ScoreResult struct {
 //
 //pxql:wire decode=Run
 type EvalSpec struct {
-	Slice    LogSlice           `json:"slice"`
+	Slice LogSlice `json:"slice"`
+	// Slices, when non-empty, replaces Slice: per-segment slices of a
+	// watermark snapshot, exactly as on EnumSpec.
+	Slices   []LogSlice         `json:"slices,omitempty"`
 	Global   []int              `json:"global"` // global record index per local record
 	Groups   []EnumGroup        `json:"groups,omitempty"`
 	KeepP    float64            `json:"keep_p"`
@@ -510,11 +519,38 @@ func PlanEvalShards(log *joblog.Log, level features.Level, q *pxql.Query,
 // semantics exactly), so the labels and the globally addressed refs are
 // identical to the coordinator's serial walk.
 func (s *EnumSpec) Run() (*EnumResult, error) {
+	if len(s.Slices) > 0 {
+		data, err := DecodeSlices(s.Slices)
+		if err != nil {
+			return nil, err
+		}
+		return s.RunWith(data)
+	}
 	log, err := s.Log.Log()
 	if err != nil {
 		return nil, err
 	}
-	if len(s.Global) != log.Len() {
+	return s.runWith(log, log.Columns())
+}
+
+// RunWith executes the enumeration spec against an already-combined
+// decoded view — the worker cache's hit path for segmented specs (the
+// runtime resolves each segment slice through its cache and combines
+// them once per watermark).
+func (s *EnumSpec) RunWith(data *SliceData) (*EnumResult, error) {
+	return s.runWith(data.Log, data.Cols)
+}
+
+func (s *EnumSpec) runWith(log *joblog.Log, cols *joblog.Columns) (*EnumResult, error) {
+	glob := s.Global
+	if len(glob) == 0 && log.Len() > 0 {
+		// Segmented specs address records globally: identity mapping.
+		glob = make([]int, log.Len())
+		for i := range glob {
+			glob[i] = i
+		}
+	}
+	if len(glob) != log.Len() {
 		return nil, fmt.Errorf("core: enum spec has %d global indices for %d records", len(s.Global), log.Len())
 	}
 	if s.Level < features.Level1 || s.Level > features.Level3 {
@@ -553,7 +589,6 @@ func (s *EnumSpec) Run() (*EnumResult, error) {
 	}
 
 	d := features.NewDeriver(log.Schema, s.Level)
-	cols := log.Columns()
 	cDes := despite.Compile(d, cols)
 	cObs := obs.Compile(d, cols)
 	cExp := exp.Compile(d, cols)
@@ -590,8 +625,8 @@ func (s *EnumSpec) Run() (*EnumResult, error) {
 	emit := func(li, lj int) {
 		aiL = append(aiL, li)
 		biL = append(biL, lj)
-		aiG = append(aiG, s.Global[li])
-		biG = append(biG, s.Global[lj])
+		aiG = append(aiG, glob[li])
+		biG = append(biG, glob[lj])
 		if len(aiL) == pairBlock {
 			flush()
 		}
@@ -602,7 +637,7 @@ func (s *EnumSpec) Run() (*EnumResult, error) {
 			// Re-derive the whole group's draw set (identical in every
 			// straddling shard) and walk the outer positions this shard
 			// owns — a contiguous run of the sorted flat indices.
-			ts := groupDraws(s.Seed, s.Global[g.Members[0]], n, g.Budget)
+			ts := groupDraws(s.Seed, glob[g.Members[0]], n, g.Budget)
 			n1 := uint64(n - 1)
 			lo := sort.Search(len(ts), func(k int) bool { return ts[k] >= uint64(g.Lo)*n1 })
 			hi := sort.Search(len(ts), func(k int) bool { return ts[k] >= uint64(g.Hi)*n1 })
@@ -618,9 +653,9 @@ func (s *EnumSpec) Run() (*EnumResult, error) {
 			continue
 		}
 		for _, li := range g.Members[g.Lo:g.Hi] {
-			gi := s.Global[li]
+			gi := glob[li]
 			for _, lj := range g.Members {
-				gj := s.Global[lj]
+				gj := glob[lj]
 				if gi == gj {
 					continue
 				}
@@ -635,8 +670,16 @@ func (s *EnumSpec) Run() (*EnumResult, error) {
 	return res, nil
 }
 
-// Run executes the evaluation spec in this process, decoding its slice.
+// Run executes the evaluation spec in this process, decoding its slice
+// (or combining its segment slices).
 func (s *EvalSpec) Run() (*EvalResult, error) {
+	if len(s.Slices) > 0 {
+		data, err := DecodeSlices(s.Slices)
+		if err != nil {
+			return nil, err
+		}
+		return s.RunWith(data)
+	}
 	data, err := s.Slice.Data()
 	if err != nil {
 		return nil, err
@@ -653,7 +696,15 @@ func (s *EvalSpec) Run() (*EvalResult, error) {
 // the serial totals exactly.
 func (s *EvalSpec) RunWith(data *SliceData) (*EvalResult, error) {
 	log := data.Log
-	if len(s.Global) != log.Len() {
+	glob := s.Global
+	if len(glob) == 0 && log.Len() > 0 {
+		// Segmented specs address records globally: identity mapping.
+		glob = make([]int, log.Len())
+		for i := range glob {
+			glob[i] = i
+		}
+	}
+	if len(glob) != log.Len() {
 		return nil, fmt.Errorf("core: eval spec has %d global indices for %d records", len(s.Global), log.Len())
 	}
 	if s.Level < features.Level1 || s.Level > features.Level3 {
@@ -718,9 +769,9 @@ func (s *EvalSpec) RunWith(data *SliceData) (*EvalResult, error) {
 	}
 	for _, g := range s.Groups {
 		for _, li := range g.Members[g.Lo:g.Hi] {
-			gi := s.Global[li]
+			gi := glob[li]
 			for _, lj := range g.Members {
-				gj := s.Global[lj]
+				gj := glob[lj]
 				if gi == gj {
 					continue
 				}
@@ -998,11 +1049,12 @@ func (e *Explainer) enumeratePairs(q *pxql.Query, despite pxql.Predicate, seed u
 		}
 		return enumerateRelated(e.log, e.d, q, despite, e.cfg.MaxPairs, seed, e.cfg.Parallelism), nil
 	}
+	e.prefetchLayout()
 	var specs []EnumSpec
 	if stratified {
-		specs = PlanEnumShardsStratified(e.log, e.d.Level(), q, despite, e.cfg.SampleBudget, e.cfg.Shards, seed)
+		specs = PlanEnumShardsStratifiedOver(e.cfg.Layout, e.log, e.d.Level(), q, despite, e.cfg.SampleBudget, e.cfg.Shards, seed)
 	} else {
-		specs = PlanEnumShards(e.log, e.d.Level(), q, despite, e.cfg.MaxPairs, e.cfg.Shards, seed)
+		specs = PlanEnumShardsOver(e.cfg.Layout, e.log, e.d.Level(), q, despite, e.cfg.MaxPairs, e.cfg.Shards, seed)
 	}
 	return e.runEnumSpecs(specs)
 }

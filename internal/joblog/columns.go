@@ -4,8 +4,8 @@ package joblog
 // per numeric field, one []uint32 of interned symbol IDs per nominal
 // field, a per-field missing bitmap, and one per-log string intern table.
 // The view is built lazily on first use and invalidated exactly like the
-// stats memo — records are append-only and never mutated once logged, so
-// record-count equality implies content equality.
+// stats memo — keyed on the log's (generation, record count), so both
+// growth and mutations routed through the Log API rebuild it.
 //
 // The columnar engine (pxql predicate compilation, the features pair
 // matrix, dtree split scoring) reads these planes instead of boxed
@@ -103,12 +103,21 @@ func (c *Col) Missing(i int) bool { return c.Miss.Get(i) }
 // the schema kind.
 func (c *Col) Alien(i int) bool { return c.HasAlien && c.alien.Get(i) }
 
-// Columns is the columnar view of a Log at a fixed record count.
+// Columns is the columnar view of a Log at a fixed generation and
+// record count.
 type Columns struct {
 	log    *Log
 	n      int
+	gen    uint64
 	intern *Intern
 	cols   []Col
+
+	// buildIndex, when set, replaces buildColIndex as the builder behind
+	// SortedIndex — the seam the segment store uses to assemble a
+	// snapshot's per-column index by merging per-segment sorted indexes
+	// instead of re-sorting the whole log (see Snapshot). The built
+	// index is still memoized on the view like any other.
+	buildIndex func(f int) *ColIndex
 
 	memoMu sync.Mutex
 	memos  map[any]any
@@ -135,8 +144,8 @@ func (c *Columns) ID(row int) string { return c.log.Records[row].ID }
 
 // Memo returns the value cached under key, calling build to produce it
 // on first use. It is the consumer-side extension point of the columnar
-// view's count-invalidation scheme: a view is immutable and rebuilt when
-// the log's record count changes (see Log.Columns), so derived
+// view's invalidation scheme: a view is immutable and rebuilt when the
+// log's generation or record count changes (see Log.Columns), so derived
 // aggregates memoized here — e.g. relief's per-attribute statistics —
 // are invalidated exactly when the planes themselves are, and die with
 // the view. build runs under the memo lock (concurrent callers see one
@@ -157,13 +166,13 @@ func (c *Columns) Memo(key any, build func() any) any {
 }
 
 // Columns returns the log's columnar view, building it on first use and
-// rebuilding when the record count changed (the same invalidation rule as
-// the stats memo). The returned view is immutable and remains valid for
-// its record count even if the log grows afterwards.
+// rebuilding when the log changed — generation or record count (the same
+// invalidation rule as the stats memo). The returned view is immutable
+// and remains valid for its build point even if the log grows afterwards.
 func (l *Log) Columns() *Columns {
 	l.colsMu.Lock()
 	defer l.colsMu.Unlock()
-	if l.colsCache != nil && l.colsCache.n == len(l.Records) {
+	if l.colsCache != nil && l.colsCache.n == len(l.Records) && l.colsCache.gen == l.gen {
 		return l.colsCache
 	}
 	l.colsCache = buildColumns(l)
@@ -174,12 +183,34 @@ func buildColumns(l *Log) *Columns {
 	return buildColumnsWith(l, newIntern())
 }
 
+// installColumns caches a pre-assembled view as the log's columnar view
+// for its current generation — the segment store's snapshot assembly
+// hands over planes stitched from sealed segments instead of paying a
+// whole-log rebuild. The view must cover exactly the log's records.
+func (l *Log) installColumns(c *Columns) {
+	l.colsMu.Lock()
+	defer l.colsMu.Unlock()
+	c.log = l
+	c.gen = l.gen
+	l.colsCache = c
+}
+
+// installStats caches pre-merged per-field scan results for the log's
+// current generation (the snapshot-assembly counterpart of
+// installColumns). Domains and ranges must equal what the lazy scans
+// would produce.
+func (l *Log) installStats(domains map[string][]string, ranges map[string]numericRange) {
+	l.statsMu.Lock()
+	defer l.statsMu.Unlock()
+	l.statsCache = &logStats{n: len(l.Records), gen: l.gen, domains: domains, ranges: ranges}
+}
+
 // buildColumnsWith builds the view over an existing intern table — empty
 // for the cached Columns path, pre-seeded for ColumnsSeeded (the shard
 // workers' coordinator-aligned views).
 func buildColumnsWith(l *Log, in *Intern) *Columns {
 	n := len(l.Records)
-	c := &Columns{log: l, n: n, intern: in, cols: make([]Col, l.Schema.Len())}
+	c := &Columns{log: l, n: n, gen: l.gen, intern: in, cols: make([]Col, l.Schema.Len())}
 	for f := 0; f < l.Schema.Len(); f++ {
 		col := &c.cols[f]
 		col.Kind = l.Schema.Field(f).Kind

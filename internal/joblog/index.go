@@ -6,8 +6,8 @@ package joblog
 // binary-search to their candidate row range, zone-map pruning compares
 // an atom's lowered value range against [Min, Max] — instead of scanning
 // the plane. Like every derived aggregate it is memoized on the Columns
-// view (count-invalidated: the index dies with the view when the log
-// grows), and it is a pure function of the plane contents, so building
+// view (the index dies with the view when the log's generation or count
+// changes), and it is a pure function of the plane contents, so building
 // it never perturbs anything the shard planners compare for purity.
 //
 // The index is over the *planes*, aliens included (their Num/Sym cells
@@ -45,9 +45,17 @@ type colIndexKey int
 
 // SortedIndex returns the f'th column's sorted index, building it on
 // first use and caching it on the view (see Columns.Memo for the
-// invalidation contract).
+// invalidation contract). Views assembled by the segment store install a
+// buildIndex hook that merges per-segment sorted indexes instead of
+// re-sorting the whole log; the hook must produce exactly what
+// buildColIndex would.
 func (c *Columns) SortedIndex(f int) *ColIndex {
-	v := c.Memo(colIndexKey(f), func() any { return buildColIndex(c, f) })
+	v := c.Memo(colIndexKey(f), func() any {
+		if c.buildIndex != nil {
+			return c.buildIndex(f)
+		}
+		return buildColIndex(c, f)
+	})
 	return v.(*ColIndex)
 }
 

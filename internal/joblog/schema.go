@@ -98,36 +98,44 @@ type Log struct {
 	Schema  *Schema
 	Records []*Record
 
+	// gen is a monotonic generation counter bumped by every mutation the
+	// log knows about: Append, SetRecord, Truncate and the explicit
+	// Invalidate escape hatch. Every memo below keys on (gen, record
+	// count) rather than the count alone — count-keying served stale
+	// planes after a truncate-then-append back to the same length or an
+	// in-place record edit. The count stays part of the key because
+	// harness code grows Records directly without calling Append; growth
+	// still invalidates through the length half of the key.
+	gen uint64
+
 	// statsMu guards statsCache. The cache memoizes the whole-log scans
 	// behind Domain and NumericRange so repeat callers (today: RuleOfThumb's
 	// RReliefF statistics via relief.computeStats; any query path that
 	// inspects field domains) pay one scan per field instead of one per
-	// call. Invalidation keys on the record count, which covers both Append
-	// and direct Records growth (the harness builds logs that way); records
-	// are append-only and never mutated once logged, so count equality
-	// implies content equality.
+	// call. Invalidation keys on (gen, record count).
 	statsMu    sync.Mutex
 	statsCache *logStats
 
 	// colsMu guards colsCache, the lazily built columnar view (see
-	// columns.go). Same invalidation rule as the stats memo: keyed on the
-	// record count, which is sound because records are append-only and
-	// immutable once logged.
+	// columns.go). Same invalidation rule as the stats memo: keyed on
+	// (gen, record count).
 	colsMu    sync.Mutex
 	colsCache *Columns
 
-	// idMu guards idCache, the memoized ID→index map behind Find. Keyed
-	// on the record count like the other memos; the first occurrence wins
-	// so duplicate IDs resolve exactly like the linear scan did.
-	idMu     sync.Mutex
-	idCache  map[string]int
-	idCacheN int
+	// idMu guards idCache, the memoized ID→index map behind Find, keyed
+	// like the other memos; the first occurrence wins so duplicate IDs
+	// resolve exactly like the linear scan did.
+	idMu       sync.Mutex
+	idCache    map[string]int
+	idCacheN   int
+	idCacheGen uint64
 }
 
 // logStats holds memoized per-field scan results, valid for a specific
-// record count.
+// (generation, record count).
 type logStats struct {
-	n       int // len(Records) the cache was built against
+	n       int    // len(Records) the cache was built against
+	gen     uint64 // l.gen the cache was built against
 	domains map[string][]string
 	ranges  map[string]numericRange
 }
@@ -137,13 +145,14 @@ type numericRange struct {
 	ok       bool
 }
 
-// stats returns the memo for the log's current record count, resetting
-// it when records were added (or a filtered view was grown in place).
+// stats returns the memo for the log's current (generation, record
+// count), resetting it when records were added, edited, or truncated.
 // Callers hold statsMu.
 func (l *Log) stats() *logStats {
-	if l.statsCache == nil || l.statsCache.n != len(l.Records) {
+	if l.statsCache == nil || l.statsCache.n != len(l.Records) || l.statsCache.gen != l.gen {
 		l.statsCache = &logStats{
 			n:       len(l.Records),
+			gen:     l.gen,
 			domains: make(map[string][]string),
 			ranges:  make(map[string]numericRange),
 		}
@@ -163,6 +172,7 @@ func (l *Log) Append(r *Record) error {
 			r.ID, len(r.Values), l.Schema.Len())
 	}
 	l.Records = append(l.Records, r)
+	l.gen++
 	return nil
 }
 
@@ -173,6 +183,40 @@ func (l *Log) MustAppend(r *Record) {
 		panic(err)
 	}
 }
+
+// SetRecord replaces the i'th record after validating its width. Unlike
+// growth, an in-place edit cannot be detected through the record count,
+// so it must go through here (or Invalidate) for the memoized views to
+// notice.
+func (l *Log) SetRecord(i int, r *Record) error {
+	if i < 0 || i >= len(l.Records) {
+		return fmt.Errorf("joblog: set record %d of %d", i, len(l.Records))
+	}
+	if len(r.Values) != l.Schema.Len() {
+		return fmt.Errorf("joblog: record %q has %d values, schema has %d fields",
+			r.ID, len(r.Values), l.Schema.Len())
+	}
+	l.Records[i] = r
+	l.gen++
+	return nil
+}
+
+// Truncate drops every record at index n and beyond. A later Append back
+// to the old length is a different log and invalidates every memo — the
+// generation counter, not the count, carries that fact.
+func (l *Log) Truncate(n int) error {
+	if n < 0 || n > len(l.Records) {
+		return fmt.Errorf("joblog: truncate to %d of %d", n, len(l.Records))
+	}
+	l.Records = l.Records[:n]
+	l.gen++
+	return nil
+}
+
+// Invalidate bumps the generation counter without changing the record
+// list — the escape hatch for callers that mutated a Record's Values in
+// place and need the columnar view, stats and ID memos rebuilt.
+func (l *Log) Invalidate() { l.gen++ }
 
 // Len returns the number of records.
 func (l *Log) Len() int { return len(l.Records) }
@@ -204,7 +248,7 @@ func (l *Log) Find(id string) *Record {
 func (l *Log) FindIndex(id string) (int, bool) {
 	l.idMu.Lock()
 	defer l.idMu.Unlock()
-	if l.idCache == nil || l.idCacheN != len(l.Records) {
+	if l.idCache == nil || l.idCacheN != len(l.Records) || l.idCacheGen != l.gen {
 		idx := make(map[string]int, len(l.Records))
 		for i, r := range l.Records {
 			if _, dup := idx[r.ID]; !dup {
@@ -213,6 +257,7 @@ func (l *Log) FindIndex(id string) (int, bool) {
 		}
 		l.idCache = idx
 		l.idCacheN = len(l.Records)
+		l.idCacheGen = l.gen
 	}
 	i, ok := l.idCache[id]
 	return i, ok

@@ -1,0 +1,566 @@
+package joblog
+
+// The segment store: sealed immutable segments plus a small mutable
+// tail, so the log can grow while queries run against a consistent
+// snapshot.
+//
+// Appends land in the tail; once the tail reaches the seal threshold it
+// is sealed into a segment that never changes again. A sealed segment
+// precomputes everything expensive and keeps it forever:
+//
+//   - its wire form and content hash (HashSlice over the records with a
+//     nil intern table) — the shard layer ships segments as hashed
+//     LogSlices, so a worker that cached a sealed segment's decoded form
+//     never receives its bytes again, no matter how much the log grows;
+//   - its columnar planes, built against the store's shared append-only
+//     intern table so symbol IDs across segments are exactly the IDs a
+//     whole-log fresh build would assign (segments seal in record order,
+//     so first-appearance order is preserved);
+//   - its per-field sorted indexes (memoized lazily on the segment's
+//     view) and attribute statistics (domains, numeric ranges).
+//
+// Snapshot() assembles the current watermark into an ordinary *Log whose
+// memoized views are stitched from the per-segment precomputations
+// instead of rebuilt from scratch: planes are memcpy'd at segment
+// offsets, bitmaps are blitted, domains and ranges merge, and the
+// column sorted index k-way merges the per-segment permutations. The
+// assembled log is byte-identical to a fresh Log holding the same
+// records — pinned by TestStoreSnapshotEquivalence — so every consumer
+// (the explainer, the planners, the baselines) works on snapshots
+// unchanged.
+//
+// Concurrency: every Store method is safe for concurrent use. Snapshots
+// are immutable once built (they own a private intern copy, so tail
+// growth never races a reader) and are memoized per generation, so
+// query-heavy callers pay assembly once per watermark.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// DefaultSealThreshold is the segment size NewStore uses when the caller
+// passes a non-positive threshold. Large enough that per-segment fixed
+// costs (hash, wire form, index memos) amortize; small enough that the
+// mutable tail — the only part whose slice re-ships on every append —
+// stays cheap to ship.
+const DefaultSealThreshold = 2048
+
+// Store is a growable job log: sealed immutable segments plus a mutable
+// tail. Records handed to Append are owned by the store and must not be
+// mutated afterwards — segments are immutable by contract, and their
+// content hashes are computed once at seal time.
+type Store struct {
+	mu     sync.Mutex
+	schema *Schema
+	sealN  int
+	// in is the shared append-only intern table: segments seal in record
+	// order and intern their nominal cells sequentially, so per-segment
+	// symbol planes concatenate to exactly what a whole-log build
+	// assigns. Snapshots copy it (extended with tail cells) so readers
+	// never observe growth.
+	in     *Intern
+	sealed []*segment
+	tail   []*Record
+	// gen is the watermark: one tick per append (and per forced seal),
+	// mirrored into every snapshot taken at that point.
+	gen uint64
+
+	snap    *Snapshot
+	snapGen uint64
+}
+
+// segment is one sealed, immutable run of records.
+type segment struct {
+	start int // global index of recs[0]
+	recs  []*Record
+	wire  WireLog
+	hash  string
+	// cols is the segment's columnar view, planes indexed by local row;
+	// its intern pointer is the store's shared table. SortedIndex memos
+	// accumulate on it and stay warm for the segment's lifetime.
+	cols *Columns
+	// domains[f] is the sorted distinct nominal values of field f (nil
+	// for numeric fields); ranges[f] summarizes field f's numeric cells
+	// (zero value for nominal fields).
+	domains [][]string
+	ranges  []segRange
+}
+
+// segRange summarizes one field's numeric cells within a part so parts
+// merge to exactly what Log.NumericRange's sequential scan produces:
+// that scan seeds min/max from the first numeric cell, so a leading NaN
+// poisons the result while a mid-stream NaN is inert — the merge needs
+// to know whether the part's first numeric cell was NaN, separately from
+// its non-NaN extrema.
+type segRange struct {
+	hasNum       bool // any numeric cell at all
+	firstNaN     bool // the part's first numeric cell was NaN
+	nnOK         bool // any non-NaN numeric cell
+	nnMin, nnMax float64
+}
+
+// NewStore returns an empty store over the schema. sealThreshold is the
+// tail size at which a segment seals; non-positive selects
+// DefaultSealThreshold.
+func NewStore(schema *Schema, sealThreshold int) *Store {
+	if sealThreshold <= 0 {
+		sealThreshold = DefaultSealThreshold
+	}
+	return &Store{schema: schema, sealN: sealThreshold, in: newIntern()}
+}
+
+// Schema returns the store's schema.
+func (s *Store) Schema() *Schema { return s.schema }
+
+// Len returns the number of records (sealed plus tail).
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lenLocked()
+}
+
+func (s *Store) lenLocked() int {
+	n := len(s.tail)
+	if k := len(s.sealed); k > 0 {
+		last := s.sealed[k-1]
+		n += last.start + len(last.recs)
+	}
+	return n
+}
+
+// Gen returns the store's watermark: a monotonic counter ticked by every
+// append. Snapshot results are reproducible per watermark.
+func (s *Store) Gen() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gen
+}
+
+// SealedSegments returns the number of sealed segments.
+func (s *Store) SealedSegments() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sealed)
+}
+
+// TailLen returns the number of records in the mutable tail.
+func (s *Store) TailLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.tail)
+}
+
+// Append adds a record after validating its width against the schema,
+// sealing a new segment when the tail reaches the threshold.
+func (s *Store) Append(r *Record) error {
+	if len(r.Values) != s.schema.Len() {
+		return fmt.Errorf("joblog: record %q has %d values, schema has %d fields",
+			r.ID, len(r.Values), s.schema.Len())
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tail = append(s.tail, r)
+	s.gen++
+	if len(s.tail) >= s.sealN {
+		s.sealLocked()
+	}
+	return nil
+}
+
+// MustAppend is Append for construction code where a width mismatch is a
+// programming error.
+func (s *Store) MustAppend(r *Record) {
+	if err := s.Append(r); err != nil {
+		panic(err)
+	}
+}
+
+// Seal force-seals the current tail into a segment regardless of the
+// threshold (a no-op on an empty tail) — collectors call it at the end
+// of a batch so the whole ingest becomes cache-stable.
+func (s *Store) Seal() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.tail) == 0 {
+		return
+	}
+	s.sealLocked()
+	s.gen++
+}
+
+func (s *Store) sealLocked() {
+	start := s.lenLocked() - len(s.tail)
+	recs := s.tail
+	s.tail = nil
+	segLog := &Log{Schema: s.schema, Records: recs}
+	wire := WireSlice(s.schema, recs)
+	seg := &segment{
+		start: start,
+		recs:  recs,
+		wire:  wire,
+		hash:  HashSlice(wire, nil),
+		cols:  buildColumnsWith(segLog, s.in),
+	}
+	seg.domains, seg.ranges = scanPartStats(s.schema, recs)
+	s.sealed = append(s.sealed, seg)
+}
+
+// SegmentView describes one shippable unit of a snapshot: a contiguous
+// run of records, its global start index, and its content hash (the
+// HashSlice of Records with a nil intern table). Sealed views keep their
+// hash forever across appends; the tail view's hash changes with every
+// append and is the only slice that re-ships.
+type SegmentView struct {
+	Start   int
+	Hash    string
+	Records WireLog
+	Sealed  bool
+}
+
+// Len returns the number of records in the view.
+func (v SegmentView) Len() int { return len(v.Records.Records) }
+
+// Snapshot is an immutable view of the store at one watermark.
+type Snapshot struct {
+	log  *Log
+	segs []SegmentView
+	gen  uint64
+}
+
+// Log returns the snapshot's assembled log. Its columnar view, sorted
+// indexes, and attribute statistics are pre-installed from the
+// per-segment precomputations; it behaves exactly like a fresh Log over
+// the same records.
+func (sn *Snapshot) Log() *Log { return sn.log }
+
+// Segments returns the snapshot's shippable views in record order:
+// every sealed segment, then the tail (if non-empty). Callers must not
+// mutate the result.
+func (sn *Snapshot) Segments() []SegmentView { return sn.segs }
+
+// Gen returns the watermark the snapshot was taken at.
+func (sn *Snapshot) Gen() uint64 { return sn.gen }
+
+// Len returns the number of records in the snapshot.
+func (sn *Snapshot) Len() int { return len(sn.log.Records) }
+
+// Snapshot returns the store's current watermark as an immutable
+// queryable view, memoized per generation: repeated calls between
+// appends return the same snapshot.
+func (s *Store) Snapshot() *Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.snap != nil && s.snapGen == s.gen {
+		return s.snap
+	}
+	s.snap = s.buildSnapshotLocked()
+	s.snapGen = s.gen
+	return s.snap
+}
+
+func (s *Store) buildSnapshotLocked() *Snapshot {
+	n := s.lenLocked()
+	recs := make([]*Record, 0, n)
+	for _, seg := range s.sealed {
+		recs = append(recs, seg.recs...)
+	}
+	tailStart := len(recs)
+	recs = append(recs, s.tail...)
+
+	log := &Log{Schema: s.schema, Records: recs}
+	log.installColumns(s.assembleColumnsLocked(log, tailStart))
+	domains, ranges := s.mergeStatsLocked()
+	log.installStats(domains, ranges)
+
+	views := make([]SegmentView, 0, len(s.sealed)+1)
+	for _, seg := range s.sealed {
+		views = append(views, SegmentView{Start: seg.start, Hash: seg.hash, Records: seg.wire, Sealed: true})
+	}
+	if len(s.tail) > 0 {
+		wire := WireSlice(s.schema, s.tail)
+		views = append(views, SegmentView{Start: tailStart, Hash: HashSlice(wire, nil), Records: wire})
+	}
+	return &Snapshot{log: log, segs: views, gen: s.gen}
+}
+
+// assembleColumnsLocked stitches the snapshot's columnar view: sealed
+// planes are memcpy'd at their segment offsets, sealed bitmaps are
+// blitted, and tail cells are filled directly. The view owns a private
+// copy of the shared intern table extended with the tail's nominal
+// cells in record order — exactly the IDs a fresh whole-log build
+// assigns, and isolated from future intern growth.
+func (s *Store) assembleColumnsLocked(l *Log, tailStart int) *Columns {
+	n := len(l.Records)
+	priv := internFromStrings(s.in.Strings())
+	c := &Columns{log: l, n: n, intern: priv, cols: make([]Col, s.schema.Len())}
+	for f := 0; f < s.schema.Len(); f++ {
+		col := &c.cols[f]
+		col.Kind = s.schema.Field(f).Kind
+		col.Miss = NewBitmap(n)
+		if col.Kind == Numeric {
+			col.Num = make([]float64, n)
+		} else {
+			col.Sym = make([]uint32, n)
+		}
+	}
+	for _, seg := range s.sealed {
+		m := len(seg.recs)
+		for f := range c.cols {
+			dst, src := &c.cols[f], seg.cols.Col(f)
+			if dst.Kind == Numeric {
+				copy(dst.Num[seg.start:seg.start+m], src.Num)
+			} else {
+				copy(dst.Sym[seg.start:seg.start+m], src.Sym)
+			}
+			dst.Miss.BlitFrom(src.Miss, seg.start, m)
+			if src.HasAlien {
+				if dst.alien == nil {
+					dst.alien = NewBitmap(n)
+				}
+				dst.alien.BlitFrom(src.alien, seg.start, m)
+				dst.HasAlien = true
+			}
+		}
+	}
+	for i, r := range s.tail {
+		row := tailStart + i
+		for f := range c.cols {
+			col := &c.cols[f]
+			v := r.Values[f]
+			if v.Kind == Missing {
+				col.Miss.SetBit(row)
+				continue
+			}
+			if v.Kind != col.Kind {
+				if col.alien == nil {
+					col.alien = NewBitmap(n)
+				}
+				col.alien.SetBit(row)
+				col.HasAlien = true
+			}
+			if col.Kind == Numeric {
+				col.Num[row] = v.Num
+			} else {
+				col.Sym[row] = priv.intern(v.Str)
+			}
+		}
+	}
+	// The sorted-index hook merges per-segment permutations instead of
+	// re-sorting the whole plane. It captures an immutable copy of the
+	// segment list — the hook may run long after the store lock is
+	// released, and sealed segments never change.
+	segs := append([]*segment(nil), s.sealed...)
+	c.buildIndex = func(f int) *ColIndex { return mergedIndex(c, segs, tailStart, f) }
+	return c
+}
+
+// mergedIndex builds field f's ColIndex for an assembled view by k-way
+// merging the (memoized) per-segment sorted permutations with a
+// freshly-sorted tail part. Per-segment Perm entries are local rows
+// offset by the segment start; values are compared on the assembled
+// planes (identical to the per-segment planes by construction). The
+// result is element-for-element what buildColIndex produces on the
+// whole view, because both order by (plane value, global row).
+func mergedIndex(c *Columns, segs []*segment, tailStart, f int) *ColIndex {
+	col := c.Col(f)
+	ix := &ColIndex{Min: math.NaN(), Max: math.NaN(), col: col}
+	type part struct {
+		perm []int32
+		off  int32
+	}
+	parts := make([]part, 0, len(segs)+1)
+	for _, seg := range segs {
+		six := seg.cols.SortedIndex(f)
+		ix.NPresent += six.NPresent
+		ix.HasNaN = ix.HasNaN || six.HasNaN
+		if len(six.Perm) > 0 {
+			parts = append(parts, part{six.Perm, int32(seg.start)})
+		}
+	}
+	var tailPerm []int32
+	for i := tailStart; i < c.Len(); i++ {
+		if col.Miss.Get(i) {
+			continue
+		}
+		ix.NPresent++
+		if col.Kind == Numeric && math.IsNaN(col.Num[i]) {
+			ix.HasNaN = true
+			continue
+		}
+		tailPerm = append(tailPerm, int32(i))
+	}
+	less := func(a, b int32) bool {
+		if col.Kind == Numeric {
+			if va, vb := col.Num[a], col.Num[b]; va != vb {
+				return va < vb
+			}
+		} else {
+			if va, vb := col.Sym[a], col.Sym[b]; va != vb {
+				return va < vb
+			}
+		}
+		return a < b
+	}
+	sort.Slice(tailPerm, func(a, b int) bool { return less(tailPerm[a], tailPerm[b]) })
+	if len(tailPerm) > 0 {
+		parts = append(parts, part{tailPerm, 0})
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p.perm)
+	}
+	if total == 0 {
+		// Leave Perm nil, exactly as buildColIndex's append-never-called
+		// path does.
+		return ix
+	}
+	ix.Perm = make([]int32, 0, total)
+	heads := make([]int, len(parts))
+	for len(ix.Perm) < total {
+		best := -1
+		var bestRow int32
+		for p := range parts {
+			if heads[p] == len(parts[p].perm) {
+				continue
+			}
+			row := parts[p].perm[heads[p]] + parts[p].off
+			if best < 0 || less(row, bestRow) {
+				best, bestRow = p, row
+			}
+		}
+		ix.Perm = append(ix.Perm, bestRow)
+		heads[best]++
+	}
+	if col.Kind == Numeric && len(ix.Perm) > 0 {
+		ix.Min = col.Num[ix.Perm[0]]
+		ix.Max = col.Num[ix.Perm[len(ix.Perm)-1]]
+	}
+	return ix
+}
+
+// scanPartStats computes one part's attribute statistics from its boxed
+// records: per-field sorted distinct nominal values and the segRange
+// numeric summary. Boxed scans make alien cells (value kind disagreeing
+// with the schema kind) behave exactly as Log.Domain/NumericRange's own
+// boxed scans do.
+func scanPartStats(schema *Schema, recs []*Record) ([][]string, []segRange) {
+	domains := make([][]string, schema.Len())
+	ranges := make([]segRange, schema.Len())
+	for f := 0; f < schema.Len(); f++ {
+		switch schema.Field(f).Kind {
+		case Nominal:
+			seen := make(map[string]bool)
+			for _, r := range recs {
+				if v := r.Values[f]; v.Kind == Nominal {
+					seen[v.Str] = true
+				}
+			}
+			out := make([]string, 0, len(seen))
+			for s := range seen {
+				out = append(out, s)
+			}
+			sort.Strings(out)
+			domains[f] = out
+		case Numeric:
+			rg := &ranges[f]
+			for _, r := range recs {
+				v := r.Values[f]
+				if v.Kind != Numeric {
+					continue
+				}
+				if !rg.hasNum {
+					rg.hasNum = true
+					rg.firstNaN = math.IsNaN(v.Num)
+				}
+				if math.IsNaN(v.Num) {
+					continue
+				}
+				if !rg.nnOK {
+					rg.nnOK = true
+					rg.nnMin, rg.nnMax = v.Num, v.Num
+					continue
+				}
+				if v.Num < rg.nnMin {
+					rg.nnMin = v.Num
+				}
+				if v.Num > rg.nnMax {
+					rg.nnMax = v.Num
+				}
+			}
+		}
+	}
+	return domains, ranges
+}
+
+// mergeStatsLocked merges per-segment statistics with a tail scan into
+// the whole-snapshot maps installStats expects.
+func (s *Store) mergeStatsLocked() (map[string][]string, map[string]numericRange) {
+	tailDom, tailRng := scanPartStats(s.schema, s.tail)
+	domains := make(map[string][]string)
+	ranges := make(map[string]numericRange)
+	for f := 0; f < s.schema.Len(); f++ {
+		fld := s.schema.Field(f)
+		switch fld.Kind {
+		case Nominal:
+			seen := make(map[string]bool)
+			for _, seg := range s.sealed {
+				for _, v := range seg.domains[f] {
+					seen[v] = true
+				}
+			}
+			for _, v := range tailDom[f] {
+				seen[v] = true
+			}
+			out := make([]string, 0, len(seen))
+			for v := range seen {
+				out = append(out, v)
+			}
+			sort.Strings(out)
+			domains[fld.Name] = out
+		case Numeric:
+			parts := make([]segRange, 0, len(s.sealed)+1)
+			for _, seg := range s.sealed {
+				parts = append(parts, seg.ranges[f])
+			}
+			parts = append(parts, tailRng[f])
+			ranges[fld.Name] = foldRanges(parts)
+		}
+	}
+	return domains, ranges
+}
+
+// foldRanges merges part summaries (in record order) to the exact
+// result of Log.NumericRange's sequential scan: a NaN as the very first
+// numeric cell poisons min and max; otherwise NaNs are inert and the
+// result is the running min/max over non-NaN cells.
+func foldRanges(parts []segRange) numericRange {
+	for _, p := range parts {
+		if !p.hasNum {
+			continue
+		}
+		if p.firstNaN {
+			return numericRange{min: math.NaN(), max: math.NaN(), ok: true}
+		}
+		break
+	}
+	out := numericRange{}
+	for _, p := range parts {
+		if !p.nnOK {
+			continue
+		}
+		if !out.ok {
+			out = numericRange{min: p.nnMin, max: p.nnMax, ok: true}
+			continue
+		}
+		if p.nnMin < out.min {
+			out.min = p.nnMin
+		}
+		if p.nnMax > out.max {
+			out.max = p.nnMax
+		}
+	}
+	return out
+}

@@ -1,0 +1,290 @@
+package joblog
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// segTestSchema exercises every plane shape the snapshot assembler
+// stitches: nominal and numeric fields, alien cells in both directions,
+// missing cells, and a NaN-first numeric field (whose range the merge
+// must poison exactly like the sequential scan).
+func segTestSchema() *Schema {
+	return NewSchema([]Field{
+		{Name: "site", Kind: Nominal},
+		{Name: "x", Kind: Numeric},
+		{Name: "mix", Kind: Numeric}, // receives alien string cells
+		{Name: "tag", Kind: Nominal}, // receives alien numeric cells
+		{Name: "nf", Kind: Numeric},  // first cell is NaN
+	})
+}
+
+func segTestRecords(n int) []*Record {
+	sites := []string{"east", "west", "eu", "apac"}
+	rng := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 { rng ^= rng << 13; rng ^= rng >> 7; rng ^= rng << 17; return rng }
+	recs := make([]*Record, n)
+	for i := 0; i < n; i++ {
+		vals := make([]Value, 5)
+		vals[0] = Str(sites[next()%uint64(len(sites))])
+		switch next() % 5 {
+		case 0:
+			vals[1] = Value{} // missing
+		case 1:
+			vals[1] = Num(math.NaN())
+		default:
+			vals[1] = Num(float64(int64(next()%1000)) - 500)
+		}
+		if next()%4 == 0 {
+			vals[2] = Str("alien-" + sites[next()%2])
+		} else {
+			vals[2] = Num(float64(next() % 50))
+		}
+		if next()%4 == 0 {
+			vals[3] = Num(float64(next() % 9))
+		} else {
+			vals[3] = Str(sites[next()%2])
+		}
+		if i == 0 {
+			vals[4] = Num(math.NaN())
+		} else {
+			vals[4] = Num(float64(next() % 100))
+		}
+		recs[i] = &Record{ID: fmt.Sprintf("r-%03d", i), Values: vals}
+	}
+	return recs
+}
+
+func sameFloat(a, b float64) bool {
+	return a == b || (math.IsNaN(a) && math.IsNaN(b))
+}
+
+func sameFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !sameFloat(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// assertLogEquivalent checks that got behaves exactly like a fresh Log
+// over the same records: columnar planes, intern table, sorted indexes,
+// and attribute statistics.
+func assertLogEquivalent(t *testing.T, got, want *Log) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("Len = %d, want %d", got.Len(), want.Len())
+	}
+	gc, wc := got.Columns(), want.Columns()
+	if !reflect.DeepEqual(gc.Intern().Strings(), wc.Intern().Strings()) {
+		t.Fatalf("intern tables differ:\n got %v\nwant %v", gc.Intern().Strings(), wc.Intern().Strings())
+	}
+	for f := 0; f < want.Schema.Len(); f++ {
+		name := want.Schema.Fields()[f].Name
+		g, w := gc.Col(f), wc.Col(f)
+		if g.Kind != w.Kind || g.HasAlien != w.HasAlien {
+			t.Errorf("%s: kind/alien = %v/%v, want %v/%v", name, g.Kind, g.HasAlien, w.Kind, w.HasAlien)
+		}
+		if !sameFloats(g.Num, w.Num) {
+			t.Errorf("%s: Num planes differ", name)
+		}
+		if !reflect.DeepEqual(g.Sym, w.Sym) {
+			t.Errorf("%s: Sym planes differ\n got %v\nwant %v", name, g.Sym, w.Sym)
+		}
+		for i := 0; i < want.Len(); i++ {
+			if g.Miss.Get(i) != w.Miss.Get(i) {
+				t.Errorf("%s: Miss[%d] = %v, want %v", name, i, g.Miss.Get(i), w.Miss.Get(i))
+			}
+		}
+		gi, wi := gc.SortedIndex(f), wc.SortedIndex(f)
+		if !reflect.DeepEqual(gi.Perm, wi.Perm) {
+			t.Errorf("%s: index Perm differs\n got %v\nwant %v", name, gi.Perm, wi.Perm)
+		}
+		if !sameFloat(gi.Min, wi.Min) || !sameFloat(gi.Max, wi.Max) ||
+			gi.NPresent != wi.NPresent || gi.HasNaN != wi.HasNaN {
+			t.Errorf("%s: index summary = (%v, %v, %d, %v), want (%v, %v, %d, %v)",
+				name, gi.Min, gi.Max, gi.NPresent, gi.HasNaN, wi.Min, wi.Max, wi.NPresent, wi.HasNaN)
+		}
+		if want.Schema.Fields()[f].Kind == Nominal {
+			if !reflect.DeepEqual(got.Domain(name), want.Domain(name)) {
+				t.Errorf("%s: Domain = %v, want %v", name, got.Domain(name), want.Domain(name))
+			}
+		} else {
+			gmin, gmax, gok := got.NumericRange(name)
+			wmin, wmax, wok := want.NumericRange(name)
+			if gok != wok || !sameFloat(gmin, wmin) || !sameFloat(gmax, wmax) {
+				t.Errorf("%s: NumericRange = (%v, %v, %v), want (%v, %v, %v)",
+					name, gmin, gmax, gok, wmin, wmax, wok)
+			}
+		}
+	}
+}
+
+// TestStoreSnapshotEquivalence pins the segmented store's contract: a
+// snapshot's log — its stitched planes, merged indexes and merged
+// statistics — is indistinguishable from a fresh Log over the same
+// records, at every seal threshold and tail length.
+func TestStoreSnapshotEquivalence(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 20, 47} {
+		for _, sealEvery := range []int{1, 3, 7, 64} {
+			for _, forceSeal := range []bool{false, true} {
+				t.Run(fmt.Sprintf("n=%d/seal=%d/force=%v", n, sealEvery, forceSeal), func(t *testing.T) {
+					schema := segTestSchema()
+					recs := segTestRecords(n)
+					st := NewStore(schema, sealEvery)
+					want := NewLog(schema)
+					for _, r := range recs {
+						st.MustAppend(r)
+						want.MustAppend(r)
+					}
+					if forceSeal {
+						st.Seal()
+						if st.TailLen() != 0 {
+							t.Fatalf("TailLen after Seal = %d", st.TailLen())
+						}
+					}
+					snap := st.Snapshot()
+					assertLogEquivalent(t, snap.Log(), want)
+
+					// The views tile the record space contiguously.
+					off := 0
+					for _, v := range snap.Segments() {
+						if v.Start != off {
+							t.Fatalf("segment starts at %d, want %d", v.Start, off)
+						}
+						off += v.Len()
+					}
+					if off != n {
+						t.Fatalf("segments cover %d records, want %d", off, n)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSnapshotStableAcrossAppends pins watermark semantics: a snapshot
+// never changes after it is taken, sealed segments keep their content
+// hashes forever, and only the tail view differs between watermarks.
+func TestSnapshotStableAcrossAppends(t *testing.T) {
+	schema := segTestSchema()
+	recs := segTestRecords(30)
+	st := NewStore(schema, 8)
+	for _, r := range recs[:20] {
+		st.MustAppend(r)
+	}
+	snap1 := st.Snapshot()
+	n1 := snap1.Len()
+	dom1 := snap1.Log().Domain("site")
+	hashes1 := map[string]bool{}
+	for _, v := range snap1.Segments() {
+		if v.Sealed {
+			hashes1[v.Hash] = true
+		}
+	}
+
+	for _, r := range recs[20:] {
+		st.MustAppend(r)
+	}
+	snap2 := st.Snapshot()
+	if snap1.Len() != n1 || snap1.Log().Len() != n1 {
+		t.Fatalf("old snapshot grew: %d, want %d", snap1.Len(), n1)
+	}
+	if got := snap1.Log().Domain("site"); !reflect.DeepEqual(got, dom1) {
+		t.Errorf("old snapshot Domain changed: %v, want %v", got, dom1)
+	}
+	if snap2.Len() != 30 {
+		t.Fatalf("new snapshot Len = %d, want 30", snap2.Len())
+	}
+	for _, v := range snap2.Segments() {
+		if v.Sealed && v.Start < n1 && !hashes1[v.Hash] {
+			// Every sealed segment the first watermark already had must
+			// reappear with an identical hash — that is what keeps
+			// worker caches warm across appends.
+			if v.Start+v.Len() <= n1 {
+				t.Errorf("sealed segment at %d changed hash across appends", v.Start)
+			}
+		}
+	}
+	if snap2.Gen() == snap1.Gen() {
+		t.Error("watermark did not advance across appends")
+	}
+	// Snapshot is memoized per watermark.
+	if st.Snapshot() != snap2 {
+		t.Error("repeated Snapshot at one watermark returned a new value")
+	}
+}
+
+func TestStoreAppendValidates(t *testing.T) {
+	st := NewStore(segTestSchema(), 4)
+	if err := st.Append(&Record{ID: "short", Values: []Value{Str("x")}}); err == nil {
+		t.Error("Append with wrong width succeeded")
+	}
+	if st.Len() != 0 {
+		t.Errorf("Len after rejected Append = %d", st.Len())
+	}
+}
+
+// TestStoreConcurrentAppendWhileQuery drives appends concurrently with
+// snapshot queries — the shape the -race CI leg exercises. Each reader
+// works on its own consistent watermark; results only ever grow.
+func TestStoreConcurrentAppendWhileQuery(t *testing.T) {
+	schema := segTestSchema()
+	recs := segTestRecords(200)
+	st := NewStore(schema, 16)
+	for _, r := range recs[:8] {
+		st.MustAppend(r)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, r := range recs[8:] {
+			st.MustAppend(r)
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			prev := 0
+			for i := 0; i < 50; i++ {
+				snap := st.Snapshot()
+				l := snap.Log()
+				if l.Len() < prev {
+					t.Errorf("snapshot shrank: %d after %d", l.Len(), prev)
+					return
+				}
+				prev = l.Len()
+				cols := l.Columns()
+				for f := 0; f < schema.Len(); f++ {
+					cols.SortedIndex(f)
+				}
+				l.Domain("site")
+				l.NumericRange("x")
+				if want := snap.Len(); l.Len() != want {
+					t.Errorf("snapshot log Len = %d, want %d", l.Len(), want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	snap := st.Snapshot()
+	if snap.Len() != 200 {
+		t.Fatalf("final Len = %d, want 200", snap.Len())
+	}
+	want := NewLog(schema)
+	for _, r := range recs {
+		want.MustAppend(r)
+	}
+	assertLogEquivalent(t, snap.Log(), want)
+}

@@ -17,8 +17,10 @@ package shard
 // accessed serially by it — no locking.
 
 import (
+	"log"
 	"os"
 	"strconv"
+	"strings"
 
 	"perfxplain/internal/core"
 )
@@ -33,13 +35,26 @@ var DefaultCacheBytes = int64(256 << 20)
 // in worker processes.
 const CacheBytesEnv = "PXQL_SHARD_CACHE_BYTES"
 
+// cacheBudget resolves the worker's cache budget from the environment.
+// A malformed or negative value used to be swallowed silently (falling
+// back for parse errors, and a negative budget behaving like 0); both
+// now warn once at worker startup and fall back to the default — a
+// typo'd override should be loud, not a mystery slowdown.
 func cacheBudget() int64 {
-	if v := os.Getenv(CacheBytesEnv); v != "" {
-		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
-			return n
-		}
+	v := strings.TrimSpace(os.Getenv(CacheBytesEnv))
+	if v == "" {
+		return DefaultCacheBytes
 	}
-	return DefaultCacheBytes
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		log.Printf("shard: ignoring malformed %s=%q: %v", CacheBytesEnv, v, err)
+		return DefaultCacheBytes
+	}
+	if n < 0 {
+		log.Printf("shard: ignoring negative %s=%d", CacheBytesEnv, n)
+		return DefaultCacheBytes
+	}
+	return n
 }
 
 type cacheEntry struct {
@@ -75,9 +90,12 @@ func (c *sliceCache) get(hash string) *core.SliceData {
 // put caches a decoded slice, evicting least-recently-used entries
 // until the budget holds. A slice bigger than the whole budget is not
 // cached at all — the coordinator's miss-retry path keeps re-shipping
-// it, trading bytes for bounded worker memory.
+// it, trading bytes for bounded worker memory. A non-positive budget
+// disables the cache entirely: the old `size > budget` test alone let
+// zero-size slices (an empty shard's slice estimates to 0 bytes) slip
+// into a "disabled" cache and be served from it.
 func (c *sliceCache) put(hash string, data *core.SliceData, size int64) {
-	if hash == "" || size > c.budget {
+	if c.budget <= 0 || hash == "" || size > c.budget {
 		return
 	}
 	if old := c.entries[hash]; old != nil {
@@ -104,9 +122,16 @@ func (c *sliceCache) put(hash string, data *core.SliceData, size int64) {
 	c.used += size
 }
 
-// workerState is the per-worker-loop protocol state: the slice cache.
+// workerState is the per-worker-loop protocol state: the slice cache
+// plus a one-entry memo of the last combined segment view. Segmented
+// specs at one watermark all carry the same slice list, so every task
+// after the first reuses the concatenated log and columnar planes
+// instead of rebuilding them — the memo is keyed on the joined segment
+// hashes and rolls forward naturally when the watermark advances.
 type workerState struct {
-	cache *sliceCache
+	cache   *sliceCache
+	combKey string
+	comb    *core.SliceData
 }
 
 func newWorkerState() *workerState {
@@ -129,4 +154,30 @@ func (ws *workerState) resolve(s *core.LogSlice) (data *core.SliceData, miss boo
 	}
 	ws.cache.put(s.Hash, d, int64(s.SizeEstimate()))
 	return d, false, nil
+}
+
+// combine concatenates the decoded segments of one watermark snapshot
+// into a single combined view, memoizing on the joined segment hashes.
+// Unhashed slices (nothing content-addresses them) combine without
+// memoization.
+func (ws *workerState) combine(ss []*core.LogSlice, datas []*core.SliceData) (*core.SliceData, error) {
+	key := ""
+	for _, s := range ss {
+		if s.Hash == "" {
+			key = ""
+			break
+		}
+		key += s.Hash
+	}
+	if key != "" && key == ws.combKey && ws.comb != nil {
+		return ws.comb, nil
+	}
+	d, err := core.CombineSlices(datas)
+	if err != nil {
+		return nil, err
+	}
+	if key != "" {
+		ws.combKey, ws.comb = key, d
+	}
+	return d, nil
 }

@@ -1,0 +1,74 @@
+package shard
+
+import (
+	"testing"
+
+	"perfxplain/internal/core"
+)
+
+// Regression tests for the two cache-config bugs this package shipped
+// with: a zero budget that still cached (and served) zero-size slices,
+// and PXQL_SHARD_CACHE_BYTES typos silently falling back.
+
+func TestSliceCacheZeroBudgetCachesNothing(t *testing.T) {
+	c := newSliceCache(0)
+	d := &core.SliceData{}
+	// The regression shape: an empty shard's slice estimates to 0 bytes,
+	// so the old `size > budget` guard alone admitted it.
+	c.put("empty-slice", d, 0)
+	if got := c.get("empty-slice"); got != nil {
+		t.Error("zero-budget cache served a zero-size slice")
+	}
+	c.put("real-slice", d, 100)
+	if got := c.get("real-slice"); got != nil {
+		t.Error("zero-budget cache served a positive-size slice")
+	}
+	if len(c.entries) != 0 || c.used != 0 {
+		t.Errorf("zero-budget cache holds %d entries, %d bytes", len(c.entries), c.used)
+	}
+}
+
+func TestSliceCachePutBounds(t *testing.T) {
+	c := newSliceCache(100)
+	d := &core.SliceData{}
+	c.put("", d, 10)
+	if len(c.entries) != 0 {
+		t.Error("cached a slice with no hash")
+	}
+	c.put("too-big", d, 101)
+	if c.get("too-big") != nil {
+		t.Error("cached a slice bigger than the whole budget")
+	}
+	c.put("a", d, 60)
+	c.put("b", d, 60) // must evict a
+	if c.get("a") != nil {
+		t.Error("eviction kept the older entry past the budget")
+	}
+	if c.get("b") == nil {
+		t.Error("newest entry evicted")
+	}
+	if c.used != 60 {
+		t.Errorf("used = %d, want 60", c.used)
+	}
+}
+
+func TestCacheBudgetEnv(t *testing.T) {
+	cases := []struct {
+		val  string
+		want int64
+	}{
+		{"", DefaultCacheBytes},      // unset: default
+		{"1024", 1024},               // plain override
+		{"  2048\t", 2048},           // whitespace-tolerant
+		{"0", 0},                     // explicit disable
+		{"256MB", DefaultCacheBytes}, // malformed: warn + default
+		{"not-a-number", DefaultCacheBytes},
+		{"-1", DefaultCacheBytes}, // negative: warn + default
+	}
+	for _, tc := range cases {
+		t.Setenv(CacheBytesEnv, tc.val)
+		if got := cacheBudget(); got != tc.want {
+			t.Errorf("cacheBudget() with %s=%q = %d, want %d", CacheBytesEnv, tc.val, got, tc.want)
+		}
+	}
+}

@@ -170,33 +170,50 @@ func (w *workerProc) exchange(p *Pool, t *Task) (*Result, error) {
 }
 
 // roundTrip sends one task and reads its result, routing the task's
-// content-addressed slice through the per-connection cache protocol: a
-// hash the worker has already received ships as a reference frame, and
-// a worker-side cache miss (eviction) triggers one full re-ship. A
-// transport failure is fatal for the worker; the caller discards it.
+// content-addressed slices through the per-connection cache protocol:
+// each hash the worker has already received ships as a reference frame
+// (a segmented task mixes references with fresh payloads in one frame),
+// and a worker-side cache miss on any reference (eviction) triggers one
+// full re-ship of the whole frame. A transport failure is fatal for the
+// worker; the caller discards it.
 func (w *workerProc) roundTrip(p *Pool, t *Task) (*Result, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	slice := t.slice()
-	if slice == nil || slice.Hash == "" || p.DisableSliceCache {
+	ss := t.slices()
+	hashed := false
+	for _, s := range ss {
+		if s.Hash != "" {
+			hashed = true
+			break
+		}
+	}
+	if !hashed || p.DisableSliceCache {
 		return w.exchange(p, t)
 	}
-	if size, shipped := w.sent[slice.Hash]; shipped {
-		res, err := w.exchange(p, t.stripped())
+	if st, refd := t.strippedWith(w.sent); len(refd) > 0 {
+		res, err := w.exchange(p, st)
 		if err != nil {
 			return nil, err
 		}
 		if !res.CacheMiss {
-			p.stats.sliceHit(size)
-			if w.prefetched[slice.Hash] {
-				delete(w.prefetched, slice.Hash)
-				p.stats.prefetchHit()
+			for _, h := range refd {
+				p.stats.sliceHit(w.sent[h])
+				if w.prefetched[h] {
+					delete(w.prefetched, h)
+					p.stats.prefetchHit()
+				}
 			}
+			w.markShipped(p, ss)
 			return res, nil
 		}
-		// Evicted worker-side: fall through to a full re-ship (and the
-		// prefetched payload, if that is what was evicted, never paid off).
-		delete(w.prefetched, slice.Hash)
+		// At least one reference was evicted worker-side (the miss result
+		// does not say which): forget every reference in the frame and fall
+		// through to a full re-ship. Prefetched payloads among them never
+		// paid off.
+		for _, h := range refd {
+			delete(w.sent, h)
+			delete(w.prefetched, h)
+		}
 	}
 	res, err := w.exchange(p, t)
 	if err != nil {
@@ -206,9 +223,24 @@ func (w *workerProc) roundTrip(p *Pool, t *Task) (*Result, error) {
 		return nil, &TransportError{Op: "recv", Peer: w.tr.Peer(), Diag: w.tr.Diag(),
 			Err: errors.New("worker reported a cache miss for a full payload frame")}
 	}
-	p.stats.sliceMiss()
-	w.sent[slice.Hash] = slice.SizeEstimate()
+	w.markShipped(p, ss)
 	return res, nil
+}
+
+// markShipped records every hashed payload slice of a successful frame
+// as held by the worker, counting a cache miss for each newly shipped
+// hash. Callers hold w.mu.
+func (w *workerProc) markShipped(p *Pool, ss []*core.LogSlice) {
+	for _, s := range ss {
+		if s.Hash == "" || s.Ref {
+			continue
+		}
+		if _, shipped := w.sent[s.Hash]; shipped {
+			continue
+		}
+		p.stats.sliceMiss()
+		w.sent[s.Hash] = s.SizeEstimate()
+	}
 }
 
 // PrefetchSlices ships content-addressed slice payloads to every pooled

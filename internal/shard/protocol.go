@@ -41,9 +41,13 @@ import (
 // EnumGroup.Budget).
 // Version 4: Wilson-adaptive enumeration rounds (EnumSpec.Round) and
 // pipelined slice prefetch (Task.Prefetch).
-const Version = 4
+// Version 5: segmented multi-slice specs (EnumSpec.Slices,
+// EvalSpec.Slices) — a spec may carry the per-segment hashed slices of
+// a watermark snapshot, each independently cacheable and strippable to
+// a reference.
+const Version = 5
 
-//pxql:wirehash a8a230bd3147c114 v=4
+//pxql:wirehash a8a230bd3147c114 v=5
 
 // Task is one request frame: exactly one spec pointer is set — or
 // Prefetch alone, a payload-only frame that warms the worker's
@@ -63,41 +67,93 @@ type Task struct {
 	Prefetch *core.LogSlice
 }
 
-// slice returns the task's content-addressed log slice, nil for specs
-// that ship payloads inline (enumeration slices are disjoint per spec —
+// slices returns the task's content-addressed log slices, in order:
+// the per-segment slices of a segmented enum/eval spec, the single
+// sample slice of mat/score/eval specs, nil for specs that ship
+// payloads inline (static enumeration slices are disjoint per spec —
 // nothing to cache).
-func (t *Task) slice() *core.LogSlice {
+func (t *Task) slices() []*core.LogSlice {
+	many := func(ss []core.LogSlice) []*core.LogSlice {
+		out := make([]*core.LogSlice, len(ss))
+		for i := range ss {
+			out[i] = &ss[i]
+		}
+		return out
+	}
 	switch {
+	case t.Enum != nil:
+		if len(t.Enum.Slices) > 0 {
+			return many(t.Enum.Slices)
+		}
 	case t.Mat != nil:
-		return &t.Mat.Slice
+		return []*core.LogSlice{&t.Mat.Slice}
 	case t.Score != nil:
-		return &t.Score.Slice
+		return []*core.LogSlice{&t.Score.Slice}
 	case t.Eval != nil:
-		return &t.Eval.Slice
+		if len(t.Eval.Slices) > 0 {
+			return many(t.Eval.Slices)
+		}
+		return []*core.LogSlice{&t.Eval.Slice}
 	}
 	return nil
 }
 
-// stripped returns a copy of the task whose slice payload is replaced
-// by its hash reference — the frame sent to a worker that already holds
-// the payload.
-func (t *Task) stripped() *Task {
+// combined reports whether the task's slices are segments of one log —
+// the worker concatenates their decoded forms into a single view —
+// rather than one standalone sample slice.
+func (t *Task) combined() bool {
+	return (t.Enum != nil && len(t.Enum.Slices) > 0) ||
+		(t.Eval != nil && len(t.Eval.Slices) > 0)
+}
+
+// strippedWith returns a copy of the task in which every slice whose
+// hash is in known is replaced by its hash reference — the frame sent
+// to a worker that already holds those payloads — plus the stripped
+// hashes in slice order. Slices not in known (e.g. a fresh tail
+// segment) keep their payloads: one frame can mix references and
+// payloads.
+func (t *Task) strippedWith(known map[string]int) (*Task, []string) {
+	var refd []string
+	strip := func(s core.LogSlice) core.LogSlice {
+		if s.Hash != "" && !s.Ref {
+			if _, ok := known[s.Hash]; ok {
+				refd = append(refd, s.Hash)
+				return s.AsRef()
+			}
+		}
+		return s
+	}
+	stripAll := func(ss []core.LogSlice) []core.LogSlice {
+		out := make([]core.LogSlice, len(ss))
+		for i, s := range ss {
+			out[i] = strip(s)
+		}
+		return out
+	}
 	c := *t
 	switch {
+	case t.Enum != nil && len(t.Enum.Slices) > 0:
+		e := *t.Enum
+		e.Slices = stripAll(e.Slices)
+		c.Enum = &e
 	case t.Mat != nil:
 		m := *t.Mat
-		m.Slice = m.Slice.AsRef()
+		m.Slice = strip(m.Slice)
 		c.Mat = &m
 	case t.Score != nil:
 		s := *t.Score
-		s.Slice = s.Slice.AsRef()
+		s.Slice = strip(s.Slice)
 		c.Score = &s
 	case t.Eval != nil:
 		e := *t.Eval
-		e.Slice = e.Slice.AsRef()
+		if len(e.Slices) > 0 {
+			e.Slices = stripAll(e.Slices)
+		} else {
+			e.Slice = strip(e.Slice)
+		}
 		c.Eval = &e
 	}
-	return &c
+	return &c, refd
 }
 
 // Result is one response frame, answering the Task with the same Seq.

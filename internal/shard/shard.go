@@ -133,22 +133,43 @@ func (ws *workerState) dispatch(t *Task) *Result {
 		return res
 	}
 	var data *core.SliceData
-	if s := t.slice(); s != nil {
-		var miss bool
-		var err error
-		data, miss, err = ws.resolve(s)
-		if miss {
-			res.CacheMiss = true
-			return res
+	if ss := t.slices(); len(ss) > 0 {
+		datas := make([]*core.SliceData, len(ss))
+		for i, s := range ss {
+			d, miss, err := ws.resolve(s)
+			if miss {
+				// Any evicted segment fails the whole frame: the
+				// coordinator clears its shipped marks for every
+				// reference in it and re-ships in full.
+				res.CacheMiss = true
+				return res
+			}
+			if err != nil {
+				res.Err = err.Error()
+				return res
+			}
+			datas[i] = d
 		}
-		if err != nil {
-			res.Err = err.Error()
-			return res
+		if t.combined() {
+			d, err := ws.combine(ss, datas)
+			if err != nil {
+				res.Err = err.Error()
+				return res
+			}
+			data = d
+		} else {
+			data = datas[0]
 		}
 	}
 	switch {
 	case t.Enum != nil:
-		r, err := t.Enum.Run()
+		var r *core.EnumResult
+		var err error
+		if data != nil {
+			r, err = t.Enum.RunWith(data)
+		} else {
+			r, err = t.Enum.Run()
+		}
 		if err != nil {
 			res.Err = err.Error()
 		} else {

@@ -61,7 +61,7 @@ func TestMotivatingScenario(t *testing.T) {
 			}
 		}
 	}
-	jobs := &Log{logRaw}
+	jobs := &Log{l: logRaw}
 
 	// The surprise must exist in the data: some job processed several
 	// times the data of another in the same time, because large blocks on

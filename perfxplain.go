@@ -48,6 +48,25 @@ import (
 // averages) and duration.
 type Log struct {
 	l *joblog.Log
+	// segs is set on logs obtained from Store.Snapshot: the watermark's
+	// segment views, which explainers and evaluations use to plan shards
+	// along segment boundaries and ship per-segment hashed slices. Nil
+	// for flat logs (CSV/JSON reads, Collect); results are identical
+	// either way.
+	segs []joblog.SegmentView
+}
+
+// layout resolves the log's segment views into a shard-planning layout;
+// nil for flat logs (the planners then cut the log statically).
+func (l *Log) layout() *core.SegmentLayout {
+	if len(l.segs) == 0 {
+		return nil
+	}
+	lay, err := core.NewSegmentLayout(l.segs)
+	if err != nil {
+		return nil
+	}
+	return lay
 }
 
 // Len returns the number of logged executions.
@@ -89,7 +108,7 @@ func (l *Log) Feature(id, feature string) (value string, ok bool) {
 // Filter returns a new log holding the records for which keep returns
 // true; keep receives the record's ID.
 func (l *Log) Filter(keep func(id string) bool) *Log {
-	return &Log{l.l.Filter(func(r *joblog.Record) bool { return keep(r.ID) })}
+	return &Log{l: l.l.Filter(func(r *joblog.Record) bool { return keep(r.ID) })}
 }
 
 // WriteCSV writes the log in the self-describing CSV format.
@@ -104,7 +123,7 @@ func ReadLogCSV(r io.Reader) (*Log, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Log{l}, nil
+	return &Log{l: l}, nil
 }
 
 // ReadLogJSON reads a log written by WriteJSON.
@@ -113,7 +132,7 @@ func ReadLogJSON(r io.Reader) (*Log, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Log{l}, nil
+	return &Log{l: l}, nil
 }
 
 // SweepOptions configures Collect.
@@ -127,6 +146,9 @@ type SweepOptions struct {
 	// (<= 0 means all cores). The collected log is byte-identical at
 	// every setting.
 	Parallelism int
+	// SealEvery is the segment-seal threshold used by CollectStream
+	// (non-positive selects the library default). Collect ignores it.
+	SealEvery int
 }
 
 // Collect executes the paper's parameter sweep on the simulated cluster
@@ -141,7 +163,76 @@ func Collect(opt SweepOptions) (jobs, tasks *Log, err error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return &Log{res.Jobs}, &Log{res.Tasks}, nil
+	return &Log{l: res.Jobs}, &Log{l: res.Tasks}, nil
+}
+
+// CollectStream is Collect in tailing mode: grid cells stream into
+// segment stores as they complete in grid order, so queries can run
+// against a watermark snapshot while the rest of the sweep is still
+// simulating. The stores' snapshots are byte-identical to Collect's
+// logs for the same options.
+func CollectStream(opt SweepOptions) (jobs, tasks *Store, err error) {
+	sweep := collect.DefaultSweep(opt.Seed)
+	if opt.Small {
+		sweep = collect.SmallSweep(opt.Seed)
+	}
+	sweep.Parallelism = opt.Parallelism
+	res, err := sweep.CollectStream(opt.SealEvery)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Store{res.Jobs}, &Store{res.Tasks}, nil
+}
+
+// Store is a growable execution log: sealed immutable segments plus a
+// small mutable tail. Appends never invalidate what is already sealed —
+// a sealed segment keeps its content hash, columnar planes, sorted
+// indexes and statistics forever, so explainers over successive
+// snapshots re-ship only the tail to shard workers while the sealed
+// segments stay cached worker-side. Every method is safe for concurrent
+// use; queries run against Snapshot(), a consistent watermark that
+// later appends never mutate.
+type Store struct {
+	s *joblog.Store
+}
+
+// NewStore returns an empty store with the same schema as like.
+// sealEvery is the tail size at which a segment seals (non-positive
+// selects the library default).
+func NewStore(like *Log, sealEvery int) *Store {
+	return &Store{joblog.NewStore(like.l.Schema, sealEvery)}
+}
+
+// Ingest appends every record of l to the store, in log order.
+func (s *Store) Ingest(l *Log) error {
+	for _, r := range l.l.Records {
+		if err := s.s.Append(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Seal forces the current tail into a sealed segment (a no-op on an
+// empty tail). Appends normally seal automatically at the threshold;
+// explicit sealing marks a natural boundary — the end of a batch —
+// so the next snapshot ships no mutable tail at all.
+func (s *Store) Seal() { s.s.Seal() }
+
+// Len returns the number of records (sealed plus tail).
+func (s *Store) Len() int { return s.s.Len() }
+
+// SealedSegments returns the number of sealed segments.
+func (s *Store) SealedSegments() int { return s.s.SealedSegments() }
+
+// Snapshot returns the store's current contents as a Log: a consistent
+// watermark that later appends never change. The snapshot carries its
+// segment views, so explainers and evaluations built over it plan
+// shards along segment boundaries and ship per-segment hashed slices —
+// explanations are byte-identical to the same records in a flat log.
+func (s *Store) Snapshot() *Log {
+	snap := s.s.Snapshot()
+	return &Log{l: snap.Log(), segs: snap.Segments()}
 }
 
 // LogsFromHistory parses Hadoop-style job-history streams (as written by
@@ -167,7 +258,7 @@ func LogsFromHistory(readers ...io.Reader) (jobs, tasks *Log, err error) {
 			}
 		}
 	}
-	return &Log{jl}, &Log{tl}, nil
+	return &Log{l: jl}, &Log{l: tl}, nil
 }
 
 // Query is a parsed PXQL query.
@@ -453,12 +544,16 @@ type Explainer struct {
 	pool *shard.Pool // owned; nil for in-process shards and shared pools
 }
 
-// NewExplainer builds an explainer over a job or task log.
+// NewExplainer builds an explainer over a job or task log. A log
+// obtained from Store.Snapshot carries its segment views: the explainer
+// then plans shards along segment boundaries and ships per-segment
+// hashed slices, so re-explaining after appends re-ships only the tail.
 func NewExplainer(log *Log, opt Options) (*Explainer, error) {
 	cfg, pool, err := opt.coreConfig()
 	if err != nil {
 		return nil, err
 	}
+	cfg.Layout = log.layout()
 	ex, err := core.NewExplainer(log.l, cfg)
 	if err != nil {
 		return nil, err
@@ -680,7 +775,7 @@ func Evaluate(log *Log, q *Query, x *Explanation, opt Options) (Metrics, error) 
 	var err error
 	switch {
 	case opt.Shards > 0 && opt.SharedPool != nil:
-		m, err = core.EvaluateExplanationSharded(log.l, features.Level3, q.q, x.x, maxPairs, opt.Seed, opt.Shards, opt.SharedPool.p)
+		m, err = core.EvaluateExplanationShardedOver(log.layout(), log.l, features.Level3, q.q, x.x, maxPairs, opt.Seed, opt.Shards, opt.SharedPool.p)
 	case opt.Shards > 0 && (len(opt.ShardAddrs) > 0 || opt.ShardWorkers > 0):
 		// Shard worker config must never be silently ignored — but a
 		// one-shot Evaluate dialing and tearing down a fleet per call
@@ -695,9 +790,9 @@ func Evaluate(log *Log, q *Query, x *Explanation, opt Options) (Metrics, error) 
 			return Metrics{}, perr
 		}
 		defer pool.Close()
-		m, err = core.EvaluateExplanationSharded(log.l, features.Level3, q.q, x.x, maxPairs, opt.Seed, opt.Shards, pool.p)
+		m, err = core.EvaluateExplanationShardedOver(log.layout(), log.l, features.Level3, q.q, x.x, maxPairs, opt.Seed, opt.Shards, pool.p)
 	case opt.Shards > 0:
-		m, err = core.EvaluateExplanationSharded(log.l, features.Level3, q.q, x.x, maxPairs, opt.Seed, opt.Shards,
+		m, err = core.EvaluateExplanationShardedOver(log.layout(), log.l, features.Level3, q.q, x.x, maxPairs, opt.Seed, opt.Shards,
 			shard.InProc{Workers: opt.Parallelism})
 	default:
 		m, err = core.EvaluateExplanationP(log.l, features.Level3, q.q, x.x, maxPairs, opt.Seed, opt.Parallelism)
@@ -721,7 +816,7 @@ func (e *Explainer) Evaluate(log *Log, q *Query, x *Explanation) (Metrics, error
 	var m core.Metrics
 	var err error
 	if e.cfg.Runner != nil {
-		m, err = core.EvaluateExplanationSharded(log.l, features.Level3, q.q, x.x,
+		m, err = core.EvaluateExplanationShardedOver(log.layout(), log.l, features.Level3, q.q, x.x,
 			maxPairs, e.cfg.Seed, e.cfg.Shards, e.cfg.Runner)
 	} else {
 		m, err = core.EvaluateExplanationP(log.l, features.Level3, q.q, x.x,
