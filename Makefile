@@ -1,7 +1,8 @@
 # Build, test and benchmark entry points. The bench target runs every
-# benchmark gate (columnar, pushdown, subq, seek, shard, remote) via
-# `pxqlexperiments -bench-suite`, writing the BENCH_*.json artifacts at
-# the repo root — the same artifacts CI gates on.
+# benchmark gate (columnar, pushdown, subq, seek, shard, remote,
+# segment, serve) via `pxqlexperiments -bench-suite`, writing the
+# BENCH_*.json artifacts at the repo root — the same artifacts CI
+# gates on.
 
 GO ?= go
 

@@ -246,15 +246,7 @@ func run(o cliOpts) error {
 		return fmt.Errorf("unknown technique %q", technique)
 	}
 
-	fmt.Println("query:")
-	fmt.Println(indent(q.String()))
-	fmt.Println("explanation:")
-	fmt.Println(indent(x.String()))
-	fmt.Printf("training: precision %.3f, generality %.3f, relevance %.3f\n",
-		x.TrainPrecision(), x.TrainGenerality(), x.TrainRelevance())
-	if lo, hi, ok := x.TrainRelevanceBounds(); ok {
-		fmt.Printf("          relevance 95%% CI [%.3f, %.3f]\n", lo, hi)
-	}
+	fmt.Print(perfxplain.RenderReport(q, x))
 
 	if evalPath != "" {
 		evalLog, err := readLog(evalPath)
@@ -309,8 +301,4 @@ func querySource(querySrc, queryFile string) (string, error) {
 		}
 		return string(b), nil
 	}
-}
-
-func indent(s string) string {
-	return "  " + strings.ReplaceAll(s, "\n", "\n  ")
 }

@@ -41,7 +41,7 @@ func main() {
 	shardRemote := flag.String("shard-remote", "", "execute shards on remote socket workers at these comma-separated host:port addresses (requires -shards and a token)")
 	shardToken := flag.String("shard-token", "", "shared auth token for remote shard workers (or set PXQL_SHARD_TOKEN)")
 	verbose := flag.Bool("verbose", false, "print shard-runtime counters (frames, bytes shipped, slice-cache hits/misses) to stderr after each experiment run")
-	benchSuite := flag.Bool("bench-suite", false, "run every benchmark gate (columnar, pushdown, subq, seek, shard, remote, segment), write BENCH_*.json at the current directory, and exit; run from the repo root")
+	benchSuite := flag.Bool("bench-suite", false, "run every benchmark gate (columnar, pushdown, subq, seek, shard, remote, segment, serve), write BENCH_*.json at the current directory, and exit; run from the repo root")
 	flag.Parse()
 
 	if *benchSuite {
@@ -238,6 +238,7 @@ var benchGates = []struct {
 	{"BENCH_SHARD_JSON", "BENCH_shard.json", "TestBenchShardJSON", "./internal/shard"},
 	{"BENCH_REMOTE_JSON", "BENCH_remote.json", "TestBenchRemoteJSON", "./internal/shard"},
 	{"BENCH_SEGMENT_JSON", "BENCH_segment.json", "TestBenchSegmentJSON", "./internal/shard"},
+	{"BENCH_SERVE_JSON", "BENCH_serve.json", "TestBenchServeJSON", "./internal/serve"},
 }
 
 // runBenchSuite executes every benchmark gate through `go test`,

@@ -22,6 +22,8 @@ package core
 // is the output: no cross-round merging, no double counting.
 
 import (
+	"context"
+
 	"perfxplain/internal/pxql"
 	"perfxplain/internal/stats"
 )
@@ -31,17 +33,17 @@ import (
 // over its counts, then the final round whose pair set is the output.
 // Both rounds share the seed — their draw sets nest — and route through
 // the shard runner when one is configured.
-func (e *Explainer) enumerateAdaptive(q *pxql.Query, despite pxql.Predicate, seed uint64) (*pairSet, error) {
+func (e *Explainer) enumerateAdaptive(ctx context.Context, q *pxql.Query, despite pxql.Predicate, seed uint64) (*pairSet, error) {
 	// The same group list every stratified planner derives (pruned, never
 	// seek-filtered — draws key on group identity; see seek.go).
 	groups, _ := blockedGroupsOpt(e.log, despite, 0, true, false)
 	pilotBs := stratifyBudgets(groups, pilotBudget(e.cfg.SampleBudget, e.cfg.SamplePilot))
-	pilot, err := e.runStratifiedRound(q, despite, seed, groups, pilotBs, RoundPilot)
+	pilot, err := e.runStratifiedRound(ctx, q, despite, seed, groups, pilotBs, RoundPilot)
 	if err != nil {
 		return nil, err
 	}
 	finalBs := adaptiveBudgets(groups, pilotBs, pilot, e.cfg.SampleBudget)
-	return e.runStratifiedRound(q, despite, seed, groups, finalBs, RoundFinal)
+	return e.runStratifiedRound(ctx, q, despite, seed, groups, finalBs, RoundFinal)
 }
 
 // runStratifiedRound executes one stratified enumeration round under
@@ -49,9 +51,14 @@ func (e *Explainer) enumerateAdaptive(q *pxql.Query, despite pxql.Predicate, see
 // budgets is parallel to groups, which must equal the blocked group
 // list of (log, despite) — both paths re-derive or reuse exactly that
 // list, so the walks agree pair for pair.
-func (e *Explainer) runStratifiedRound(q *pxql.Query, despite pxql.Predicate, seed uint64,
+func (e *Explainer) runStratifiedRound(ctx context.Context, q *pxql.Query, despite pxql.Predicate, seed uint64,
 	groups [][]int, budgets []int, round int) (*pairSet, error) {
 
+	// Each stratified round is a cancellation checkpoint: the pilot and
+	// final rounds are the two bounded units of adaptive enumeration.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if e.cfg.Runner == nil {
 		return enumerateRelatedOpt(e.log, e.d, q, despite, seed, e.cfg.Parallelism,
 			enumOpts{stratified: true, budgets: budgets}), nil

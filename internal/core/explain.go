@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -297,16 +298,36 @@ func (e *Explainer) bind(q *pxql.Query) (a, b *joblog.Record, err error) {
 // Explain generates the because clause for the query, using the user's
 // despite clause as-is (the paper's default mode).
 func (e *Explainer) Explain(q *pxql.Query) (*Explanation, error) {
-	return e.explain(q, false)
+	return e.explain(context.Background(), q, false)
+}
+
+// ExplainCtx is Explain with a cancellation context: the pipeline
+// checks ctx between its stages and at every growth round, returning
+// ctx.Err() once it is done. Cancellation never perturbs a completed
+// result — an explanation returned without error is byte-identical to
+// an uncancelled run. The context carries cancellation only; it is
+// never consulted for values or deadlines directly, so the
+// deterministic-output contract is untouched.
+func (e *Explainer) ExplainCtx(ctx context.Context, q *pxql.Query) (*Explanation, error) {
+	return e.explain(ctx, q, false)
 }
 
 // ExplainWithDespite first generates a despite extension des' (Section
 // 6.4), then generates the because clause in the context des ∧ des'.
 func (e *Explainer) ExplainWithDespite(q *pxql.Query) (*Explanation, error) {
-	return e.explain(q, true)
+	return e.explain(context.Background(), q, true)
 }
 
-func (e *Explainer) explain(q *pxql.Query, genDespite bool) (*Explanation, error) {
+// ExplainWithDespiteCtx is ExplainWithDespite with a cancellation
+// context (see ExplainCtx for the checkpoint contract).
+func (e *Explainer) ExplainWithDespiteCtx(ctx context.Context, q *pxql.Query) (*Explanation, error) {
+	return e.explain(ctx, q, true)
+}
+
+func (e *Explainer) explain(ctx context.Context, q *pxql.Query, genDespite bool) (*Explanation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	a, b, err := e.bind(q)
 	if err != nil {
 		return nil, err
@@ -314,7 +335,7 @@ func (e *Explainer) explain(q *pxql.Query, genDespite bool) (*Explanation, error
 	x := &Explanation{}
 	despite := q.Despite
 	if genDespite {
-		des, err := e.generateDespite(q, a, b)
+		des, err := e.generateDespite(ctx, q, a, b)
 		if err != nil {
 			return nil, err
 		}
@@ -322,7 +343,7 @@ func (e *Explainer) explain(q *pxql.Query, genDespite bool) (*Explanation, error
 		despite = q.Despite.And(des)
 	}
 
-	related, err := e.enumeratePairs(q, despite, stats.DeriveSeed(e.cfg.Seed, "because-pairs"))
+	related, err := e.enumeratePairs(ctx, q, despite, stats.DeriveSeed(e.cfg.Seed, "because-pairs"))
 	if err != nil {
 		return nil, err
 	}
@@ -343,14 +364,14 @@ func (e *Explainer) explain(q *pxql.Query, genDespite bool) (*Explanation, error
 	sample := e.sample(related, stats.DeriveRand(e.cfg.Seed, "because-sample"))
 	x.SampleSize = len(sample.refs)
 	plan := e.planSample(sample)
-	m, err := e.materializePairs(sample, plan)
+	m, err := e.materializePairs(ctx, sample, plan)
 	if err != nil {
 		return nil, err
 	}
 	pairVec := e.d.Vector(a, b)
 
 	bc := newBitmapCache(m, e.cfg.Parallelism)
-	bec, err := e.grow(bc, plan, sample.labels, pairVec, e.cfg.Width)
+	bec, err := e.grow(ctx, bc, plan, sample.labels, pairVec, e.cfg.Width)
 	if err != nil {
 		return nil, err
 	}
@@ -411,15 +432,21 @@ func (e *Explainer) explain(q *pxql.Query, genDespite bool) (*Explanation, error
 // GenerateDespite produces only the despite extension for a query
 // (PerfXplain's response to an under-specified query, Section 6.4).
 func (e *Explainer) GenerateDespite(q *pxql.Query) (pxql.Predicate, error) {
+	return e.GenerateDespiteCtx(context.Background(), q)
+}
+
+// GenerateDespiteCtx is GenerateDespite with a cancellation context
+// (see ExplainCtx for the checkpoint contract).
+func (e *Explainer) GenerateDespiteCtx(ctx context.Context, q *pxql.Query) (pxql.Predicate, error) {
 	a, b, err := e.bind(q)
 	if err != nil {
 		return nil, err
 	}
-	return e.generateDespite(q, a, b)
+	return e.generateDespite(ctx, q, a, b)
 }
 
-func (e *Explainer) generateDespite(q *pxql.Query, a, b *joblog.Record) (pxql.Predicate, error) {
-	related, err := e.enumeratePairs(q, q.Despite, stats.DeriveSeed(e.cfg.Seed, "despite-pairs"))
+func (e *Explainer) generateDespite(ctx context.Context, q *pxql.Query, a, b *joblog.Record) (pxql.Predicate, error) {
+	related, err := e.enumeratePairs(ctx, q, q.Despite, stats.DeriveSeed(e.cfg.Seed, "despite-pairs"))
 	if err != nil {
 		return nil, err
 	}
@@ -428,7 +455,7 @@ func (e *Explainer) generateDespite(q *pxql.Query, a, b *joblog.Record) (pxql.Pr
 	}
 	sample := e.sample(related, stats.DeriveRand(e.cfg.Seed, "despite-sample"))
 	plan := e.planSample(sample)
-	m, err := e.materializePairs(sample, plan)
+	m, err := e.materializePairs(ctx, sample, plan)
 	if err != nil {
 		return nil, err
 	}
@@ -440,7 +467,7 @@ func (e *Explainer) generateDespite(q *pxql.Query, a, b *joblog.Record) (pxql.Pr
 	for i, l := range sample.labels {
 		flipped[i] = !l
 	}
-	return e.grow(newBitmapCache(m, e.cfg.Parallelism), plan, flipped, pairVec, e.cfg.DespiteWidth)
+	return e.grow(ctx, newBitmapCache(m, e.cfg.Parallelism), plan, flipped, pairVec, e.cfg.DespiteWidth)
 }
 
 func (e *Explainer) sample(ps *pairSet, rng *rand.Rand) *pairSet {
@@ -467,7 +494,7 @@ func (e *Explainer) sample(ps *pairSet, rng *rand.Rand) *pairSet {
 // label bitmaps, and the winner restricts the working set with one
 // word-AND. The counts — and therefore the clause — are identical to
 // the per-pair loops this replaces.
-func (e *Explainer) grow(bc *bitmapCache, plan *plannedSample, labels []bool,
+func (e *Explainer) grow(ctx context.Context, bc *bitmapCache, plan *plannedSample, labels []bool,
 	pairVec []joblog.Value, width int) (pxql.Predicate, error) {
 
 	m := bc.m
@@ -481,6 +508,12 @@ func (e *Explainer) grow(bc *bitmapCache, plan *plannedSample, labels []bool,
 	curBits.Ones(m.N)
 
 	for round := 0; round < width; round++ {
+		// The round loop is the cancellation checkpoint of the growth
+		// phase: each round is one bounded unit of scoring work, so a
+		// cancelled query stops within a round's latency of the signal.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if len(cur) == 0 {
 			break
 		}

@@ -16,6 +16,7 @@ package core
 //     target.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -32,6 +33,12 @@ import (
 // whether the threshold was met. The full-width clause is returned when
 // even it falls short, so callers still get PerfXplain's best effort.
 func (e *Explainer) DespiteToThreshold(q *pxql.Query, r float64) (des pxql.Predicate, achieved float64, met bool, err error) {
+	return e.DespiteToThresholdCtx(context.Background(), q, r)
+}
+
+// DespiteToThresholdCtx is DespiteToThreshold with a cancellation
+// context: each prefix's relevance measurement is a checkpoint.
+func (e *Explainer) DespiteToThresholdCtx(ctx context.Context, q *pxql.Query, r float64) (des pxql.Predicate, achieved float64, met bool, err error) {
 	if r < 0 || r > 1 {
 		return nil, 0, false, fmt.Errorf("core: relevance threshold %v outside [0,1]", r)
 	}
@@ -39,14 +46,14 @@ func (e *Explainer) DespiteToThreshold(q *pxql.Query, r float64) (des pxql.Predi
 	if err != nil {
 		return nil, 0, false, err
 	}
-	full, err := e.generateDespite(q, a, b)
+	full, err := e.generateDespite(ctx, q, a, b)
 	if err != nil {
 		return nil, 0, false, err
 	}
 	pairSeed := stats.DeriveSeed(e.cfg.Seed, "despite-threshold")
 	for w := 0; w <= len(full); w++ {
 		prefix := full[:w]
-		rel, err := e.trainRelevance(q, q.Despite.And(prefix), pairSeed)
+		rel, err := e.trainRelevance(ctx, q, q.Despite.And(prefix), pairSeed)
 		if err != nil {
 			return nil, 0, false, err
 		}
@@ -60,8 +67,8 @@ func (e *Explainer) DespiteToThreshold(q *pxql.Query, r float64) (des pxql.Predi
 }
 
 // trainRelevance measures P(exp | despite) over the log's related pairs.
-func (e *Explainer) trainRelevance(q *pxql.Query, despite pxql.Predicate, pairSeed uint64) (float64, error) {
-	related, err := e.enumeratePairs(q, despite, pairSeed)
+func (e *Explainer) trainRelevance(ctx context.Context, q *pxql.Query, despite pxql.Predicate, pairSeed uint64) (float64, error) {
+	related, err := e.enumeratePairs(ctx, q, despite, pairSeed)
 	if err != nil {
 		return 0, err
 	}

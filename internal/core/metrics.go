@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"perfxplain/internal/bitset"
@@ -52,6 +53,15 @@ func EvaluateExplanation(log *joblog.Log, level features.Level,
 // identical totals.
 func EvaluateExplanationP(log *joblog.Log, level features.Level,
 	q *pxql.Query, x *Explanation, maxPairs int, seed int64, parallelism int) (Metrics, error) {
+	return EvaluateExplanationPCtx(context.Background(), log, level, q, x, maxPairs, seed, parallelism)
+}
+
+// EvaluateExplanationPCtx is EvaluateExplanationP with a cancellation
+// context: each worker checks ctx before starting a shard of the pair
+// walk, and a cancelled evaluation returns ctx.Err() instead of partial
+// counts. A result returned without error is exact.
+func EvaluateExplanationPCtx(ctx context.Context, log *joblog.Log, level features.Level,
+	q *pxql.Query, x *Explanation, maxPairs int, seed int64, parallelism int) (Metrics, error) {
 
 	if err := validateEvaluation(log, level, q, x); err != nil {
 		return Metrics{}, err
@@ -71,6 +81,9 @@ func EvaluateExplanationP(log *joblog.Log, level features.Level,
 	}
 	parts := make([]counts, len(sp.shards))
 	par.Do(len(sp.shards), parallelism, func(s int) {
+		if ctx.Err() != nil {
+			return
+		}
 		var c counts
 		des := bitset.Make(pairBlock)
 		scratch := bitset.Make(pairBlock)
@@ -90,6 +103,9 @@ func EvaluateExplanationP(log *joblog.Log, level features.Level,
 		})
 		parts[s] = c
 	})
+	if err := ctx.Err(); err != nil {
+		return Metrics{}, err
+	}
 
 	var m Metrics
 	var nExp, nObsGivenBec int
@@ -155,9 +171,22 @@ func EvaluateExplanationSharded(log *joblog.Log, level features.Level,
 func EvaluateExplanationShardedOver(layout *SegmentLayout, log *joblog.Log, level features.Level,
 	q *pxql.Query, x *Explanation, maxPairs int, seed int64,
 	shards int, runner ShardRunner) (Metrics, error) {
+	return EvaluateExplanationShardedOverCtx(context.Background(), layout, log, level, q, x, maxPairs, seed, shards, runner)
+}
+
+// EvaluateExplanationShardedOverCtx is EvaluateExplanationShardedOver
+// with a cancellation context. Cancellation is checked before planning
+// and before the shard fan-out — the runner round itself is the unit of
+// work — so a cancelled evaluation stops at the next round boundary.
+func EvaluateExplanationShardedOverCtx(ctx context.Context, layout *SegmentLayout, log *joblog.Log, level features.Level,
+	q *pxql.Query, x *Explanation, maxPairs int, seed int64,
+	shards int, runner ShardRunner) (Metrics, error) {
 
 	if runner == nil {
-		return EvaluateExplanationP(log, level, q, x, maxPairs, seed, 0)
+		return EvaluateExplanationPCtx(ctx, log, level, q, x, maxPairs, seed, 0)
+	}
+	if err := ctx.Err(); err != nil {
+		return Metrics{}, err
 	}
 	if err := validateEvaluation(log, level, q, x); err != nil {
 		return Metrics{}, err
@@ -194,6 +223,9 @@ func EvaluateExplanationShardedOver(layout *SegmentLayout, log *joblog.Log, leve
 			}
 		}
 		pf.PrefetchSlices(slices)
+	}
+	if err := ctx.Err(); err != nil {
+		return Metrics{}, err
 	}
 	results, err := runner.RunEval(specs)
 	if err != nil {

@@ -563,25 +563,19 @@ func candidateRecords(log *joblog.Log, despite pxql.Predicate) []int {
 		}
 		return out
 	}
+	// Each atom's equality bitmap is memoized on the columnar view (and,
+	// for snapshot views, stitched from bitmaps memoized on the sealed
+	// segments — see joblog.EqualRowsBitmap), so repeated despite clauses
+	// and growing logs pay only for what changed. The memoized bitmaps
+	// are shared: intersect into a private copy.
 	var sel bitset.Set
 	for _, f := range filters {
-		var rows []int32
-		if !f.val.IsMissing() && f.val.Kind == cols.Col(f.idx).Kind {
-			ix := cols.SortedIndex(f.idx)
-			if f.val.Kind == joblog.Numeric {
-				rows = ix.EqualNum(f.val.Num)
-			} else if id, ok := cols.Intern().Lookup(f.val.Str); ok {
-				rows = ix.EqualSym(id)
-			}
-		}
-		cur := bitset.Make(n)
-		for _, r := range rows {
-			cur.SetBit(int(r))
-		}
+		bm := cols.EqualRowsBitmap(f.idx, f.val)
 		if sel == nil {
-			sel = cur
+			sel = bitset.Make(n)
+			sel.CopyFrom(bm)
 		} else {
-			sel.AndWith(cur)
+			sel.AndWith(bm)
 		}
 	}
 	out := make([]int, 0, n)

@@ -19,6 +19,7 @@ package core
 // internal/shard — the worker runtime imports core to execute specs).
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -1037,10 +1038,13 @@ func (s *ScoreSpec) RunWith(data *SliceData) (*ScoreResult, error) {
 // in-process walk otherwise. Both paths produce byte-identical pair
 // sets. A configured pilot fraction switches the stratified mode to the
 // Wilson-adaptive two-pass scheme (see adaptive.go).
-func (e *Explainer) enumeratePairs(q *pxql.Query, despite pxql.Predicate, seed uint64) (*pairSet, error) {
+func (e *Explainer) enumeratePairs(ctx context.Context, q *pxql.Query, despite pxql.Predicate, seed uint64) (*pairSet, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	stratified := e.cfg.SampleMode == SampleStratified
 	if stratified && e.cfg.SamplePilot > 0 && e.cfg.SampleBudget > 0 {
-		return e.enumerateAdaptive(q, despite, seed)
+		return e.enumerateAdaptive(ctx, q, despite, seed)
 	}
 	if e.cfg.Runner == nil {
 		if stratified {
@@ -1092,7 +1096,10 @@ func (e *Explainer) runEnumSpecs(specs []EnumSpec) (*pairSet, error) {
 // slice, nil on the direct path). Shard results are copied into
 // row-disjoint ranges, so the merged matrix equals a local fill bit for
 // bit.
-func (e *Explainer) materializePairs(sample *pairSet, plan *plannedSample) (*features.PairMatrix, error) {
+func (e *Explainer) materializePairs(ctx context.Context, sample *pairSet, plan *plannedSample) (*features.PairMatrix, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if e.cfg.Runner == nil {
 		return materialize(e.log, e.d, sample, e.cfg.Parallelism), nil
 	}

@@ -119,6 +119,12 @@ type Columns struct {
 	// index is still memoized on the view like any other.
 	buildIndex func(f int) *ColIndex
 
+	// buildEqRows, when set, replaces the index-seek path behind
+	// EqualRowsBitmap — the segment store's seam for stitching a
+	// snapshot's equality bitmap from per-segment memoized bitmaps plus
+	// a tail scan (see eqrows.go). Called only with resolved keys.
+	buildEqRows func(key eqRowsKey) Bitmap
+
 	memoMu sync.Mutex
 	memos  map[any]any
 }
@@ -163,6 +169,16 @@ func (c *Columns) Memo(key any, build func() any) any {
 	v := build()
 	c.memos[key] = v
 	return v
+}
+
+// memoGet peeks the memo without building — for callers whose build
+// work must run outside the memo lock (e.g. equalPlaneRows, whose
+// builder re-enters Memo through SortedIndex).
+func (c *Columns) memoGet(key any) (any, bool) {
+	c.memoMu.Lock()
+	defer c.memoMu.Unlock()
+	v, ok := c.memos[key]
+	return v, ok
 }
 
 // Columns returns the log's columnar view, building it on first use and

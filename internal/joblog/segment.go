@@ -70,6 +70,28 @@ type Store struct {
 
 	snap    *Snapshot
 	snapGen uint64
+
+	// ixMemo memoizes, per field, the merged sorted permutation of the
+	// sealed-segment prefix (see sealedPermFor). Sealing is append-only,
+	// so a later watermark's prefix extends an earlier one: the k-way
+	// merge that used to rerun for every snapshot now resumes from the
+	// memo and only folds in newly-sealed segments. Guarded by ixMu, not
+	// mu — the merge runs lazily on first SortedIndex use, long after the
+	// snapshot was assembled and the store lock released.
+	ixMu   sync.Mutex
+	ixMemo map[int]*sealedPerm
+}
+
+// sealedPerm is the memoized merge of the first nSegs sealed segments'
+// sorted permutations for one field: global rows ordered by (plane
+// value, row), with the prefix's presence summary. perm is never
+// mutated after publication — extensions allocate a new slice — so a
+// ColIndex may alias it across snapshots.
+type sealedPerm struct {
+	nSegs    int
+	perm     []int32
+	nPresent int
+	hasNaN   bool
 }
 
 // segment is one sealed, immutable run of records.
@@ -353,33 +375,134 @@ func (s *Store) assembleColumnsLocked(l *Log, tailStart int) *Columns {
 	// segment list — the hook may run long after the store lock is
 	// released, and sealed segments never change.
 	segs := append([]*segment(nil), s.sealed...)
-	c.buildIndex = func(f int) *ColIndex { return mergedIndex(c, segs, tailStart, f) }
+	c.buildIndex = func(f int) *ColIndex { return s.mergedIndex(c, segs, tailStart, f) }
+	// The equality-bitmap hook blits per-segment bitmaps — memoized on
+	// the sealed segments, so they survive appends — and scans only the
+	// tail. Symbol IDs are valid across views because the shared intern
+	// is append-only and every view copies it: a constant first seen in a
+	// later tail gets an ID beyond every sealed plane's range and simply
+	// matches nothing there.
+	c.buildEqRows = func(key eqRowsKey) Bitmap {
+		out := NewBitmap(n)
+		for _, seg := range segs {
+			out.BlitFrom(seg.cols.equalPlaneRows(key), seg.start, len(seg.recs))
+		}
+		col := c.Col(key.f)
+		if col.Kind == Numeric {
+			x := math.Float64frombits(key.bits)
+			for i := tailStart; i < n; i++ {
+				if !col.Miss.Get(i) && col.Num[i] == x {
+					out.SetBit(i)
+				}
+			}
+		} else {
+			id := uint32(key.bits)
+			for i := tailStart; i < n; i++ {
+				if !col.Miss.Get(i) && col.Sym[i] == id {
+					out.SetBit(i)
+				}
+			}
+		}
+		return out
+	}
 	return c
 }
 
-// mergedIndex builds field f's ColIndex for an assembled view by k-way
-// merging the (memoized) per-segment sorted permutations with a
-// freshly-sorted tail part. Per-segment Perm entries are local rows
-// offset by the segment start; values are compared on the assembled
-// planes (identical to the per-segment planes by construction). The
-// result is element-for-element what buildColIndex produces on the
-// whole view, because both order by (plane value, global row).
-func mergedIndex(c *Columns, segs []*segment, tailStart, f int) *ColIndex {
-	col := c.Col(f)
-	ix := &ColIndex{Min: math.NaN(), Max: math.NaN(), col: col}
-	type part struct {
-		perm []int32
-		off  int32
-	}
-	parts := make([]part, 0, len(segs)+1)
-	for _, seg := range segs {
-		six := seg.cols.SortedIndex(f)
-		ix.NPresent += six.NPresent
-		ix.HasNaN = ix.HasNaN || six.HasNaN
-		if len(six.Perm) > 0 {
-			parts = append(parts, part{six.Perm, int32(seg.start)})
+// planeLess orders two global rows of a view by (plane value, row) —
+// exactly buildColIndex's sort order.
+func planeLess(col *Col, a, b int32) bool {
+	if col.Kind == Numeric {
+		if va, vb := col.Num[a], col.Num[b]; va != vb {
+			return va < vb
+		}
+	} else {
+		if va, vb := col.Sym[a], col.Sym[b]; va != vb {
+			return va < vb
 		}
 	}
+	return a < b
+}
+
+// mergePerms merges two (value, row)-sorted global-row permutations,
+// adding bOff to b's entries. The result is freshly allocated (nil when
+// both inputs are empty) so memoized inputs are never mutated.
+func mergePerms(col *Col, a, b []int32, bOff int32) []int32 {
+	if len(a) == 0 && len(b) == 0 {
+		return nil
+	}
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if rb := b[j] + bOff; planeLess(col, rb, a[i]) {
+			out = append(out, rb)
+			j++
+		} else {
+			out = append(out, a[i])
+			i++
+		}
+	}
+	out = append(out, a[i:]...)
+	for ; j < len(b); j++ {
+		out = append(out, b[j]+bOff)
+	}
+	return out
+}
+
+// sealedPermFor returns the merged sorted permutation of the snapshot's
+// sealed prefix, memoized on the store across watermarks: because
+// sealing is append-only, a later snapshot's prefix extends an earlier
+// one, so the merge resumes from the memo and folds in only the
+// newly-sealed segments instead of re-running the k-way merge from
+// scratch. Sealed rows are bit-identical in every assembled view, so a
+// permutation built against one snapshot's planes is valid for all
+// later ones. An old snapshot whose lazy hook fires after the memo has
+// advanced past its own prefix rebuilds locally and leaves the memo
+// alone. The merge itself runs outside ixMu so concurrent fields (or
+// racing snapshots, which at worst duplicate work) never serialize on
+// the per-segment index builds.
+func (s *Store) sealedPermFor(c *Columns, segs []*segment, f int) sealedPerm {
+	col := c.Col(f)
+	s.ixMu.Lock()
+	var cur sealedPerm
+	if memo := s.ixMemo[f]; memo != nil && memo.nSegs <= len(segs) {
+		cur = *memo
+	}
+	s.ixMu.Unlock()
+	if cur.nSegs == len(segs) {
+		return cur
+	}
+	for _, seg := range segs[cur.nSegs:] {
+		// The segment's own sorted index is memoized on the sealed segment
+		// and survives for the segment's lifetime.
+		six := seg.cols.SortedIndex(f)
+		cur.nPresent += six.NPresent
+		cur.hasNaN = cur.hasNaN || six.HasNaN
+		cur.perm = mergePerms(col, cur.perm, six.Perm, int32(seg.start))
+		cur.nSegs++
+	}
+	s.ixMu.Lock()
+	if old := s.ixMemo[f]; old == nil || old.nSegs < cur.nSegs {
+		if s.ixMemo == nil {
+			s.ixMemo = make(map[int]*sealedPerm)
+		}
+		stored := cur
+		s.ixMemo[f] = &stored
+	}
+	s.ixMu.Unlock()
+	return cur
+}
+
+// mergedIndex builds field f's ColIndex for an assembled view by
+// two-way merging the store-memoized sealed-prefix permutation (see
+// sealedPermFor) with a freshly-sorted tail part. The result is
+// element-for-element what buildColIndex produces on the whole view,
+// because both order by (plane value, global row).
+func (s *Store) mergedIndex(c *Columns, segs []*segment, tailStart, f int) *ColIndex {
+	col := c.Col(f)
+	ix := &ColIndex{Min: math.NaN(), Max: math.NaN(), col: col}
+	sp := s.sealedPermFor(c, segs, f)
+	ix.NPresent = sp.nPresent
+	ix.HasNaN = sp.hasNaN
 	var tailPerm []int32
 	for i := tailStart; i < c.Len(); i++ {
 		if col.Miss.Get(i) {
@@ -392,47 +515,17 @@ func mergedIndex(c *Columns, segs []*segment, tailStart, f int) *ColIndex {
 		}
 		tailPerm = append(tailPerm, int32(i))
 	}
-	less := func(a, b int32) bool {
-		if col.Kind == Numeric {
-			if va, vb := col.Num[a], col.Num[b]; va != vb {
-				return va < vb
-			}
-		} else {
-			if va, vb := col.Sym[a], col.Sym[b]; va != vb {
-				return va < vb
-			}
-		}
-		return a < b
-	}
-	sort.Slice(tailPerm, func(a, b int) bool { return less(tailPerm[a], tailPerm[b]) })
-	if len(tailPerm) > 0 {
-		parts = append(parts, part{tailPerm, 0})
-	}
-	total := 0
-	for _, p := range parts {
-		total += len(p.perm)
-	}
-	if total == 0 {
-		// Leave Perm nil, exactly as buildColIndex's append-never-called
-		// path does.
-		return ix
-	}
-	ix.Perm = make([]int32, 0, total)
-	heads := make([]int, len(parts))
-	for len(ix.Perm) < total {
-		best := -1
-		var bestRow int32
-		for p := range parts {
-			if heads[p] == len(parts[p].perm) {
-				continue
-			}
-			row := parts[p].perm[heads[p]] + parts[p].off
-			if best < 0 || less(row, bestRow) {
-				best, bestRow = p, row
-			}
-		}
-		ix.Perm = append(ix.Perm, bestRow)
-		heads[best]++
+	sort.Slice(tailPerm, func(a, b int) bool { return planeLess(col, tailPerm[a], tailPerm[b]) })
+	switch {
+	case len(tailPerm) == 0:
+		// Alias the memoized prefix (read-only by contract); nil when the
+		// column has no indexable rows, exactly as buildColIndex's
+		// append-never-called path leaves it.
+		ix.Perm = sp.perm
+	case len(sp.perm) == 0:
+		ix.Perm = tailPerm
+	default:
+		ix.Perm = mergePerms(col, sp.perm, tailPerm, 0)
 	}
 	if col.Kind == Numeric && len(ix.Perm) > 0 {
 		ix.Min = col.Num[ix.Perm[0]]

@@ -1,0 +1,78 @@
+package serve
+
+// Admission control bounds what one pxqld process will attempt at once.
+// The explanation pipeline is internally parallel (it saturates cores on
+// its own), so admitting every arriving query would oversubscribe the
+// machine and slow everyone down; instead a fixed number of slots run
+// concurrently, a bounded number of requests may wait for a slot, and
+// everything beyond that is rejected immediately with errBusy (HTTP
+// 429) — load sheds at the door instead of queueing without bound. A
+// waiter whose context ends (per-query deadline, client disconnect)
+// leaves the queue with the context's error (HTTP 504).
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errBusy is returned when both the slots and the wait queue are full.
+var errBusy = errors.New("serve: server busy, admission queue full")
+
+// admission is a bounded-concurrency, bounded-queue semaphore.
+type admission struct {
+	slots    chan struct{}
+	maxQueue int64
+	waiting  atomic.Int64
+}
+
+func newAdmission(maxConcurrent, maxQueue int) *admission {
+	if maxConcurrent <= 0 {
+		maxConcurrent = 2
+	}
+	if maxQueue <= 0 {
+		maxQueue = 8 * maxConcurrent
+	}
+	return &admission{slots: make(chan struct{}, maxConcurrent), maxQueue: int64(maxQueue)}
+}
+
+// acquire claims a slot, waiting in the bounded queue when all slots are
+// busy. It returns errBusy when the queue is full, or ctx.Err() when the
+// context ends first. Every nil return must be paired with release.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if a.waiting.Add(1) > a.maxQueue {
+		a.waiting.Add(-1)
+		return errBusy
+	}
+	defer a.waiting.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (a *admission) release() { <-a.slots }
+
+// admissionStats is a point-in-time gauge snapshot for /api/stats.
+type admissionStats struct {
+	InFlight int `json:"in_flight"`
+	Waiting  int `json:"waiting"`
+	Slots    int `json:"slots"`
+	MaxQueue int `json:"max_queue"`
+}
+
+func (a *admission) stats() admissionStats {
+	return admissionStats{
+		InFlight: len(a.slots),
+		Waiting:  int(a.waiting.Load()),
+		Slots:    cap(a.slots),
+		MaxQueue: int(a.maxQueue),
+	}
+}

@@ -1,0 +1,186 @@
+package serve
+
+// Warm-server latency summary for CI, with two hard gates:
+//
+//  1. A repeated query against the warm server must be at least 10x
+//     faster than a cold process start (CSV parse + store build +
+//     explainer + explanation) answering the same query.
+//  2. A herd of 32 identical concurrent queries must run EXACTLY ONE
+//     engine computation (singleflight collapse) and finish within 2x
+//     the wall-clock cost of a single fresh query.
+//
+// Emitted as BENCH_serve.json by the server CI leg:
+//
+//	BENCH_SERVE_JSON=$PWD/BENCH_serve.json go test -run TestBenchServeJSON ./internal/serve
+//
+//pxql:realtime — latency benchmarks time wall-clock by definition; the
+// serve package is off the deterministic path.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"perfxplain"
+)
+
+func TestBenchServeJSON(t *testing.T) {
+	path := os.Getenv("BENCH_SERVE_JSON")
+	if path == "" {
+		t.Skip("set BENCH_SERVE_JSON=<path> to emit the warm-server latency summary")
+	}
+
+	// The paper's full 540-job sweep, not the 32-job test fixture: the
+	// herd gate compares engine time against per-request overhead, so
+	// the engine must be given enough rows to dominate.
+	jobs, _, err := perfxplain.Collect(perfxplain.SweepOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := jobs.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	csv := buf.Bytes()
+
+	// Cold: everything a fresh `pxql` process pays per query once the
+	// bytes are on disk — parse the CSV, build the store and its
+	// columnar planes, find the pair, explain, render. Best of 3 keeps
+	// one slow run from flattering the warm side.
+	coldRun := func(seed int64) time.Duration {
+		start := time.Now()
+		l, err := perfxplain.ReadLogCSV(bytes.NewReader(csv))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := perfxplain.NewStore(l, 0)
+		if err := st.Ingest(l); err != nil {
+			t.Fatal(err)
+		}
+		st.Seal()
+		opt := baseOptions()
+		opt.Seed = seed
+		_ = localReport(t, st.Snapshot(), testQuery, opt)
+		return time.Since(start)
+	}
+	cold := coldRun(1)
+	for i := 0; i < 2; i++ {
+		if d := coldRun(1); d < cold {
+			cold = d
+		}
+	}
+
+	store := perfxplain.NewStore(jobs, 0)
+	if err := store.Ingest(jobs); err != nil {
+		t.Fatal(err)
+	}
+	store.Seal()
+	s := NewServer(Config{Store: store, Explain: baseOptions(), MaxConcurrent: 4})
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	explain := func(seed int64) time.Duration {
+		start := time.Now()
+		status, _, raw := postExplain(t, ts.URL+"/api/explain",
+			ExplainRequest{Query: testQuery, Find: true, Seed: seed})
+		if status != 200 {
+			t.Fatalf("explain seed %d: status %d: %s", seed, status, raw)
+		}
+		return time.Since(start)
+	}
+
+	// Warm: repeated identical queries against the resident server —
+	// cache hits end to end, averaged over a batch.
+	explain(1) // prime
+	const warmN = 25
+	warmStart := time.Now()
+	for i := 0; i < warmN; i++ {
+		explain(1)
+	}
+	warmAvg := time.Since(warmStart) / warmN
+	warmSpeedup := float64(cold) / float64(warmAvg)
+
+	// Single fresh query cost: uncached fingerprints, worst of two so
+	// one lucky sample cannot tighten the herd gate unfairly.
+	single := explain(2)
+	if d := explain(4); d > single {
+		single = d
+	}
+
+	// Herd: 32 identical queries under a fresh fingerprint, at once.
+	// An unmeasured warm-up herd first, so the measured ones reuse
+	// pooled keep-alive connections — the gate compares singleflight
+	// collapse against engine cost, not TCP handshakes. Wall clock is
+	// best of three attempts (each under its own fresh seed) so one
+	// scheduler hiccup on a loaded machine cannot fail the gate; the
+	// computation count must be exactly 1 on EVERY attempt.
+	const herd = 32
+	runHerd := func(seed int64) time.Duration {
+		var wg sync.WaitGroup
+		start := time.Now()
+		for i := 0; i < herd; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				explain(seed)
+			}()
+		}
+		wg.Wait()
+		return time.Since(start)
+	}
+	runHerd(5)
+	var herdWall time.Duration
+	var herdComputations int64
+	for _, seed := range []int64{3, 6, 7} {
+		before := s.Computations()
+		wall := runHerd(seed)
+		if d := s.Computations() - before; d > herdComputations {
+			herdComputations = d
+		}
+		if herdWall == 0 || wall < herdWall {
+			herdWall = wall
+		}
+	}
+
+	// The gates.
+	if warmSpeedup < 10 {
+		t.Errorf("warm repeated query is %.1fx faster than cold start (cold %v, warm %v), want >= 10x",
+			warmSpeedup, cold, warmAvg)
+	}
+	if herdComputations != 1 {
+		t.Errorf("herd of %d identical queries ran %d computations, want exactly 1", herd, herdComputations)
+	}
+	if herdWall > 2*single {
+		t.Errorf("herd of %d identical queries took %v, want <= 2x the single-query cost %v",
+			herd, herdWall, single)
+	}
+
+	out := map[string]any{
+		"records":           jobs.Len(),
+		"cold_start":        cold.String(),
+		"warm_avg":          warmAvg.String(),
+		"warm_speedup":      warmSpeedup,
+		"single_fresh":      single.String(),
+		"herd_size":         herd,
+		"herd_wall":         herdWall.String(),
+		"herd_computations": herdComputations,
+		"gate":              "warm >= 10x cold; herd of 32 identical queries = 1 computation and <= 2x single cost",
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: cold=%v warm=%v (%.0fx) herd=%v/%d computations=%d",
+		path, cold, warmAvg, warmSpeedup, herdWall, herd, herdComputations)
+}

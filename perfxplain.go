@@ -28,10 +28,12 @@
 package perfxplain
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net"
 	"os"
+	"strings"
 
 	"perfxplain/internal/baselines"
 	"perfxplain/internal/collect"
@@ -89,6 +91,37 @@ func (l *Log) FeatureNames() []string {
 		out[i] = f.Name
 	}
 	return out
+}
+
+// FieldInfo describes one schema field: its name and kind ("numeric" or
+// "nominal").
+type FieldInfo struct {
+	Name string
+	Kind string
+}
+
+// Fields returns the log's schema as (name, kind) pairs in field order —
+// the introspection behind the explanation server's /api/schema endpoint
+// and the REPL's .schema command.
+func (l *Log) Fields() []FieldInfo {
+	fields := l.l.Schema.Fields()
+	out := make([]FieldInfo, len(fields))
+	for i, f := range fields {
+		out[i] = FieldInfo{Name: f.Name, Kind: f.Kind.String()}
+	}
+	return out
+}
+
+// Domain returns the sorted distinct non-missing values observed for a
+// nominal field (nil for numeric or unknown fields). The scan is
+// memoized on the log; callers must not mutate the result.
+func (l *Log) Domain(field string) []string { return l.l.Domain(field) }
+
+// NumericRange returns the observed min and max of a numeric field,
+// ignoring missing values. ok is false when the field is absent,
+// nominal, or entirely missing.
+func (l *Log) NumericRange(field string) (min, max float64, ok bool) {
+	return l.l.NumericRange(field)
 }
 
 // Feature returns the string form of a record's raw feature value; the
@@ -233,6 +266,23 @@ func (s *Store) SealedSegments() int { return s.s.SealedSegments() }
 func (s *Store) Snapshot() *Log {
 	snap := s.s.Snapshot()
 	return &Log{l: snap.Log(), segs: snap.Segments()}
+}
+
+// Watermark returns the store's generation counter: a monotonic value
+// ticked by every append (and every forced seal). Two snapshots taken
+// at the same watermark hold exactly the same records, so the watermark
+// is a sound cache key for anything derived from a snapshot.
+func (s *Store) Watermark() uint64 { return s.s.Gen() }
+
+// SnapshotAt returns the current snapshot together with the watermark
+// it was taken at, as one atomic observation — unlike a separate
+// Watermark() + Snapshot() pair, no append can slip between the two.
+// Snapshots are memoized per watermark, so repeated calls between
+// appends return the same Log (with its warmed columnar planes, sorted
+// indexes and bitmap memos).
+func (s *Store) SnapshotAt() (*Log, uint64) {
+	snap := s.s.Snapshot()
+	return &Log{l: snap.Log(), segs: snap.Segments()}, snap.Gen()
 }
 
 // LogsFromHistory parses Hadoop-style job-history streams (as written by
@@ -654,10 +704,46 @@ func (x *Explanation) AtomDetails() []AtomDetail {
 	return out
 }
 
+// RenderReport renders the canonical query-plus-explanation report the
+// pxql command prints — query, explanation, training quality, and the
+// relevance confidence interval when one applies. The server returns
+// exactly this string, so a cached answer is byte-identical to a one-shot
+// CLI run over the same records.
+func RenderReport(q *Query, x *Explanation) string {
+	var b strings.Builder
+	b.WriteString("query:\n")
+	b.WriteString(indentReport(q.String()))
+	b.WriteString("\nexplanation:\n")
+	b.WriteString(indentReport(x.String()))
+	fmt.Fprintf(&b, "\ntraining: precision %.3f, generality %.3f, relevance %.3f\n",
+		x.TrainPrecision(), x.TrainGenerality(), x.TrainRelevance())
+	if lo, hi, ok := x.TrainRelevanceBounds(); ok {
+		fmt.Fprintf(&b, "          relevance 95%% CI [%.3f, %.3f]\n", lo, hi)
+	}
+	return b.String()
+}
+
+func indentReport(s string) string {
+	return "  " + strings.ReplaceAll(s, "\n", "\n  ")
+}
+
 // Explain generates a because clause for the query (the user's despite
 // clause is used as-is).
 func (e *Explainer) Explain(q *Query) (*Explanation, error) {
 	x, err := e.ex.Explain(q.q)
+	if err != nil {
+		return nil, err
+	}
+	return &Explanation{x: x, q: q.q}, nil
+}
+
+// ExplainContext is Explain with cancellation: the pipeline checks ctx
+// between stages and at every growth round, returning ctx.Err() once it
+// is done. The context carries cancellation only — a completed
+// explanation is byte-identical to an uncancelled run with the same
+// options, whatever deadline the context had.
+func (e *Explainer) ExplainContext(ctx context.Context, q *Query) (*Explanation, error) {
+	x, err := e.ex.ExplainCtx(ctx, q.q)
 	if err != nil {
 		return nil, err
 	}
@@ -673,10 +759,30 @@ func (e *Explainer) ExplainQuery(src string) (*Explanation, error) {
 	return e.Explain(q)
 }
 
+// ExplainQueryContext parses PXQL source and explains it in one step,
+// with ExplainContext's cancellation semantics.
+func (e *Explainer) ExplainQueryContext(ctx context.Context, src string) (*Explanation, error) {
+	q, err := ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExplainContext(ctx, q)
+}
+
 // ExplainWithDespite first generates a despite extension (for
 // under-specified queries), then the because clause in its context.
 func (e *Explainer) ExplainWithDespite(q *Query) (*Explanation, error) {
 	x, err := e.ex.ExplainWithDespite(q.q)
+	if err != nil {
+		return nil, err
+	}
+	return &Explanation{x: x, q: q.q}, nil
+}
+
+// ExplainWithDespiteContext is ExplainWithDespite with ExplainContext's
+// cancellation semantics, covering the despite-generation stage too.
+func (e *Explainer) ExplainWithDespiteContext(ctx context.Context, q *Query) (*Explanation, error) {
+	x, err := e.ex.ExplainWithDespiteCtx(ctx, q.q)
 	if err != nil {
 		return nil, err
 	}
@@ -767,6 +873,14 @@ type Metrics struct {
 // slice caches — alive between calls. The metrics are identical in
 // every mode.
 func Evaluate(log *Log, q *Query, x *Explanation, opt Options) (Metrics, error) {
+	return EvaluateContext(context.Background(), log, q, x, opt)
+}
+
+// EvaluateContext is Evaluate with cancellation: the quadratic walk
+// checks ctx between shards (and per evaluation chunk in-process),
+// returning ctx.Err() once it is done. Completed metrics are identical
+// to an uncancelled run.
+func EvaluateContext(ctx context.Context, log *Log, q *Query, x *Explanation, opt Options) (Metrics, error) {
 	maxPairs := opt.MaxPairs
 	if maxPairs == 0 {
 		maxPairs = core.DefaultConfig().MaxPairs
@@ -775,7 +889,7 @@ func Evaluate(log *Log, q *Query, x *Explanation, opt Options) (Metrics, error) 
 	var err error
 	switch {
 	case opt.Shards > 0 && opt.SharedPool != nil:
-		m, err = core.EvaluateExplanationShardedOver(log.layout(), log.l, features.Level3, q.q, x.x, maxPairs, opt.Seed, opt.Shards, opt.SharedPool.p)
+		m, err = core.EvaluateExplanationShardedOverCtx(ctx, log.layout(), log.l, features.Level3, q.q, x.x, maxPairs, opt.Seed, opt.Shards, opt.SharedPool.p)
 	case opt.Shards > 0 && (len(opt.ShardAddrs) > 0 || opt.ShardWorkers > 0):
 		// Shard worker config must never be silently ignored — but a
 		// one-shot Evaluate dialing and tearing down a fleet per call
@@ -790,12 +904,12 @@ func Evaluate(log *Log, q *Query, x *Explanation, opt Options) (Metrics, error) 
 			return Metrics{}, perr
 		}
 		defer pool.Close()
-		m, err = core.EvaluateExplanationShardedOver(log.layout(), log.l, features.Level3, q.q, x.x, maxPairs, opt.Seed, opt.Shards, pool.p)
+		m, err = core.EvaluateExplanationShardedOverCtx(ctx, log.layout(), log.l, features.Level3, q.q, x.x, maxPairs, opt.Seed, opt.Shards, pool.p)
 	case opt.Shards > 0:
-		m, err = core.EvaluateExplanationShardedOver(log.layout(), log.l, features.Level3, q.q, x.x, maxPairs, opt.Seed, opt.Shards,
+		m, err = core.EvaluateExplanationShardedOverCtx(ctx, log.layout(), log.l, features.Level3, q.q, x.x, maxPairs, opt.Seed, opt.Shards,
 			shard.InProc{Workers: opt.Parallelism})
 	default:
-		m, err = core.EvaluateExplanationP(log.l, features.Level3, q.q, x.x, maxPairs, opt.Seed, opt.Parallelism)
+		m, err = core.EvaluateExplanationPCtx(ctx, log.l, features.Level3, q.q, x.x, maxPairs, opt.Seed, opt.Parallelism)
 	}
 	if err != nil {
 		return Metrics{}, err
@@ -809,6 +923,12 @@ func Evaluate(log *Log, q *Query, x *Explanation, opt Options) (Metrics, error) 
 // make repeated evaluations — several widths of one explanation, say —
 // cheap to ship. Metrics are identical to the package-level Evaluate.
 func (e *Explainer) Evaluate(log *Log, q *Query, x *Explanation) (Metrics, error) {
+	return e.EvaluateContext(context.Background(), log, q, x)
+}
+
+// EvaluateContext is Evaluate with EvaluateContext's (package-level)
+// cancellation semantics, through this explainer's shard configuration.
+func (e *Explainer) EvaluateContext(ctx context.Context, log *Log, q *Query, x *Explanation) (Metrics, error) {
 	maxPairs := e.cfg.MaxPairs
 	if maxPairs == 0 {
 		maxPairs = core.DefaultConfig().MaxPairs
@@ -816,10 +936,10 @@ func (e *Explainer) Evaluate(log *Log, q *Query, x *Explanation) (Metrics, error
 	var m core.Metrics
 	var err error
 	if e.cfg.Runner != nil {
-		m, err = core.EvaluateExplanationShardedOver(log.layout(), log.l, features.Level3, q.q, x.x,
+		m, err = core.EvaluateExplanationShardedOverCtx(ctx, log.layout(), log.l, features.Level3, q.q, x.x,
 			maxPairs, e.cfg.Seed, e.cfg.Shards, e.cfg.Runner)
 	} else {
-		m, err = core.EvaluateExplanationP(log.l, features.Level3, q.q, x.x,
+		m, err = core.EvaluateExplanationPCtx(ctx, log.l, features.Level3, q.q, x.x,
 			maxPairs, e.cfg.Seed, e.cfg.Parallelism)
 	}
 	if err != nil {
